@@ -1,0 +1,41 @@
+"""Fig. 9(a) — preprocessing time: DPar2's two-stage randomized compression
+vs RD-ALS's SVD of the concatenated slices (paper: DPar2 up to 10x faster).
+"""
+
+from repro.decomposition.dpar2 import compress_tensor
+from repro.linalg.truncated_svd import truncated_svd
+
+RANK = 10
+
+
+def test_dpar2_compression_audio(benchmark, audio_tensor):
+    compressed = benchmark(
+        compress_tensor, audio_tensor, RANK, random_state=0
+    )
+    assert compressed.rank == RANK
+
+
+def test_rd_als_preprocessing_audio(benchmark, audio_tensor):
+    def rd_preprocess():
+        concatenated = audio_tensor.transpose_concatenation()
+        V_hat = truncated_svd(concatenated, RANK).U
+        return [Xk @ V_hat for Xk in audio_tensor]
+
+    projected = benchmark(rd_preprocess)
+    assert projected[0].shape[1] == RANK
+
+
+def test_dpar2_compression_stock(benchmark, stock_tensor):
+    compressed = benchmark(
+        compress_tensor, stock_tensor, RANK, random_state=0
+    )
+    assert compressed.n_slices == stock_tensor.n_slices
+
+
+def test_rd_als_preprocessing_stock(benchmark, stock_tensor):
+    def rd_preprocess():
+        concatenated = stock_tensor.transpose_concatenation()
+        return truncated_svd(concatenated, RANK).U
+
+    V_hat = benchmark(rd_preprocess)
+    assert V_hat.shape == (stock_tensor.n_columns, RANK)

@@ -1,0 +1,30 @@
+"""Fig. 10 — compression: preprocessed size must shrink by ~J/R, and the
+compression step itself must be cheap (it is what buys the ratio).
+"""
+
+from repro.decomposition.dpar2 import compress_tensor
+
+RANK = 10
+
+
+def test_compression_ratio_wide_j(benchmark, audio_tensor):
+    """Wide-J spectrogram data: the paper's largest ratios (up to 201x)."""
+    compressed = benchmark(compress_tensor, audio_tensor, RANK, random_state=0)
+    ratio = compressed.compression_ratio(audio_tensor)
+    assert ratio > 10.0  # J=513, R=10 -> tens of x at bench scale
+
+
+def test_compression_ratio_narrow_j(benchmark, stock_tensor):
+    """Narrow-J stock data: the paper's smallest ratios (~8.8x)."""
+    compressed = benchmark(compress_tensor, stock_tensor, RANK, random_state=0)
+    ratio = compressed.compression_ratio(stock_tensor)
+    assert 2.0 < ratio < 50.0
+
+
+def test_wide_j_compresses_better_than_narrow_j(audio_tensor, stock_tensor):
+    """The paper's Section IV-B analysis: ratio grows with J/R."""
+    wide = compress_tensor(audio_tensor, RANK, random_state=0)
+    narrow = compress_tensor(stock_tensor, RANK, random_state=0)
+    assert wide.compression_ratio(audio_tensor) > narrow.compression_ratio(
+        stock_tensor
+    )

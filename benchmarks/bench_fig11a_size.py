@@ -1,0 +1,26 @@
+"""Fig. 11(a) — scalability with tensor size.
+
+DPar2's running time must grow with the smallest slope across a geometric
+size sweep (paper: up to 15.3x faster at the largest grid point).
+"""
+
+import pytest
+
+from repro.data.synthetic import scalability_tensor
+from repro.decomposition import dpar2, parafac2_als
+
+SIZES = [(60, 60, 80), (90, 90, 120), (120, 120, 160)]
+
+
+@pytest.mark.parametrize("shape", SIZES, ids=[f"{i}x{j}x{k}" for i, j, k in SIZES])
+def test_dpar2_size_sweep(benchmark, bench_config, shape):
+    tensor = scalability_tensor(*shape, random_state=0)
+    result = benchmark(dpar2, tensor, bench_config)
+    assert result.n_iterations == bench_config.max_iterations
+
+
+@pytest.mark.parametrize("shape", SIZES, ids=[f"{i}x{j}x{k}" for i, j, k in SIZES])
+def test_parafac2_als_size_sweep(benchmark, bench_config, shape):
+    tensor = scalability_tensor(*shape, random_state=0)
+    result = benchmark(parafac2_als, tensor, bench_config)
+    assert result.n_iterations == bench_config.max_iterations

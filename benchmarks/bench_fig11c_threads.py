@@ -1,0 +1,33 @@
+"""Fig. 11(c) — multi-core behaviour of the compression stage.
+
+On a multi-core machine the per-slice randomized SVDs scale near-linearly
+(paper: 5.5x at 10 threads).  These benchmarks measure the thread sweep;
+on a single-core container they document that the thread pool adds no
+meaningful overhead (the modeled curve lives in
+``repro.experiments.fig11_scalability.run_threads``).
+"""
+
+import pytest
+
+from repro.data.synthetic import irregular_scalability_tensor
+from repro.decomposition.dpar2 import compress_tensor
+
+THREADS = [1, 2, 4]
+
+
+@pytest.fixture(scope="module")
+def skewed_tensor():
+    """Skewed slice heights: the regime Algorithm 4 is designed for."""
+    return irregular_scalability_tensor(400, 60, 40, random_state=0)
+
+
+@pytest.mark.parametrize("n_threads", THREADS)
+def test_compression_thread_sweep(benchmark, skewed_tensor, n_threads):
+    compressed = benchmark(
+        compress_tensor,
+        skewed_tensor,
+        10,
+        n_threads=n_threads,
+        random_state=0,
+    )
+    assert compressed.n_slices == skewed_tensor.n_slices

@@ -1,0 +1,38 @@
+"""Fig. 12 — cost of the feature-correlation discovery pipeline.
+
+The discovery step must be cheap relative to the decomposition: the whole
+point of Section IV-E is that once DPar2 has produced factors, analyses
+are interactive.
+"""
+
+import pytest
+
+from repro.analysis.correlation import model_feature_correlation
+from repro.decomposition.dpar2 import dpar2
+
+
+@pytest.fixture(scope="module")
+def stock_result(stock_tensor):
+    from repro.util.config import DecompositionConfig
+
+    return dpar2(
+        stock_tensor,
+        DecompositionConfig(rank=10, max_iterations=5, tolerance=0.0,
+                            random_state=0),
+    )
+
+
+def test_model_feature_correlation_all_features(benchmark, stock_result):
+    corr = benchmark(
+        model_feature_correlation, stock_result.V, stock_result.H,
+        stock_result.S,
+    )
+    assert corr.shape == (88, 88)
+
+
+def test_model_feature_correlation_selection(benchmark, stock_result):
+    corr = benchmark(
+        model_feature_correlation, stock_result.V, stock_result.H,
+        stock_result.S, list(range(8)),
+    )
+    assert corr.shape == (8, 8)

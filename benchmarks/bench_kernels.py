@@ -1,0 +1,87 @@
+"""Substrate micro-benchmarks: the kernel-level facts the paper builds on.
+
+* randomized SVD is O(I J R) vs full SVD's O(I J min(I, J)) — the gap that
+  makes stage-1 compression cheap (Section II-B);
+* slice-wise MTTKRP avoids materializing Khatri-Rao products — SPARTan's
+  kernel (and the naive cost PARAFAC2-ALS pays);
+* the batched R×R SVDs of DPar2's iteration are trivia next to slice-sized
+  work.
+"""
+
+import numpy as np
+import pytest
+
+from repro.decomposition.cp_als import slice_mttkrp
+from repro.linalg.randomized_svd import randomized_svd
+from repro.linalg.truncated_svd import truncated_svd
+from repro.tensor.dense import DenseTensor
+from repro.tensor.products import khatri_rao
+
+RANK = 10
+
+
+@pytest.fixture(scope="module")
+def tall_matrix():
+    return np.random.default_rng(0).standard_normal((2000, 400))
+
+
+def test_randomized_svd_tall(benchmark, tall_matrix):
+    out = benchmark(randomized_svd, tall_matrix, RANK, random_state=0)
+    assert out.rank == RANK
+
+
+def test_full_svd_tall(benchmark, tall_matrix):
+    out = benchmark(truncated_svd, tall_matrix, RANK)
+    assert out.rank == RANK
+
+
+def test_rsvd_accuracy_near_optimal(tall_matrix):
+    """The speed gap must not be bought with meaningful accuracy loss."""
+    exact = truncated_svd(tall_matrix, RANK)
+    approx = randomized_svd(tall_matrix, RANK, power_iterations=2,
+                            random_state=0)
+    exact_err = np.linalg.norm(tall_matrix - exact.reconstruct())
+    approx_err = np.linalg.norm(tall_matrix - approx.reconstruct())
+    assert approx_err <= 1.02 * exact_err
+
+
+@pytest.fixture(scope="module")
+def mttkrp_inputs():
+    rng = np.random.default_rng(1)
+    R, J, K = 10, 300, 200
+    slices = [rng.standard_normal((R, J)) for _ in range(K)]
+    H = rng.standard_normal((R, R))
+    V = rng.standard_normal((J, R))
+    W = rng.standard_normal((K, R))
+    return slices, H, V, W
+
+
+def test_slice_mttkrp_mode1(benchmark, mttkrp_inputs):
+    slices, H, V, W = mttkrp_inputs
+    out = benchmark(slice_mttkrp, slices, H, V, W, 1)
+    assert out.shape == (10, 10)
+
+
+def test_naive_mttkrp_mode1(benchmark, mttkrp_inputs):
+    """The PARAFAC2-ALS route: unfold Y and materialize the Khatri-Rao."""
+    slices, H, V, W = mttkrp_inputs
+    Y = DenseTensor.from_frontal_slices(slices)
+
+    def naive():
+        return Y.unfold(1) @ khatri_rao(W, V)
+
+    out = benchmark(naive)
+    assert out.shape == (10, 10)
+
+
+def test_batched_small_svd(benchmark):
+    """DPar2's per-sweep cost: K SVDs of R x R matrices, batched."""
+    rng = np.random.default_rng(2)
+    stack = rng.standard_normal((200, RANK, RANK))
+
+    def batched():
+        Z, _, Pt = np.linalg.svd(stack)
+        return Z @ Pt
+
+    out = benchmark(batched)
+    assert out.shape == stack.shape

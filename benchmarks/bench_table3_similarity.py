@@ -1,0 +1,44 @@
+"""Table III — cost of the stock-similarity pipeline (kNN and RWR).
+
+Builds the Eq.-(10) similarity matrix over the temporal factors and ranks
+stocks both ways; both must be interactive-speed post-processing.
+"""
+
+import pytest
+
+from repro.analysis.knn import top_k_neighbors
+from repro.analysis.rwr import rwr_ranking
+from repro.analysis.similarity import similarity_graph, similarity_matrix
+from repro.data.stock import generate_market, standardize_features
+from repro.decomposition.dpar2 import dpar2
+from repro.util.config import DecompositionConfig
+
+
+@pytest.fixture(scope="module")
+def factors():
+    market = generate_market(n_stocks=30, max_days=120, min_days=120,
+                             random_state=0)
+    tensor = standardize_features(market.tensor)
+    result = dpar2(
+        tensor,
+        DecompositionConfig(rank=10, max_iterations=5, tolerance=0.0,
+                            random_state=0),
+    )
+    return [result.U(k) for k in range(result.n_slices)]
+
+
+def test_similarity_matrix(benchmark, factors):
+    sims = benchmark(similarity_matrix, factors, 0.01)
+    assert sims.shape == (30, 30)
+
+
+def test_knn_ranking(benchmark, factors):
+    sims = similarity_matrix(factors, gamma=0.01)
+    out = benchmark(top_k_neighbors, sims, 0, 10)
+    assert len(out) == 10
+
+
+def test_rwr_ranking(benchmark, factors):
+    adjacency = similarity_graph(factors, gamma=0.01)
+    out = benchmark(rwr_ranking, adjacency, 0, 10)
+    assert len(out) == 10

@@ -1,0 +1,48 @@
+"""Audio-spectrogram compression — the FMA/Urban workload of the paper.
+
+Synthesizes a corpus of harmonic clips, converts each to a log-power
+spectrogram with the library's from-scratch STFT, and shows what DPar2's
+two-stage compression does: storage shrinks by roughly J/R while the
+decomposition's fitness stays close to the uncompressed baseline.
+
+Run with:  python examples/audio_compression.py
+"""
+
+from repro import DecompositionConfig, compress_tensor, dpar2, parafac2_als
+from repro.data.audio import generate_audio_tensor, log_power_spectrogram, synthesize_clip
+
+
+def main() -> None:
+    # One clip end to end, to show the preprocessing pipeline.
+    clip = synthesize_clip(duration_samples=16_384, random_state=11)
+    spectrogram = log_power_spectrogram(clip, n_fft=256, hop=128)
+    print(f"one synthesized clip -> spectrogram {spectrogram.shape} "
+          "(frames x frequency bins)")
+
+    # A corpus of clips with different durations: the irregular tensor.
+    tensor = generate_audio_tensor(
+        n_clips=40, min_frames=30, max_frames=90, n_fft=512, random_state=11
+    )
+    print(f"corpus: {tensor}")
+
+    rank = 10
+    compressed = compress_tensor(tensor, rank, random_state=11)
+    print(f"\ntwo-stage compression at rank {rank}:")
+    print(f"  input size        : {tensor.nbytes / 1e6:8.2f} MB")
+    print(f"  preprocessed size : {compressed.nbytes / 1e6:8.2f} MB "
+          f"({compressed.compression_ratio(tensor):.1f}x smaller)")
+    print(f"  compression time  : {compressed.seconds:.3f}s")
+
+    config = DecompositionConfig(rank=rank, max_iterations=20, random_state=11)
+    fast = dpar2(tensor, config, compressed=compressed)
+    exact = parafac2_als(tensor, config)
+    print(f"\nfitness: DPar2 {fast.fitness(tensor):.4f} vs "
+          f"PARAFAC2-ALS {exact.fitness(tensor):.4f}")
+    print(f"total time: DPar2 {fast.total_seconds:.2f}s vs "
+          f"PARAFAC2-ALS {exact.total_seconds:.2f}s")
+    print("\nthe common right factor V spans the corpus's shared spectral "
+          f"templates: V {fast.V.shape} (frequency bins x rank)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Quickstart: decompose an irregular dense tensor with DPar2.
+
+Builds a small irregular tensor with planted PARAFAC2 structure, fits all
+four solvers, and compares running time and fitness — a miniature of the
+paper's Fig. 1.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import DecompositionConfig, dpar2, parafac2_als, rd_als, spartan
+from repro.tensor.random import low_rank_irregular_tensor
+
+
+def main() -> None:
+    # An irregular tensor: 30 slices, 50-250 rows each, 60 shared columns,
+    # exact rank-8 PARAFAC2 structure plus 5% Gaussian noise.
+    rng_seed = 7
+    row_counts = [50 + 7 * (k % 30) for k in range(30)]
+    tensor = low_rank_irregular_tensor(
+        row_counts, n_columns=60, rank=8, noise=0.05, random_state=rng_seed
+    )
+    print(f"input: {tensor}")
+
+    config = DecompositionConfig(rank=8, max_iterations=25, random_state=rng_seed)
+
+    print(f"\n{'method':15s} {'fitness':>8s} {'total_s':>8s} {'iters':>6s}")
+    for solver in (dpar2, rd_als, parafac2_als, spartan):
+        result = solver(tensor, config)
+        print(
+            f"{result.method:15s} {result.fitness(tensor):8.4f} "
+            f"{result.total_seconds:8.3f} {result.n_iterations:6d}"
+        )
+
+    # Inspect the DPar2 model: Uk = Qk H is the temporal factor of slice k.
+    result = dpar2(tensor, config)
+    U0 = result.U(0)
+    print(f"\nDPar2 factors: U(0) {U0.shape}, V {result.V.shape}, "
+          f"S {result.S.shape} (diagonal entries per slice)")
+    print(f"slice 0 reconstruction error: "
+          f"{abs(tensor[0] - result.reconstruct_slice(0)).mean():.4f} (mean abs)")
+    print(f"preprocessed data is {tensor.nbytes / result.preprocessed_bytes:.1f}x "
+          "smaller than the input")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: keeps ``pip install -e .`` working on environments
+without the ``wheel`` package (offline PEP 660 builds need it)."""
+
+from setuptools import setup
+
+setup()

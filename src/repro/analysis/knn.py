@@ -1,0 +1,41 @@
+"""k-nearest-neighbour retrieval over slice similarities (Table III(a))."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def top_k_neighbors(
+    similarities: np.ndarray,
+    query: int,
+    k: int = 10,
+) -> list[tuple[int, float]]:
+    """The ``k`` indices most similar to ``query``, best first.
+
+    Parameters
+    ----------
+    similarities:
+        Square pairwise-similarity matrix (``query`` row is used).
+    query:
+        Index of the target item (excluded from its own neighbours).
+    k:
+        Number of neighbours to return (clipped to the available count).
+
+    Returns
+    -------
+    list of (index, similarity) pairs sorted by descending similarity, ties
+    broken by ascending index for determinism.
+    """
+    S = np.asarray(similarities, dtype=np.float64)
+    if S.ndim != 2 or S.shape[0] != S.shape[1]:
+        raise ValueError(f"similarities must be square, got shape {S.shape}")
+    n = S.shape[0]
+    if not 0 <= query < n:
+        raise IndexError(f"query {query} out of range [0, {n})")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+
+    scores = S[query].copy()
+    candidates = [i for i in range(n) if i != query]
+    candidates.sort(key=lambda i: (-scores[i], i))
+    return [(i, float(scores[i])) for i in candidates[: min(k, len(candidates))]]

@@ -1,0 +1,116 @@
+"""Factor-quality metrics beyond fitness.
+
+Fitness (the paper's headline metric) measures reconstruction, but factor
+*recovery* matters for the discovery use cases: did two runs (or two
+methods, or streaming vs batch) find the same latent structure?  These
+metrics are standard in the tensor literature:
+
+* :func:`congruence` — Tucker's congruence coefficient between factor
+  matrices, maximized over column permutation and sign.
+* :func:`subspace_angle` — largest principal angle between the column
+  spaces of two factors (permutation-free comparison).
+* :func:`factor_match_score` — the product-congruence FMS commonly used to
+  compare CP/PARAFAC2 solutions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_matrix
+
+
+def _normalized_columns(matrix: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=0)
+    safe = np.where(norms > 0, norms, 1.0)
+    return matrix / safe
+
+
+def _greedy_column_assignment(score: np.ndarray) -> list[tuple[int, int]]:
+    """Greedy max-weight matching of columns by |score| (R is small, and
+    greedy is the standard choice for congruence alignment)."""
+    R = score.shape[0]
+    available_rows = set(range(R))
+    available_cols = set(range(R))
+    pairs: list[tuple[int, int]] = []
+    flat_order = np.argsort(np.abs(score), axis=None)[::-1]
+    for flat in flat_order:
+        i, j = divmod(int(flat), R)
+        if i in available_rows and j in available_cols:
+            pairs.append((i, j))
+            available_rows.remove(i)
+            available_cols.remove(j)
+            if not available_rows:
+                break
+    return pairs
+
+
+def congruence(a, b) -> float:
+    """Mean absolute Tucker congruence between matched columns of two factors.
+
+    1.0 means identical factors up to column permutation, sign, and scale;
+    values above ~0.95 are conventionally read as "the same factor".
+    """
+    A = _normalized_columns(check_matrix(a, "a"))
+    B = _normalized_columns(check_matrix(b, "b"))
+    if A.shape != B.shape:
+        raise ValueError(f"factor shapes differ: {A.shape} vs {B.shape}")
+    score = A.T @ B
+    pairs = _greedy_column_assignment(score)
+    return float(np.mean([abs(score[i, j]) for i, j in pairs]))
+
+
+def subspace_angle(a, b) -> float:
+    """Largest principal angle (radians) between two column spaces.
+
+    0 means identical subspaces; π/2 means some direction of one factor is
+    orthogonal to all of the other.  Invariant to any invertible mixing of
+    columns, so it complements :func:`congruence`.
+    """
+    A = check_matrix(a, "a")
+    B = check_matrix(b, "b")
+    if A.shape[0] != B.shape[0]:
+        raise ValueError(
+            f"factors live in different spaces: {A.shape[0]} vs {B.shape[0]} rows"
+        )
+    Qa, _ = np.linalg.qr(A)
+    Qb, _ = np.linalg.qr(B)
+    singular = np.linalg.svd(Qa.T @ Qb, compute_uv=False)
+    cos_smallest = np.clip(singular.min() if singular.size else 1.0, -1.0, 1.0)
+    return float(np.arccos(cos_smallest))
+
+
+def factor_match_score(factors_a, factors_b) -> float:
+    """Factor match score across a tuple of factor matrices.
+
+    For matched column ``r``, the per-mode congruences are multiplied; the
+    FMS is the mean over columns.  Columns are matched greedily on the
+    product congruence.  1.0 = identical decompositions (up to permutation,
+    sign, and scale split across modes).
+    """
+    mats_a = [_normalized_columns(check_matrix(f, "factors_a")) for f in factors_a]
+    mats_b = [_normalized_columns(check_matrix(f, "factors_b")) for f in factors_b]
+    if len(mats_a) != len(mats_b) or not mats_a:
+        raise ValueError("factor tuples must be non-empty and equally long")
+    R = mats_a[0].shape[1]
+    for f in mats_a + mats_b:
+        if f.shape[1] != R:
+            raise ValueError("all factors must share the column count")
+
+    product = np.ones((R, R))
+    for Fa, Fb in zip(mats_a, mats_b):
+        if Fa.shape[0] != Fb.shape[0]:
+            raise ValueError("matched modes must have equal row counts")
+        product *= np.abs(Fa.T @ Fb)
+    pairs = _greedy_column_assignment(product)
+    return float(np.mean([product[i, j] for i, j in pairs]))
+
+
+def parafac2_factor_match(result_a, result_b) -> float:
+    """FMS between two PARAFAC2 results over their shared factors (V, W).
+
+    The per-slice ``Qk`` have a rotational ambiguity, so the comparison uses
+    the common right factor ``V`` and the weight matrix ``S`` (rows of which
+    are ``diag(Sk)``) — the quantities the discovery analyses consume.
+    """
+    return factor_match_score((result_a.V, result_a.S), (result_b.V, result_b.S))

@@ -1,0 +1,45 @@
+"""Slice similarity from temporal factors — Eq. (10) and (11) of the paper.
+
+``sim(si, sj) = exp(−γ ‖U_si − U_sj‖_F²)`` compares the temporal latent
+trajectories of two slices.  The paper restricts comparisons to slices with
+the same time range so the difference is defined; callers pass the ``Uk``
+of such a cohort (e.g. all stocks listed through the query window).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def slice_similarity(U_i: np.ndarray, U_j: np.ndarray, gamma: float = 0.01) -> float:
+    """Gaussian similarity between two temporal factor matrices (Eq. 10)."""
+    A = np.asarray(U_i, dtype=np.float64)
+    B = np.asarray(U_j, dtype=np.float64)
+    if A.shape != B.shape:
+        raise ValueError(
+            f"factor shapes differ: {A.shape} vs {B.shape} "
+            "(similarity is defined only for slices sharing the time range)"
+        )
+    if gamma <= 0:
+        raise ValueError(f"gamma must be positive, got {gamma}")
+    diff = A - B
+    return float(np.exp(-gamma * np.sum(diff * diff)))
+
+
+def similarity_matrix(factors: list[np.ndarray], gamma: float = 0.01) -> np.ndarray:
+    """Pairwise Eq.-(10) similarities for a cohort of equal-shaped ``Uk``."""
+    if not factors:
+        raise ValueError("need at least one factor matrix")
+    n = len(factors)
+    out = np.ones((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            out[i, j] = out[j, i] = slice_similarity(factors[i], factors[j], gamma)
+    return out
+
+
+def similarity_graph(factors: list[np.ndarray], gamma: float = 0.01) -> np.ndarray:
+    """Adjacency matrix of the similarity graph (Eq. 11): zero diagonal."""
+    adjacency = similarity_matrix(factors, gamma)
+    np.fill_diagonal(adjacency, 0.0)
+    return adjacency

@@ -1,0 +1,135 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the bundled synthetic datasets (Table II analogues).
+``decompose``
+    Run a solver on a named dataset and print timing/fitness.
+``experiment``
+    Run one of the paper's table/figure harnesses by id.
+``bench-info``
+    Print the experiment-to-command index from DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.data.registry import DATASETS, load_dataset
+from repro.decomposition.registry import DISPLAY_NAMES, SOLVERS, get_solver
+from repro.util.config import DecompositionConfig
+from repro.util.timing import format_seconds
+
+EXPERIMENT_MODULES = {
+    "fig1": "repro.experiments.fig1_tradeoff",
+    "fig8": "repro.experiments.fig8_slice_lengths",
+    "fig9a": "repro.experiments.fig9_preprocessing",
+    "fig9b": "repro.experiments.fig9_iteration",
+    "fig10": "repro.experiments.fig10_compression",
+    "fig11": "repro.experiments.fig11_scalability",
+    "fig12": "repro.experiments.fig12_correlation",
+    "table2": "repro.experiments.table2_datasets",
+    "table3": "repro.experiments.table3_similar_stocks",
+    "ablations": "repro.experiments.ablations",
+    "all": "repro.experiments.run_all",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DPar2 reproduction: PARAFAC2 decomposition for "
+        "irregular dense tensors",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the bundled synthetic datasets")
+
+    decompose = sub.add_parser(
+        "decompose", help="decompose a named dataset and report fitness/time"
+    )
+    decompose.add_argument("dataset", choices=sorted(DATASETS))
+    decompose.add_argument(
+        "--method", default="dpar2", choices=sorted(SOLVERS),
+        help="solver to run (default: dpar2)",
+    )
+    decompose.add_argument("--rank", type=int, default=10)
+    decompose.add_argument("--max-iterations", type=int, default=32)
+    decompose.add_argument("--threads", type=int, default=1)
+    decompose.add_argument("--seed", type=int, default=0)
+
+    experiment = sub.add_parser(
+        "experiment", help="run one of the paper's table/figure harnesses"
+    )
+    experiment.add_argument("which", choices=sorted(EXPERIMENT_MODULES))
+
+    sub.add_parser(
+        "bench-info", help="show which command regenerates each table/figure"
+    )
+    return parser
+
+
+def cmd_datasets() -> int:
+    header = f"{'name':10s} {'summary':26s} {'paper (maxIk,J,K)':>20s}"
+    print(header)
+    print("-" * len(header))
+    for name, spec in DATASETS.items():
+        paper = "{}x{}x{}".format(*spec.paper_shape)
+        print(f"{name:10s} {spec.summary:26s} {paper:>20s}")
+    return 0
+
+
+def cmd_decompose(args: argparse.Namespace) -> int:
+    tensor = load_dataset(args.dataset, random_state=args.seed)
+    config = DecompositionConfig(
+        rank=args.rank,
+        max_iterations=args.max_iterations,
+        n_threads=args.threads,
+        random_state=args.seed,
+    )
+    solver = get_solver(args.method)
+    print(f"dataset : {args.dataset} -> {tensor}")
+    print(f"solver  : {DISPLAY_NAMES[args.method]} (rank {config.rank})")
+    result = solver(tensor, config)
+    print(f"fitness : {result.fitness(tensor):.4f}")
+    print(f"time    : preprocess {format_seconds(result.preprocess_seconds)}"
+          f" + iterate {format_seconds(result.iterate_seconds)}"
+          f" ({result.n_iterations} sweeps)")
+    ratio = tensor.nbytes / max(result.preprocessed_bytes, 1)
+    print(f"memory  : preprocessed data {ratio:.1f}x smaller than input")
+    return 0
+
+
+def cmd_experiment(which: str) -> int:
+    import importlib
+
+    module = importlib.import_module(EXPERIMENT_MODULES[which])
+    return module.main()
+
+
+def cmd_bench_info() -> int:
+    print("experiment -> regenerate with")
+    print("-" * 52)
+    for exp_id, module in EXPERIMENT_MODULES.items():
+        print(f"{exp_id:8s} python -m {module}")
+    print("\ntiming benches: pytest benchmarks/ --benchmark-only")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return cmd_datasets()
+    if args.command == "decompose":
+        return cmd_decompose(args)
+    if args.command == "experiment":
+        return cmd_experiment(args.which)
+    if args.command == "bench-info":
+        return cmd_bench_info()
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,405 @@
+"""Technical indicators for the stock datasets.
+
+The paper's stock tensors have 88 features per day: 5 basic features (open,
+high, low, close, volume) and 83 technical indicators computed from them
+(Section IV-A).  This module implements the classic indicator families the
+paper names — OBV, ATR, MACD, STOCH (Section IV-E) — plus the standard kit
+(SMA/EMA/WMA, RSI, Bollinger, ROC, CCI, Williams %R, momentum, TRIX, …),
+parameterized over window lengths to yield exactly 83 derived series.
+
+All functions take 1-D numpy arrays of equal length and return an array of
+the same length; leading positions with insufficient history are filled by
+propagating the first defined value backwards (so downstream tensors stay
+dense, as the paper's datasets are).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_series(values, name: str) -> np.ndarray:
+    array = np.asarray(values, dtype=np.float64).ravel()
+    if array.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} contains NaN or Inf")
+    return array
+
+
+def _check_window(window: int, length: int) -> int:
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    return min(int(window), length)
+
+
+def _backfill(values: np.ndarray, first_valid: int) -> np.ndarray:
+    """Fill positions before ``first_valid`` with the first defined value."""
+    if first_valid > 0:
+        values = values.copy()
+        values[:first_valid] = values[first_valid]
+    return values
+
+
+# --------------------------------------------------------------------- #
+# moving averages
+# --------------------------------------------------------------------- #
+
+def sma(values, window: int) -> np.ndarray:
+    """Simple moving average over ``window`` periods."""
+    x = _as_series(values, "values")
+    w = _check_window(window, x.size)
+    csum = np.concatenate([[0.0], np.cumsum(x)])
+    out = np.empty_like(x)
+    out[w - 1:] = (csum[w:] - csum[:-w]) / w
+    # Warm-up: expanding mean over the available prefix.
+    for i in range(w - 1):
+        out[i] = csum[i + 1] / (i + 1)
+    return out
+
+
+def ema(values, window: int) -> np.ndarray:
+    """Exponential moving average with smoothing ``2/(window+1)``."""
+    x = _as_series(values, "values")
+    w = _check_window(window, x.size)
+    alpha = 2.0 / (w + 1.0)
+    out = np.empty_like(x)
+    out[0] = x[0]
+    for i in range(1, x.size):
+        out[i] = alpha * x[i] + (1.0 - alpha) * out[i - 1]
+    return out
+
+
+def wma(values, window: int) -> np.ndarray:
+    """Linearly weighted moving average (recent periods weigh more)."""
+    x = _as_series(values, "values")
+    w = _check_window(window, x.size)
+    weights = np.arange(1, w + 1, dtype=np.float64)
+    weights /= weights.sum()
+    full = np.convolve(x, weights[::-1], mode="valid")
+    out = np.empty_like(x)
+    out[w - 1:] = full
+    for i in range(w - 1):
+        prefix_w = np.arange(1, i + 2, dtype=np.float64)
+        out[i] = float(x[: i + 1] @ prefix_w) / prefix_w.sum()
+    return out
+
+
+# --------------------------------------------------------------------- #
+# the four indicators the paper analyzes in Fig. 12
+# --------------------------------------------------------------------- #
+
+def obv(close, volume) -> np.ndarray:
+    """On-Balance Volume: cumulative volume signed by the close-to-close move."""
+    c = _as_series(close, "close")
+    v = _as_series(volume, "volume")
+    if c.size != v.size:
+        raise ValueError(f"close and volume lengths differ: {c.size} vs {v.size}")
+    direction = np.zeros_like(c)
+    direction[1:] = np.sign(np.diff(c))
+    return np.cumsum(direction * v)
+
+
+def true_range(high, low, close) -> np.ndarray:
+    """True range: max of (H−L, |H−prevC|, |L−prevC|)."""
+    h = _as_series(high, "high")
+    l = _as_series(low, "low")
+    c = _as_series(close, "close")
+    if not (h.size == l.size == c.size):
+        raise ValueError("high, low, close must have equal lengths")
+    prev_close = np.concatenate([[c[0]], c[:-1]])
+    return np.maximum.reduce(
+        [h - l, np.abs(h - prev_close), np.abs(l - prev_close)]
+    )
+
+
+def atr(high, low, close, window: int = 14) -> np.ndarray:
+    """Average True Range (Wilder): EMA-smoothed true range — a volatility gauge."""
+    tr = true_range(high, low, close)
+    w = _check_window(window, tr.size)
+    out = np.empty_like(tr)
+    out[0] = tr[0]
+    alpha = 1.0 / w  # Wilder smoothing
+    for i in range(1, tr.size):
+        out[i] = alpha * tr[i] + (1.0 - alpha) * out[i - 1]
+    return out
+
+
+def macd(close, fast: int = 12, slow: int = 26) -> np.ndarray:
+    """MACD line (Appel): fast EMA minus slow EMA of the close — a trend gauge."""
+    if fast >= slow:
+        raise ValueError(f"fast window ({fast}) must be below slow ({slow})")
+    c = _as_series(close, "close")
+    return ema(c, fast) - ema(c, slow)
+
+
+def macd_signal(close, fast: int = 12, slow: int = 26, signal: int = 9) -> np.ndarray:
+    """Signal line: EMA of the MACD line."""
+    return ema(macd(close, fast, slow), signal)
+
+
+def stochastic_oscillator(high, low, close, window: int = 14) -> np.ndarray:
+    """Stochastic %K (Lane): close position within the recent high-low range.
+
+    Momentum gauge in [0, 100]; flat windows (high == low) map to 50.
+    """
+    h = _as_series(high, "high")
+    l = _as_series(low, "low")
+    c = _as_series(close, "close")
+    w = _check_window(window, c.size)
+    out = np.empty_like(c)
+    for i in range(c.size):
+        lo = max(0, i - w + 1)
+        window_high = h[lo : i + 1].max()
+        window_low = l[lo : i + 1].min()
+        span = window_high - window_low
+        out[i] = 50.0 if span == 0 else 100.0 * (c[i] - window_low) / span
+    return out
+
+
+# --------------------------------------------------------------------- #
+# the broader standard kit
+# --------------------------------------------------------------------- #
+
+def rsi(close, window: int = 14) -> np.ndarray:
+    """Relative Strength Index in [0, 100] with Wilder smoothing."""
+    c = _as_series(close, "close")
+    w = _check_window(window, c.size)
+    delta = np.diff(c, prepend=c[0])
+    gains = np.clip(delta, 0.0, None)
+    losses = np.clip(-delta, 0.0, None)
+    avg_gain = np.empty_like(c)
+    avg_loss = np.empty_like(c)
+    avg_gain[0] = gains[0]
+    avg_loss[0] = losses[0]
+    alpha = 1.0 / w
+    for i in range(1, c.size):
+        avg_gain[i] = alpha * gains[i] + (1 - alpha) * avg_gain[i - 1]
+        avg_loss[i] = alpha * losses[i] + (1 - alpha) * avg_loss[i - 1]
+    denom = avg_gain + avg_loss
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = np.where(denom > 0, 100.0 * avg_gain / np.where(denom > 0, denom, 1.0), 50.0)
+    return out
+
+
+def momentum(close, window: int = 10) -> np.ndarray:
+    """Price change over ``window`` periods."""
+    c = _as_series(close, "close")
+    w = _check_window(window, c.size)
+    out = np.empty_like(c)
+    out[w:] = c[w:] - c[:-w]
+    out[:w] = c[:w] - c[0]
+    return out
+
+
+def rate_of_change(close, window: int = 10) -> np.ndarray:
+    """Percentage price change over ``window`` periods."""
+    c = _as_series(close, "close")
+    w = _check_window(window, c.size)
+    out = np.empty_like(c)
+    base = np.where(c[:-w] != 0, c[:-w], 1.0)
+    out[w:] = 100.0 * (c[w:] - c[:-w]) / base
+    out[:w] = 0.0
+    return out
+
+
+def bollinger_bands(close, window: int = 20, n_std: float = 2.0):
+    """Bollinger (middle, upper, lower) bands: SMA ± n_std rolling stdevs."""
+    c = _as_series(close, "close")
+    w = _check_window(window, c.size)
+    middle = sma(c, w)
+    std = rolling_std(c, w)
+    return middle, middle + n_std * std, middle - n_std * std
+
+
+def rolling_std(values, window: int) -> np.ndarray:
+    """Rolling population standard deviation with expanding warm-up."""
+    x = _as_series(values, "values")
+    w = _check_window(window, x.size)
+    csum = np.concatenate([[0.0], np.cumsum(x)])
+    csum_sq = np.concatenate([[0.0], np.cumsum(x * x)])
+    out = np.empty_like(x)
+    for i in range(x.size):
+        lo = max(0, i - w + 1)
+        n = i - lo + 1
+        mean = (csum[i + 1] - csum[lo]) / n
+        mean_sq = (csum_sq[i + 1] - csum_sq[lo]) / n
+        out[i] = np.sqrt(max(mean_sq - mean * mean, 0.0))
+    return out
+
+
+def cci(high, low, close, window: int = 20) -> np.ndarray:
+    """Commodity Channel Index: typical-price deviation / mean abs deviation."""
+    h = _as_series(high, "high")
+    l = _as_series(low, "low")
+    c = _as_series(close, "close")
+    w = _check_window(window, c.size)
+    typical = (h + l + c) / 3.0
+    out = np.empty_like(c)
+    for i in range(c.size):
+        lo = max(0, i - w + 1)
+        segment = typical[lo : i + 1]
+        mean = segment.mean()
+        mad = np.abs(segment - mean).mean()
+        out[i] = 0.0 if mad == 0 else (typical[i] - mean) / (0.015 * mad)
+    return out
+
+
+def williams_r(high, low, close, window: int = 14) -> np.ndarray:
+    """Williams %R in [−100, 0]: inverse of the stochastic oscillator."""
+    return stochastic_oscillator(high, low, close, window) - 100.0
+
+
+def trix(close, window: int = 15) -> np.ndarray:
+    """TRIX: 1-period percent ROC of a triple-smoothed EMA."""
+    c = _as_series(close, "close")
+    triple = ema(ema(ema(c, window), window), window)
+    out = np.zeros_like(c)
+    base = np.where(triple[:-1] != 0, triple[:-1], 1.0)
+    out[1:] = 100.0 * (triple[1:] - triple[:-1]) / base
+    return out
+
+
+def mfi(high, low, close, volume, window: int = 14) -> np.ndarray:
+    """Money Flow Index: volume-weighted RSI of the typical price."""
+    h = _as_series(high, "high")
+    l = _as_series(low, "low")
+    c = _as_series(close, "close")
+    v = _as_series(volume, "volume")
+    w = _check_window(window, c.size)
+    typical = (h + l + c) / 3.0
+    flow = typical * v
+    direction = np.zeros_like(c)
+    direction[1:] = np.sign(np.diff(typical))
+    pos = np.where(direction > 0, flow, 0.0)
+    neg = np.where(direction < 0, flow, 0.0)
+    out = np.empty_like(c)
+    for i in range(c.size):
+        lo = max(0, i - w + 1)
+        p = pos[lo : i + 1].sum()
+        n = neg[lo : i + 1].sum()
+        out[i] = 50.0 if p + n == 0 else 100.0 * p / (p + n)
+    return out
+
+
+def price_volume_trend(close, volume) -> np.ndarray:
+    """PVT: cumulative volume scaled by fractional price change."""
+    c = _as_series(close, "close")
+    v = _as_series(volume, "volume")
+    change = np.zeros_like(c)
+    base = np.where(c[:-1] != 0, c[:-1], 1.0)
+    change[1:] = (c[1:] - c[:-1]) / base
+    return np.cumsum(change * v)
+
+
+# --------------------------------------------------------------------- #
+# the 83-indicator feature block
+# --------------------------------------------------------------------- #
+
+#: Window grids chosen so the derived feature count is exactly 83, matching
+#: the paper's "5 basic features and 83 technical indicators".
+_SMA_WINDOWS = (5, 10, 20, 30, 60, 90, 120)
+_EMA_WINDOWS = (5, 10, 20, 30, 60, 90, 120)
+_WMA_WINDOWS = (5, 10, 20, 30, 60, 90, 120)
+_RSI_WINDOWS = (7, 14, 21, 28)
+_ATR_WINDOWS = (7, 14, 21, 28)
+_STOCH_WINDOWS = (7, 14, 21, 28)
+_MOMENTUM_WINDOWS = (5, 10, 20, 30, 60)
+_ROC_WINDOWS = (5, 10, 20, 30, 60)
+_CCI_WINDOWS = (10, 20, 30, 40)
+_WILLIAMS_WINDOWS = (7, 14, 21, 28)
+_TRIX_WINDOWS = (9, 15, 21)
+_MFI_WINDOWS = (7, 14, 21, 28)
+_BOLLINGER_WINDOWS = (10, 20, 30, 40)
+_STD_WINDOWS = (10, 20, 30, 40)
+_MACD_PARAMS = ((12, 26), (5, 35), (8, 17))
+_MACD_SIGNAL_PARAMS = ((12, 26, 9), (5, 35, 5), (8, 17, 9))
+_VOLUME_SMA_WINDOWS = (5, 10, 20, 60)
+
+
+def indicator_names() -> list[str]:
+    """The 83 derived feature names, in column order."""
+    names: list[str] = []
+    names += [f"sma_{w}" for w in _SMA_WINDOWS]
+    names += [f"ema_{w}" for w in _EMA_WINDOWS]
+    names += [f"wma_{w}" for w in _WMA_WINDOWS]
+    names += [f"rsi_{w}" for w in _RSI_WINDOWS]
+    names += [f"atr_{w}" for w in _ATR_WINDOWS]
+    names += [f"stoch_{w}" for w in _STOCH_WINDOWS]
+    names += [f"momentum_{w}" for w in _MOMENTUM_WINDOWS]
+    names += [f"roc_{w}" for w in _ROC_WINDOWS]
+    names += [f"cci_{w}" for w in _CCI_WINDOWS]
+    names += [f"williams_r_{w}" for w in _WILLIAMS_WINDOWS]
+    names += [f"trix_{w}" for w in _TRIX_WINDOWS]
+    names += [f"mfi_{w}" for w in _MFI_WINDOWS]
+    for w in _BOLLINGER_WINDOWS:
+        names += [f"boll_upper_{w}", f"boll_lower_{w}"]
+    names += [f"std_{w}" for w in _STD_WINDOWS]
+    names += [f"macd_{f}_{s}" for f, s in _MACD_PARAMS]
+    names += [f"macd_signal_{f}_{s}_{g}" for f, s, g in _MACD_SIGNAL_PARAMS]
+    names += [f"volume_sma_{w}" for w in _VOLUME_SMA_WINDOWS]
+    names += ["obv", "pvt", "true_range"]
+    return names
+
+
+#: Names of the 5 basic features that precede the indicators.
+BASIC_FEATURE_NAMES = ["open", "high", "low", "close", "volume"]
+
+
+def compute_indicator_matrix(ohlcv: np.ndarray) -> np.ndarray:
+    """All 83 indicators for one stock.
+
+    Parameters
+    ----------
+    ohlcv:
+        ``(T, 5)`` array with columns open, high, low, close, volume.
+
+    Returns
+    -------
+    ``(T, 83)`` array, columns ordered as :func:`indicator_names`.
+    """
+    data = np.asarray(ohlcv, dtype=np.float64)
+    if data.ndim != 2 or data.shape[1] != 5:
+        raise ValueError(f"ohlcv must be (T, 5), got {data.shape}")
+    o, h, l, c, v = (data[:, i] for i in range(5))
+
+    columns: list[np.ndarray] = []
+    columns += [sma(c, w) for w in _SMA_WINDOWS]
+    columns += [ema(c, w) for w in _EMA_WINDOWS]
+    columns += [wma(c, w) for w in _WMA_WINDOWS]
+    columns += [rsi(c, w) for w in _RSI_WINDOWS]
+    columns += [atr(h, l, c, w) for w in _ATR_WINDOWS]
+    columns += [stochastic_oscillator(h, l, c, w) for w in _STOCH_WINDOWS]
+    columns += [momentum(c, w) for w in _MOMENTUM_WINDOWS]
+    columns += [rate_of_change(c, w) for w in _ROC_WINDOWS]
+    columns += [cci(h, l, c, w) for w in _CCI_WINDOWS]
+    columns += [williams_r(h, l, c, w) for w in _WILLIAMS_WINDOWS]
+    columns += [trix(c, w) for w in _TRIX_WINDOWS]
+    columns += [mfi(h, l, c, v, w) for w in _MFI_WINDOWS]
+    for w in _BOLLINGER_WINDOWS:
+        _, upper, lower = bollinger_bands(c, w)
+        columns += [upper, lower]
+    columns += [rolling_std(c, w) for w in _STD_WINDOWS]
+    columns += [macd(c, f, s) for f, s in _MACD_PARAMS]
+    columns += [macd_signal(c, f, s, g) for f, s, g in _MACD_SIGNAL_PARAMS]
+    columns += [sma(v, w) for w in _VOLUME_SMA_WINDOWS]
+    columns += [obv(c, v), price_volume_trend(c, v), true_range(h, l, c)]
+
+    matrix = np.column_stack(columns)
+    expected = len(indicator_names())
+    if matrix.shape[1] != expected:
+        raise AssertionError(
+            f"indicator count drifted: built {matrix.shape[1]}, expected {expected}"
+        )
+    return matrix
+
+
+def compute_feature_matrix(ohlcv: np.ndarray) -> np.ndarray:
+    """The full 88-feature stock matrix: 5 basic columns + 83 indicators."""
+    data = np.asarray(ohlcv, dtype=np.float64)
+    return np.column_stack([data, compute_indicator_matrix(data)])
+
+
+def feature_names() -> list[str]:
+    """All 88 feature names (basic + indicators), in column order."""
+    return BASIC_FEATURE_NAMES + indicator_names()

@@ -1,0 +1,119 @@
+"""Loading and saving irregular tensors.
+
+Real deployments feed PARAFAC2 from files.  Two formats are supported:
+
+* a single ``.npz`` archive (compact, lossless, the library's native form);
+* a directory of per-slice CSV files (interoperable: one file per stock /
+  song / video, rows = time, columns = features), with an optional header.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.tensor.irregular import IrregularTensor
+
+_FORMAT_VERSION = 1
+
+
+def save_tensor_npz(path, tensor: IrregularTensor) -> None:
+    """Write an irregular tensor as one compressed ``.npz`` archive."""
+    arrays = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "kind": np.array("irregular_tensor"),
+        "n_slices": np.array(tensor.n_slices),
+    }
+    for k, Xk in enumerate(tensor):
+        arrays[f"slice_{k}"] = Xk
+    np.savez_compressed(path, **arrays)
+
+
+def load_tensor_npz(path) -> IrregularTensor:
+    """Read an archive written by :func:`save_tensor_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        if "kind" not in data or str(data["kind"]) != "irregular_tensor":
+            raise ValueError(f"{path} is not an irregular-tensor archive")
+        n_slices = int(data["n_slices"])
+        return IrregularTensor([data[f"slice_{k}"] for k in range(n_slices)])
+
+
+def save_tensor_csv_dir(
+    directory,
+    tensor: IrregularTensor,
+    *,
+    names=None,
+    header=None,
+    fmt: str = "%.10g",
+) -> list[str]:
+    """Write each slice as ``<directory>/<name>.csv``.
+
+    Parameters
+    ----------
+    directory:
+        Created if absent.
+    names:
+        Per-slice file stems (default ``slice_0000`` …); must be unique.
+    header:
+        Optional list of column names written as the first line.
+    fmt:
+        numpy ``savetxt`` float format.
+
+    Returns
+    -------
+    The list of file paths written, in slice order.
+    """
+    if names is None:
+        names = [f"slice_{k:04d}" for k in range(tensor.n_slices)]
+    names = [str(n) for n in names]
+    if len(names) != tensor.n_slices:
+        raise ValueError(
+            f"{len(names)} names for {tensor.n_slices} slices"
+        )
+    if len(set(names)) != len(names):
+        raise ValueError("slice names must be unique")
+    if header is not None and len(header) != tensor.n_columns:
+        raise ValueError(
+            f"header has {len(header)} entries for {tensor.n_columns} columns"
+        )
+    os.makedirs(directory, exist_ok=True)
+    header_line = ",".join(header) if header is not None else ""
+    paths = []
+    for name, Xk in zip(names, tensor):
+        path = os.path.join(directory, f"{name}.csv")
+        np.savetxt(
+            path, Xk, delimiter=",", fmt=fmt,
+            header=header_line, comments="",
+        )
+        paths.append(path)
+    return paths
+
+
+def load_tensor_csv_dir(directory, *, has_header: bool = False) -> tuple[IrregularTensor, list[str]]:
+    """Read every ``*.csv`` in a directory as one slice each.
+
+    Files are taken in sorted-name order so the slice order is stable.
+
+    Returns
+    -------
+    (tensor, names):
+        The tensor and the file stems, aligned by position.
+    """
+    if not os.path.isdir(directory):
+        raise FileNotFoundError(f"{directory} is not a directory")
+    files = sorted(
+        f for f in os.listdir(directory) if f.lower().endswith(".csv")
+    )
+    if not files:
+        raise ValueError(f"no .csv files found in {directory}")
+    slices = []
+    names = []
+    for filename in files:
+        path = os.path.join(directory, filename)
+        data = np.loadtxt(
+            path, delimiter=",", skiprows=1 if has_header else 0, ndmin=2
+        )
+        slices.append(data)
+        names.append(os.path.splitext(filename)[0])
+    return IrregularTensor(slices), names

@@ -1,0 +1,110 @@
+"""Dataset registry — Table II in code.
+
+Each of the paper's eight datasets is represented by a synthetic generator
+with the same *kind* of structure (see the module docstrings in
+:mod:`repro.data`) at laptop scale.  ``paper_shape`` records the original
+(max Ik, J, K) from Table II so reports can show both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.data.audio import generate_audio_tensor
+from repro.data.stock import generate_market, standardize_features
+from repro.data.traffic import generate_traffic_tensor
+from repro.data.video import generate_video_tensor
+from repro.tensor.irregular import IrregularTensor
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named dataset: its generator and its Table II provenance."""
+
+    name: str
+    summary: str
+    paper_shape: tuple[int, int, int]  # (max Ik, J, K) from Table II
+    build: Callable[[object], IrregularTensor]
+
+
+def _fma(random_state) -> IrregularTensor:
+    return generate_audio_tensor(
+        n_clips=80, min_frames=40, max_frames=100, n_fft=1024,
+        random_state=random_state,
+    )
+
+
+def _urban(random_state) -> IrregularTensor:
+    return generate_audio_tensor(
+        n_clips=90, min_frames=15, max_frames=50, n_fft=1024,
+        random_state=random_state,
+    )
+
+
+def _us_stock(random_state) -> IrregularTensor:
+    market = generate_market(
+        n_stocks=60, max_days=400, min_days=120,
+        volume_coupled=True, random_state=random_state,
+    )
+    return standardize_features(market.tensor)
+
+
+def _kr_stock(random_state) -> IrregularTensor:
+    market = generate_market(
+        n_stocks=50, max_days=320, min_days=100,
+        volume_coupled=False, random_state=random_state,
+    )
+    return standardize_features(market.tensor)
+
+
+def _activity(random_state) -> IrregularTensor:
+    return generate_video_tensor(
+        n_videos=40, n_features=64, min_frames=30, max_frames=110,
+        random_state=random_state,
+    )
+
+
+def _action(random_state) -> IrregularTensor:
+    return generate_video_tensor(
+        n_videos=50, n_features=64, min_frames=40, max_frames=150,
+        random_state=random_state,
+    )
+
+
+def _traffic(random_state) -> IrregularTensor:
+    return generate_traffic_tensor(
+        n_stations=100, n_timestamps=48, n_days=40, random_state=random_state
+    )
+
+
+def _pems_sf(random_state) -> IrregularTensor:
+    return generate_traffic_tensor(
+        n_stations=96, n_timestamps=72, n_days=40, random_state=random_state
+    )
+
+
+#: Name → spec, in Table II's row order.
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec("fma", "music spectrograms", (704, 2049, 7997), _fma),
+        DatasetSpec("urban", "urban sound spectrograms", (174, 2049, 8455), _urban),
+        DatasetSpec("us_stock", "US stock features", (7883, 88, 4742), _us_stock),
+        DatasetSpec("kr_stock", "Korea stock features", (5270, 88, 3664), _kr_stock),
+        DatasetSpec("activity", "video activity features", (553, 570, 320), _activity),
+        DatasetSpec("action", "video action features", (936, 570, 567), _action),
+        DatasetSpec("traffic", "traffic volume", (2033, 96, 1084), _traffic),
+        DatasetSpec("pems_sf", "freeway occupancy", (963, 144, 440), _pems_sf),
+    )
+}
+
+
+def load_dataset(name: str, random_state=None) -> IrregularTensor:
+    """Generate the named dataset (see :data:`DATASETS` for choices)."""
+    key = name.lower().replace("-", "_")
+    if key not in DATASETS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(sorted(DATASETS))}"
+        )
+    return DATASETS[key].build(random_state)

@@ -1,0 +1,95 @@
+"""Synthetic workloads for the scalability studies (Fig. 11).
+
+The paper generates regular ``I×J×K`` tensors with Tensor Toolbox's
+``tenrand`` and treats them as irregular tensors with equal slice heights
+(Section IV-A, "Synthetic Data"); :func:`scalability_tensor` reproduces
+that, and :func:`paper_size_grid` enumerates the five sizes of Fig. 11(a)
+with an optional uniform scale-down factor so the sweep fits a laptop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.irregular import IrregularTensor
+from repro.tensor.random import random_irregular_tensor
+from repro.util.rng import as_generator
+from repro.util.validation import check_positive_int
+
+#: The five I×J×K grids of Fig. 11(a), in the paper's order.
+PAPER_SIZE_GRID = (
+    (1000, 1000, 1000),
+    (1000, 1000, 2000),
+    (2000, 1000, 2000),
+    (2000, 2000, 2000),
+    (2000, 2000, 4000),
+)
+
+#: Shape used for the rank sweep (Fig. 11(b)) and thread sweep (Fig. 11(c)).
+PAPER_RANK_SWEEP_SHAPE = (2000, 2000, 4000)
+
+
+def scalability_tensor(
+    n_rows: int,
+    n_columns: int,
+    n_slices: int,
+    random_state=None,
+) -> IrregularTensor:
+    """``tenrand(I, J, K)`` split into K equal-height frontal slices."""
+    check_positive_int(n_rows, "n_rows")
+    check_positive_int(n_columns, "n_columns")
+    check_positive_int(n_slices, "n_slices")
+    return random_irregular_tensor(
+        [n_rows] * n_slices, n_columns, random_state=random_state
+    )
+
+
+def paper_size_grid(scale: float = 1.0) -> list[tuple[int, int, int]]:
+    """The Fig. 11(a) size grid, uniformly scaled by ``scale`` per dimension.
+
+    ``scale=1.0`` reproduces the paper's sizes (up to 1.6e10 entries —
+    needs the paper's 512 GB machine); the harness defaults to a smaller
+    scale with the same 16× spread between the first and last grid point.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    grid = []
+    for I, J, K in PAPER_SIZE_GRID:
+        grid.append(
+            (
+                max(1, int(round(I * scale))),
+                max(1, int(round(J * scale))),
+                max(1, int(round(K * scale))),
+            )
+        )
+    return grid
+
+
+def irregular_scalability_tensor(
+    max_rows: int,
+    n_columns: int,
+    n_slices: int,
+    *,
+    min_rows: int | None = None,
+    random_state=None,
+) -> IrregularTensor:
+    """Uniform-random tensor with *skewed* slice heights.
+
+    Used by the partitioning ablation: Algorithm 4 only matters when the
+    ``Ik`` are unequal, so this draws them log-uniformly between
+    ``min_rows`` (default ``max_rows // 20``) and ``max_rows``.
+    """
+    check_positive_int(max_rows, "max_rows")
+    check_positive_int(n_columns, "n_columns")
+    check_positive_int(n_slices, "n_slices")
+    if min_rows is None:
+        min_rows = max(1, max_rows // 20)
+    if min_rows < 1 or min_rows > max_rows:
+        raise ValueError(
+            f"need 1 <= min_rows <= max_rows, got {min_rows}, {max_rows}"
+        )
+    rng = as_generator(random_state)
+    log_lo, log_hi = np.log(min_rows), np.log(max_rows)
+    rows = np.exp(rng.uniform(log_lo, log_hi, size=n_slices)).astype(int)
+    rows = np.clip(rows, min_rows, max_rows)
+    return random_irregular_tensor(rows, n_columns, random_state=rng)

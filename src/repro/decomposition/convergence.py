@@ -1,0 +1,53 @@
+"""Convergence monitoring for ALS iterations.
+
+Every solver stops "when the maximum iteration is reached, or the error
+ceases to decrease" (Algorithm 2/3, line 17/23).  The *criterion* differs by
+method — plain ALS and RD-ALS track the true reconstruction error, DPar2
+tracks its compressed surrogate — but the stopping logic is shared: stop
+when the relative change of the criterion between consecutive sweeps drops
+below ``tolerance``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class ConvergenceMonitor:
+    """Tracks a scalar criterion across sweeps and decides when to stop."""
+
+    def __init__(self, tolerance: float) -> None:
+        if tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+        self.tolerance = tolerance
+        self.values: list[float] = []
+
+    def update(self, value: float) -> bool:
+        """Record this sweep's criterion; return True when converged.
+
+        Convergence means the per-sweep change ``|prev − cur|`` fell below
+        ``tolerance`` times the *initial* criterion value.  Normalizing by
+        the first sweep (rather than the previous one) makes the test
+        well-behaved when the error decays geometrically toward zero on
+        clean data — the relative-to-previous change then never shrinks even
+        though the error has long stopped mattering.  NaN criteria raise
+        immediately — silent divergence is a bug, not a stopping condition.
+        """
+        if math.isnan(value):
+            raise FloatingPointError("convergence criterion became NaN")
+        self.values.append(float(value))
+        if len(self.values) < 2:
+            return False
+        prev, cur = self.values[-2], self.values[-1]
+        scale = max(abs(self.values[0]), 1e-300)
+        return abs(prev - cur) / scale < self.tolerance
+
+    @property
+    def last(self) -> float:
+        if not self.values:
+            raise RuntimeError("no criterion recorded yet")
+        return self.values[-1]
+
+    @property
+    def n_updates(self) -> int:
+        return len(self.values)

@@ -1,0 +1,383 @@
+"""DPar2 — the paper's contribution (Algorithm 3).
+
+Pipeline:
+
+1. **Two-stage compression** (Section III-B, :func:`compress_tensor`):
+   randomized SVD of every slice ``Xk ≈ Ak Bk Ckᵀ`` (stage 1, parallelized
+   with Algorithm 4's greedy partitioning), then randomized SVD of the
+   ``J×KR`` concatenation ``M = ∥k (Ck Bk) ≈ D E Fᵀ`` (stage 2).  After
+   this, iterations never touch ``Xk`` again: ``Xk ≈ Ak F(k) E Dᵀ``.
+
+2. **Compressed ALS iterations** (Sections III-C–III-E): per slice, an
+   ``R×R`` SVD of ``F(k) E Dᵀ V Sk Hᵀ = Zk Σk Pkᵀ`` gives the implicit
+   ``Qk = Ak Zk Pkᵀ``; with ``Tk := Pk Zkᵀ F(k)`` the Lemma 1–3 kernels
+   produce the three MTTKRPs in ``O(J R² + K R³)`` per sweep.
+
+3. **Compressed convergence criterion** (Section III-E): the variation of
+   ``Σk ‖Tk E Dᵀ − H Sk Vᵀ‖²``, evaluated by the Gram trick in
+   ``O(J R² + K R³)`` — this equals ``Σk ‖Ak F(k) E Dᵀ − X̂k‖²`` exactly
+   because ``D``, ``Zk``, ``Pk`` are orthonormal.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.decomposition.convergence import ConvergenceMonitor
+from repro.decomposition.cp_als import normalize_columns
+from repro.decomposition.initialization import initialize_factors
+from repro.decomposition.result import IterationRecord, Parafac2Result
+from repro.linalg.pinv import solve_gram
+from repro.linalg.randomized_svd import randomized_svd
+from repro.parallel.executor import map_partitioned, parallel_map
+from repro.tensor.irregular import IrregularTensor
+from repro.tensor.products import hadamard
+from repro.util.config import DecompositionConfig
+from repro.util.rng import as_generator, spawn_generators
+
+
+@dataclass
+class CompressedTensor:
+    """The preprocessed form ``{Ak}, D, E, {F(k)}`` of an irregular tensor.
+
+    ``Xk ≈ Ak F(k) E Dᵀ`` where ``Ak`` (``Ik×R``) keeps the per-slice left
+    subspace, ``D`` (``J×R``) the shared right subspace, ``E`` (length-``R``)
+    the stage-2 singular values, and ``F_blocks[k]`` (``R×R``) the ``k``-th
+    vertical block of ``F``.
+    """
+
+    A: list[np.ndarray]
+    D: np.ndarray
+    E: np.ndarray
+    F_blocks: np.ndarray  # shape (K, R, R)
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        R = self.D.shape[1]
+        if self.E.shape != (R,):
+            raise ValueError(f"E must have shape ({R},), got {self.E.shape}")
+        if self.F_blocks.shape != (len(self.A), R, R):
+            raise ValueError(
+                f"F_blocks must be (K, {R}, {R}), got {self.F_blocks.shape}"
+            )
+        for k, Ak in enumerate(self.A):
+            if Ak.shape[1] != R:
+                raise ValueError(f"A[{k}] must have {R} columns, got {Ak.shape}")
+
+    @property
+    def rank(self) -> int:
+        return self.D.shape[1]
+
+    @property
+    def n_slices(self) -> int:
+        return len(self.A)
+
+    @property
+    def n_columns(self) -> int:
+        return self.D.shape[0]
+
+    @property
+    def row_counts(self) -> list[int]:
+        return [Ak.shape[0] for Ak in self.A]
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the preprocessed data — what Fig. 10 reports."""
+        return (
+            sum(Ak.nbytes for Ak in self.A)
+            + self.D.nbytes
+            + self.E.nbytes
+            + self.F_blocks.nbytes
+        )
+
+    def reconstruct_slice(self, k: int) -> np.ndarray:
+        """Materialize ``X̃k = Ak F(k) E Dᵀ`` (testing/diagnostics only)."""
+        return self.A[k] @ (self.F_blocks[k] * self.E) @ self.D.T
+
+    def compression_ratio(self, tensor: IrregularTensor) -> float:
+        """Input bytes divided by preprocessed bytes (Fig. 10's ratio)."""
+        return tensor.nbytes / self.nbytes
+
+
+def compress_tensor(
+    tensor: IrregularTensor,
+    rank: int,
+    *,
+    oversampling: int = 5,
+    power_iterations: int = 1,
+    n_threads: int = 1,
+    random_state=None,
+    use_greedy_partition: bool = True,
+) -> CompressedTensor:
+    """Two-stage randomized-SVD compression (Algorithm 3, lines 2–6).
+
+    Stage 1 runs one randomized SVD per slice, distributed over threads by
+    Algorithm 4's greedy number partitioning keyed on row counts (set
+    ``use_greedy_partition=False`` for the naive allocation, used by the
+    partitioning ablation).  Stage 2 compresses the ``J×KR`` concatenation
+    of the ``Ck Bk`` products.
+    """
+    if not isinstance(tensor, IrregularTensor):
+        tensor = IrregularTensor(tensor)
+    R = min(rank, tensor.n_columns, min(tensor.row_counts))
+    start = time.perf_counter()
+
+    # Stage 1: per-slice randomized SVD, one private RNG per slice so the
+    # result is independent of the thread schedule.
+    generators = spawn_generators(random_state, tensor.n_slices)
+
+    def compress_slice(item):
+        Xk, rng = item
+        return randomized_svd(
+            Xk,
+            R,
+            oversampling=oversampling,
+            power_iterations=power_iterations,
+            random_state=rng,
+        )
+
+    items = list(zip(tensor.slices, generators))
+    if use_greedy_partition:
+        stage1 = map_partitioned(
+            compress_slice, items, weights=tensor.row_counts, n_threads=n_threads
+        )
+    else:
+        stage1 = parallel_map(compress_slice, items, n_threads=n_threads)
+
+    # Stage 2: M = ∥k (Ck Bk) ∈ R^{J x KR}, randomized SVD at rank R.
+    M = np.concatenate(
+        [svd.V * svd.singular_values for svd in stage1], axis=1
+    )
+    stage2 = randomized_svd(
+        M,
+        R,
+        oversampling=oversampling,
+        power_iterations=power_iterations,
+        random_state=as_generator(random_state),
+    )
+    # F is KR x R; its k-th vertical block (R x R) satisfies Bk Ckᵀ ≈ F(k) E Dᵀ.
+    F_blocks = stage2.V.reshape(tensor.n_slices, R, stage2.V.shape[1])
+
+    return CompressedTensor(
+        A=[svd.U for svd in stage1],
+        D=stage2.U,
+        E=stage2.singular_values,
+        F_blocks=F_blocks,
+        seconds=time.perf_counter() - start,
+    )
+
+
+def _batched_polar(matrices: np.ndarray, n_threads: int) -> np.ndarray:
+    """``Zk Pkᵀ`` and ``Tk``-precursor SVDs for a stack of ``R×R`` matrices.
+
+    Returns the stack ``Zk @ Pkᵀ`` (shape ``(K, R, R)``).  LAPACK's batched
+    small-SVD loop releases the GIL, so large stacks are chunked across
+    threads (the "uniform allocation" of Section III-F: the per-slice work
+    no longer depends on ``Ik``).
+    """
+    K = matrices.shape[0]
+    if n_threads <= 1 or K < 4 * n_threads:
+        Z, _, Pt = np.linalg.svd(matrices)
+        return Z @ Pt
+
+    chunks = np.array_split(np.arange(K), n_threads)
+
+    def polar_chunk(indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        Z, _, Pt = np.linalg.svd(matrices[indices])
+        return indices, Z @ Pt
+
+    out = np.empty_like(matrices)
+    for indices, values in parallel_map(polar_chunk, chunks, n_threads):
+        out[indices] = values
+    return out
+
+
+def dpar2(
+    tensor: IrregularTensor,
+    config: DecompositionConfig | None = None,
+    *,
+    compressed: CompressedTensor | None = None,
+    use_greedy_partition: bool = True,
+    exact_convergence: bool = False,
+    **overrides,
+) -> Parafac2Result:
+    """Fit PARAFAC2 with DPar2 (Algorithm 3).
+
+    Parameters
+    ----------
+    tensor:
+        The irregular input ``{Xk}``.
+    config:
+        Shared hyper-parameters; keyword overrides apply on top.
+    compressed:
+        A precomputed :func:`compress_tensor` result, letting callers reuse
+        one compression across ranks/sweeps (its rank must not be below the
+        target rank).
+    use_greedy_partition:
+        Algorithm-4 load balancing for stage-1 compression (ablation knob).
+    exact_convergence:
+        When True, evaluate the true reconstruction error against the raw
+        slices each sweep instead of the compressed criterion — the
+        convergence ablation from DESIGN.md §6.
+
+    Returns
+    -------
+    Parafac2Result
+        ``preprocess_seconds`` is the two-stage compression time,
+        ``preprocessed_bytes`` the size of ``{Ak}, D, E, F`` (Fig. 9(a) and
+        Fig. 10 inputs).
+    """
+    config = (config or DecompositionConfig()).with_(**overrides)
+    if not isinstance(tensor, IrregularTensor):
+        tensor = IrregularTensor(tensor)
+    R = min(config.rank, tensor.n_columns, min(tensor.row_counts))
+
+    if compressed is None:
+        compressed = compress_tensor(
+            tensor,
+            R,
+            oversampling=config.oversampling,
+            power_iterations=config.power_iterations,
+            n_threads=config.n_threads,
+            random_state=config.random_state,
+            use_greedy_partition=use_greedy_partition,
+        )
+    elif compressed.rank < R:
+        raise ValueError(
+            f"precomputed compression has rank {compressed.rank} < target {R}"
+        )
+
+    D = compressed.D  # J x R
+    E = compressed.E  # R
+    F = compressed.F_blocks  # K x R x R
+    K = compressed.n_slices
+
+    init = initialize_factors(tensor.n_columns, K, R, config.random_state)
+    H, V, W = init.H, init.V, init.W
+
+    # ‖Tk E‖² is needed by the compressed criterion; Tk = Pk Zkᵀ F(k) has
+    # orthonormal-factor left part, so ‖Tk E‖ = ‖F(k) E‖ — constant across
+    # iterations and precomputable.
+    FE = F * E  # K x R x R, each F(k) @ diag(E)
+    data_term = float(np.sum(FE * FE))
+    slice_norms_sq = (
+        np.array([float(np.sum(Xk * Xk)) for Xk in tensor])
+        if exact_convergence
+        else None
+    )
+
+    monitor = ConvergenceMonitor(config.tolerance)
+    history: list[IterationRecord] = []
+    converged = False
+    iteration = 0
+    T = None
+
+    start = time.perf_counter()
+    for iteration in range(1, config.max_iterations + 1):
+        sweep_start = time.perf_counter()
+
+        # --- per-slice R x R SVDs (Alg. 3, lines 8-10) ------------------ #
+        EDtV = (D.T @ V) * E[:, None]  # R x R: E Dᵀ V
+        # small_k = F(k) E Dᵀ V Sk Hᵀ, stacked over k
+        small = np.einsum("kij,jr,kr,sr->kis", F, EDtV, W, H, optimize=True)
+        polar = _batched_polar(small, config.n_threads)  # Zk Pkᵀ
+        # Tk = Pk Zkᵀ F(k) = (Zk Pkᵀ)ᵀ F(k)
+        T = np.einsum("kji,kjs->kis", polar, F, optimize=True)
+
+        # --- Lemma 1: update H ------------------------------------------ #
+        G1 = np.einsum("kr,kij,jr->ir", W, T, EDtV, optimize=True)
+        H = solve_gram(hadamard(W.T @ W, V.T @ V), G1)
+        H, _ = normalize_columns(H)
+
+        # --- Lemma 2: update V ------------------------------------------ #
+        inner = np.einsum("kr,kji,jr->ir", W, T, H, optimize=True)
+        G2 = (D * E) @ inner
+        V = solve_gram(hadamard(W.T @ W, H.T @ H), G2)
+        V, _ = normalize_columns(V)
+
+        # --- Lemma 3: update W ------------------------------------------ #
+        EDtV = (D.T @ V) * E[:, None]  # recompute with the new V
+        G3 = np.einsum("ir,kij,jr->kr", H, T, EDtV, optimize=True)
+        W = solve_gram(hadamard(V.T @ V, H.T @ H), G3)
+
+        # --- convergence criterion -------------------------------------- #
+        if exact_convergence:
+            error_sq = _exact_error(tensor, slice_norms_sq, compressed, polar, H, V, W)
+        else:
+            error_sq = _compressed_error(T, E, data_term, D, H, V, W)
+        history.append(
+            IterationRecord(iteration, error_sq, time.perf_counter() - sweep_start)
+        )
+        if monitor.update(error_sq):
+            converged = True
+            break
+    iterate_seconds = time.perf_counter() - start
+
+    # Materialize Qk = Ak Zk Pkᵀ for the returned model (Alg. 3, line 25).
+    Z_Pt = polar if T is not None else np.tile(np.eye(R), (K, 1, 1))
+    Q = [compressed.A[k] @ Z_Pt[k] for k in range(K)]
+
+    return Parafac2Result(
+        Q=Q,
+        H=H,
+        S=W,
+        V=V,
+        method="dpar2",
+        n_iterations=iteration,
+        converged=converged,
+        preprocess_seconds=compressed.seconds,
+        iterate_seconds=iterate_seconds,
+        preprocessed_bytes=compressed.nbytes,
+        history=history,
+    )
+
+
+def _compressed_error(
+    T: np.ndarray,
+    E: np.ndarray,
+    data_term: float,
+    D: np.ndarray,
+    H: np.ndarray,
+    V: np.ndarray,
+    W: np.ndarray,
+) -> float:
+    """``Σk ‖Tk E Dᵀ − H Sk Vᵀ‖²`` via the Gram trick (O(JR² + KR³)).
+
+    ``‖Tk E Dᵀ‖² = ‖F(k) E‖²`` (precomputed ``data_term``),
+    ``⟨Tk E Dᵀ, H Sk Vᵀ⟩ = Σ (Tk E) ∗ ((H Sk)(Vᵀ D))``, and
+    ``‖H Sk Vᵀ‖² = Σ ((H Sk)ᵀ(H Sk)) ∗ VᵀV``.
+    """
+    VtD = V.T @ D  # R x R, O(J R^2), shared across slices
+    VtV = V.T @ V
+    TE = T * E  # K x R x R
+    # cross_k = sum( (Tk E) * ((H * W[k]) @ VtD) )
+    HS = H[None, :, :] * W[:, None, :]  # K x R x R
+    cross = float(np.einsum("kij,kil,lj->", TE, HS, VtD, optimize=True))
+    model = float(
+        np.einsum("kli,klj,ij->", HS, HS, VtV, optimize=True)
+    )
+    return max(data_term - 2.0 * cross + model, 0.0)
+
+
+def _exact_error(
+    tensor: IrregularTensor,
+    slice_norms_sq: np.ndarray,
+    compressed: CompressedTensor,
+    polar: np.ndarray,
+    H: np.ndarray,
+    V: np.ndarray,
+    W: np.ndarray,
+) -> float:
+    """True ``Σk ‖Xk − Qk H Sk Vᵀ‖²`` (ablation path; touches raw slices)."""
+    VtV = V.T @ V
+    total = 0.0
+    for k, Xk in enumerate(tensor):
+        Qk = compressed.A[k] @ polar[k]
+        M_left = H * W[k]
+        cross = float(np.sum(((Qk.T @ Xk) @ V) * M_left))
+        model_sq = float(np.sum((M_left.T @ M_left) * VtV))
+        total += float(slice_norms_sq[k]) - 2.0 * cross + model_sq
+    return max(total, 0.0)

@@ -1,0 +1,64 @@
+"""Factor initialization for ALS-style PARAFAC2 solvers.
+
+All four methods initialize identically (Algorithm 2/3, line 1): ``H`` as
+the ``R×R`` identity, ``V`` with orthonormal columns, and every ``Sk`` as
+the identity — the standard direct-fitting initialization of Kiers et al.,
+which keeps cross-method fitness comparisons apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.linalg.qr import random_orthonormal
+from repro.util.rng import as_generator
+from repro.util.validation import check_positive_int
+
+
+@dataclass
+class InitialFactors:
+    """The shared starting point ``(H, V, W)`` of an ALS run.
+
+    ``W`` is the ``K×R`` matrix whose rows are ``diag(Sk)``.
+    """
+
+    H: np.ndarray
+    V: np.ndarray
+    W: np.ndarray
+
+
+def initialize_factors(
+    n_columns: int,
+    n_slices: int,
+    rank: int,
+    random_state=None,
+) -> InitialFactors:
+    """Build the initial ``H``, ``V``, ``W`` for a rank-``rank`` run.
+
+    Parameters
+    ----------
+    n_columns:
+        ``J`` — the shared column dimension, rows of ``V``.
+    n_slices:
+        ``K`` — number of slices, rows of ``W``.
+    rank:
+        Target rank ``R``.
+    random_state:
+        Seed/generator for the random orthonormal ``V``.  With ``J >= R``
+        (the usual case) ``V`` starts orthonormal; otherwise it falls back
+        to i.i.d. Gaussian columns.
+    """
+    J = check_positive_int(n_columns, "n_columns")
+    K = check_positive_int(n_slices, "n_slices")
+    R = check_positive_int(rank, "rank")
+    rng = as_generator(random_state)
+
+    H = np.eye(R)
+    if J >= R:
+        V = random_orthonormal(J, R, rng)
+    else:
+        V = rng.standard_normal((J, R))
+    W = np.ones((K, R))
+    return InitialFactors(H=H, V=V, W=W)

@@ -1,0 +1,132 @@
+"""PARAFAC2-ALS — the direct-fitting baseline (Algorithm 2, Kiers et al.).
+
+Every sweep touches the raw slices twice: an ``Ik×R`` SVD to update ``Qk``
+and the projection ``Yk = Qkᵀ Xk`` — both ``O(Σk Ik J R)`` — followed by a
+single CP-ALS iteration on the stacked ``R×J×K`` tensor computed naively
+(full unfoldings and materialized Khatri–Rao products).  This cost profile
+is exactly the one the paper contrasts DPar2 against.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.decomposition.convergence import ConvergenceMonitor
+from repro.decomposition.cp_als import cp_single_iteration
+from repro.decomposition.initialization import initialize_factors
+from repro.decomposition.result import IterationRecord, Parafac2Result
+from repro.tensor.dense import DenseTensor
+from repro.tensor.irregular import IrregularTensor
+from repro.util.config import DecompositionConfig
+
+
+def update_orthogonal_factor(Xk: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """``Qk ← Z' P'ᵀ`` from the SVD of ``Xk @ target`` (Alg. 2, lines 4–5).
+
+    ``target`` is ``V Sk Hᵀ`` (``J×R``); the result is the Procrustes
+    minimizer of ``‖Xk − Qk H Sk Vᵀ‖`` over column-orthogonal ``Qk``.
+    """
+    Z, _, Pt = np.linalg.svd(Xk @ target, full_matrices=False)
+    return Z @ Pt
+
+
+def reconstruction_error_squared(
+    Y_slices: list[np.ndarray],
+    slice_norms_sq: np.ndarray,
+    H: np.ndarray,
+    V: np.ndarray,
+    W: np.ndarray,
+) -> float:
+    """Exact ``Σk ‖Xk − Qk H Sk Vᵀ‖²`` given the projections ``Yk = QkᵀXk``.
+
+    Because ``Qk`` has orthonormal columns,
+    ``‖Xk − Qk M‖² = ‖Xk‖² − 2⟨Yk, M⟩ + ‖M‖²`` with ``M = H Sk Vᵀ`` —
+    exact, while only touching ``R×J`` intermediates.
+    """
+    VtV = V.T @ V
+    total = 0.0
+    for k, Yk in enumerate(Y_slices):
+        M_left = H * W[k]  # R x R, equals H @ diag(Sk)
+        cross = float(np.sum((Yk @ V) * M_left))
+        model_sq = float(np.sum((M_left.T @ M_left) * VtV))
+        total += float(slice_norms_sq[k]) - 2.0 * cross + model_sq
+    return max(total, 0.0)
+
+
+def parafac2_als(
+    tensor: IrregularTensor,
+    config: DecompositionConfig | None = None,
+    **overrides,
+) -> Parafac2Result:
+    """Fit PARAFAC2 by direct ALS (Algorithm 2).
+
+    Parameters
+    ----------
+    tensor:
+        The irregular input ``{Xk}``.
+    config:
+        Shared hyper-parameters; keyword overrides (e.g. ``rank=15``) are
+        applied on top.
+
+    Returns
+    -------
+    Parafac2Result
+        With ``preprocess_seconds == 0`` (this method has no preprocessing)
+        and ``preprocessed_bytes`` equal to the input size, matching how
+        Fig. 10 accounts for methods that iterate on the raw tensor.
+    """
+    config = (config or DecompositionConfig()).with_(**overrides)
+    if not isinstance(tensor, IrregularTensor):
+        tensor = IrregularTensor(tensor)
+    R = min(config.rank, tensor.n_columns, min(tensor.row_counts))
+
+    init = initialize_factors(
+        tensor.n_columns, tensor.n_slices, R, config.random_state
+    )
+    H, V, W = init.H, init.V, init.W
+    slice_norms_sq = np.array([float(np.sum(Xk * Xk)) for Xk in tensor])
+
+    monitor = ConvergenceMonitor(config.tolerance)
+    history: list[IterationRecord] = []
+    Q: list[np.ndarray] = [None] * tensor.n_slices
+    converged = False
+    iteration = 0
+
+    start = time.perf_counter()
+    for iteration in range(1, config.max_iterations + 1):
+        sweep_start = time.perf_counter()
+        for k, Xk in enumerate(tensor):
+            Q[k] = update_orthogonal_factor(Xk, (V * W[k]) @ H.T)
+        Y_slices = [Q[k].T @ Xk for k, Xk in enumerate(tensor)]
+
+        Y = DenseTensor.from_frontal_slices(Y_slices)
+        H, V, W = cp_single_iteration(
+            (Y.unfold(1), Y.unfold(2), Y.unfold(3)), H, V, W
+        )
+
+        error_sq = reconstruction_error_squared(
+            Y_slices, slice_norms_sq, H, V, W
+        )
+        history.append(
+            IterationRecord(iteration, error_sq, time.perf_counter() - sweep_start)
+        )
+        if monitor.update(error_sq):
+            converged = True
+            break
+    iterate_seconds = time.perf_counter() - start
+
+    return Parafac2Result(
+        Q=Q,
+        H=H,
+        S=W,
+        V=V,
+        method="parafac2_als",
+        n_iterations=iteration,
+        converged=converged,
+        preprocess_seconds=0.0,
+        iterate_seconds=iterate_seconds,
+        preprocessed_bytes=tensor.nbytes,
+        history=history,
+    )

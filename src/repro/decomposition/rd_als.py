@@ -1,0 +1,142 @@
+"""RD-ALS — Cheng & Haardt's SVD-preprocessed PARAFAC2 baseline [18].
+
+Preprocessing takes the rank-``R`` truncated SVD of the concatenation of
+the transposed slices ``∥k Xkᵀ ∈ R^{J×ΣIk}`` — the paper explicitly
+attributes RD-ALS's slow preprocessing to this step ("RD-ALS performs SVD
+of the concatenated slice matrices", Section IV-B) — and projects every
+slice onto the common right subspace: ``Gk = Xk V̂``.  ALS then runs on the
+projected ``Ik×R`` slices, and the learned right factor is lifted back as
+``V = V̂ Ṽ``.
+
+Two properties the paper leans on are preserved faithfully:
+
+* preprocessing materializes and SVDs the full-width concatenation —
+  ``O(Σk Ik J²)`` with a dense-LAPACK constant — which is why DPar2's
+  per-slice randomized SVDs beat it by up to 10× (Fig. 9(a));
+* the convergence check evaluates the *true* reconstruction error
+  ``Σk ‖Xk − Qk H Sk Vᵀ‖²`` against the raw slices every sweep —
+  ``O(Σk Ik J R)`` — which is why its iterations stay well behind DPar2's
+  (Fig. 9(b)) even though its CP step is compressed.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.decomposition.convergence import ConvergenceMonitor
+from repro.decomposition.cp_als import cp_single_iteration
+from repro.decomposition.initialization import initialize_factors
+from repro.decomposition.parafac2_als import update_orthogonal_factor
+from repro.decomposition.result import IterationRecord, Parafac2Result
+from repro.linalg.truncated_svd import truncated_svd
+from repro.tensor.dense import DenseTensor
+from repro.tensor.irregular import IrregularTensor
+from repro.util.config import DecompositionConfig
+
+
+def true_reconstruction_error_squared(
+    tensor: IrregularTensor,
+    slice_norms_sq: np.ndarray,
+    Q: list[np.ndarray],
+    H: np.ndarray,
+    V: np.ndarray,
+    W: np.ndarray,
+) -> float:
+    """``Σk ‖Xk − Qk H Sk Vᵀ‖²`` against the raw slices.
+
+    The dominant cost is the projection ``Qkᵀ Xk`` — ``O(Σk Ik J R)`` — which
+    is precisely the per-iteration overhead the paper attributes to RD-ALS's
+    convergence criterion.
+    """
+    VtV = V.T @ V
+    total = 0.0
+    for k, Xk in enumerate(tensor):
+        QtX = Q[k].T @ Xk  # the expensive O(Ik J R) step
+        M_left = H * W[k]
+        cross = float(np.sum((QtX @ V) * M_left))
+        model_sq = float(np.sum((M_left.T @ M_left) * VtV))
+        total += float(slice_norms_sq[k]) - 2.0 * cross + model_sq
+    return max(total, 0.0)
+
+
+def rd_als(
+    tensor: IrregularTensor,
+    config: DecompositionConfig | None = None,
+    **overrides,
+) -> Parafac2Result:
+    """Fit PARAFAC2 with RD-ALS (preprocess, iterate on projected slices).
+
+    Returns a :class:`Parafac2Result` whose ``preprocess_seconds`` covers the
+    Gram-matrix SVD and the slice projections, and whose
+    ``preprocessed_bytes`` counts the projected slices plus ``V̂`` — the
+    quantities Fig. 9(a) and Fig. 10 report for RD-ALS.
+    """
+    config = (config or DecompositionConfig()).with_(**overrides)
+    if not isinstance(tensor, IrregularTensor):
+        tensor = IrregularTensor(tensor)
+    R = min(config.rank, tensor.n_columns, min(tensor.row_counts))
+
+    # ------------------------------------------------------------------ #
+    # preprocessing: common right subspace + slice projections
+    # ------------------------------------------------------------------ #
+    pre_start = time.perf_counter()
+    # SVD of ∥k Xkᵀ (J × ΣIk), exactly the step the paper times for RD-ALS.
+    concatenated = tensor.transpose_concatenation()
+    V_hat = truncated_svd(concatenated, R).U  # J x R
+    projected = [Xk @ V_hat for Xk in tensor]  # Ik x R each
+    preprocess_seconds = time.perf_counter() - pre_start
+    preprocessed_bytes = sum(Gk.nbytes for Gk in projected) + V_hat.nbytes
+
+    # ------------------------------------------------------------------ #
+    # ALS on the projected slices
+    # ------------------------------------------------------------------ #
+    init = initialize_factors(R, tensor.n_slices, R, config.random_state)
+    H, V_tilde, W = init.H, init.V, init.W
+    slice_norms_sq = np.array([float(np.sum(Xk * Xk)) for Xk in tensor])
+
+    monitor = ConvergenceMonitor(config.tolerance)
+    history: list[IterationRecord] = []
+    Q: list[np.ndarray] = [None] * tensor.n_slices
+    converged = False
+    iteration = 0
+
+    start = time.perf_counter()
+    for iteration in range(1, config.max_iterations + 1):
+        sweep_start = time.perf_counter()
+        for k, Gk in enumerate(projected):
+            Q[k] = update_orthogonal_factor(Gk, (V_tilde * W[k]) @ H.T)
+        Y_slices = [Q[k].T @ Gk for k, Gk in enumerate(projected)]
+
+        Y = DenseTensor.from_frontal_slices(Y_slices)
+        H, V_tilde, W = cp_single_iteration(
+            (Y.unfold(1), Y.unfold(2), Y.unfold(3)), H, V_tilde, W
+        )
+
+        # RD-ALS's distinguishing (expensive) convergence criterion.
+        V_full = V_hat @ V_tilde
+        error_sq = true_reconstruction_error_squared(
+            tensor, slice_norms_sq, Q, H, V_full, W
+        )
+        history.append(
+            IterationRecord(iteration, error_sq, time.perf_counter() - sweep_start)
+        )
+        if monitor.update(error_sq):
+            converged = True
+            break
+    iterate_seconds = time.perf_counter() - start
+
+    return Parafac2Result(
+        Q=Q,
+        H=H,
+        S=W,
+        V=V_hat @ V_tilde,
+        method="rd_als",
+        n_iterations=iteration,
+        converged=converged,
+        preprocess_seconds=preprocess_seconds,
+        iterate_seconds=iterate_seconds,
+        preprocessed_bytes=preprocessed_bytes,
+        history=history,
+    )

@@ -1,0 +1,36 @@
+"""Solver registry — the experiment harness sweeps methods by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.decomposition.dpar2 import dpar2
+from repro.decomposition.parafac2_als import parafac2_als
+from repro.decomposition.rd_als import rd_als
+from repro.decomposition.spartan import spartan
+
+#: Name → solver callable, in the order the paper's legends list them.
+SOLVERS: dict[str, Callable] = {
+    "dpar2": dpar2,
+    "rd_als": rd_als,
+    "parafac2_als": parafac2_als,
+    "spartan": spartan,
+}
+
+#: Pretty names used in rendered tables (matching the paper's legends).
+DISPLAY_NAMES: dict[str, str] = {
+    "dpar2": "DPar2",
+    "rd_als": "RD-ALS",
+    "parafac2_als": "PARAFAC2-ALS",
+    "spartan": "SPARTan",
+}
+
+
+def get_solver(name: str) -> Callable:
+    """Look up a solver by registry name (case-insensitive)."""
+    key = name.lower().replace("-", "_")
+    if key not in SOLVERS:
+        raise KeyError(
+            f"unknown solver {name!r}; available: {', '.join(sorted(SOLVERS))}"
+        )
+    return SOLVERS[key]

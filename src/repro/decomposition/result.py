@@ -1,0 +1,167 @@
+"""Result containers shared by every PARAFAC2 solver.
+
+A PARAFAC2 model of an irregular tensor ``{Xk}`` is
+``Xk ≈ Uk Sk Vᵀ`` with ``Uk = Qk H`` (column-orthogonal ``Qk``, common
+``H`` and ``V``, diagonal ``Sk``).  The container stores the common factors
+plus either the explicit ``Qk`` or their implicit factorized form — DPar2
+never materializes ``Qk`` internally, but exposes ``U(k)`` on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.tensor.irregular import IrregularTensor
+
+
+@dataclass
+class IterationRecord:
+    """Per-iteration trace: criterion value and wall-clock seconds."""
+
+    iteration: int
+    criterion: float
+    seconds: float
+
+
+@dataclass
+class Parafac2Result:
+    """Factors of a fitted PARAFAC2 model plus bookkeeping.
+
+    Attributes
+    ----------
+    Q:
+        List of ``Ik×R`` column-orthogonal matrices ``Qk``.
+    H:
+        ``R×R`` common matrix (``Uk = Qk H``).
+    S:
+        ``K×R`` array whose ``k``-th row holds ``diag(Sk)``.
+    V:
+        ``J×R`` common right factor.
+    method:
+        Solver name (``"dpar2"``, ``"parafac2_als"``, …).
+    n_iterations:
+        ALS sweeps actually performed.
+    converged:
+        Whether the stopping tolerance was reached before the iteration cap.
+    preprocess_seconds / iterate_seconds:
+        Wall-clock split the paper reports separately (Fig. 9).
+    preprocessed_bytes:
+        Size of whatever the method keeps around after preprocessing
+        (Fig. 10); for methods without preprocessing this is the input size.
+    history:
+        Per-iteration convergence-criterion trace.
+    """
+
+    Q: list[np.ndarray]
+    H: np.ndarray
+    S: np.ndarray
+    V: np.ndarray
+    method: str = "unknown"
+    n_iterations: int = 0
+    converged: bool = False
+    preprocess_seconds: float = 0.0
+    iterate_seconds: float = 0.0
+    preprocessed_bytes: int = 0
+    history: list[IterationRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        rank = self.H.shape[0]
+        if self.H.shape != (rank, rank):
+            raise ValueError(f"H must be square, got {self.H.shape}")
+        if self.V.ndim != 2 or self.V.shape[1] != rank:
+            raise ValueError(f"V must be J x {rank}, got {self.V.shape}")
+        if self.S.ndim != 2 or self.S.shape != (len(self.Q), rank):
+            raise ValueError(
+                f"S must be K x {rank} = {len(self.Q)} x {rank}, got {self.S.shape}"
+            )
+        for k, Qk in enumerate(self.Q):
+            if Qk.ndim != 2 or Qk.shape[1] != rank:
+                raise ValueError(
+                    f"Q[{k}] must have {rank} columns, got shape {Qk.shape}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # model access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def rank(self) -> int:
+        return self.H.shape[0]
+
+    @property
+    def n_slices(self) -> int:
+        return len(self.Q)
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end running time (the x-axis of Fig. 1)."""
+        return self.preprocess_seconds + self.iterate_seconds
+
+    def U(self, k: int) -> np.ndarray:
+        """Temporal factor ``Uk = Qk H`` of slice ``k``."""
+        return self.Q[k] @ self.H
+
+    def S_matrix(self, k: int) -> np.ndarray:
+        """Diagonal matrix ``Sk``."""
+        return np.diag(self.S[k])
+
+    def reconstruct_slice(self, k: int) -> np.ndarray:
+        """``X̂k = Qk H Sk Vᵀ``."""
+        return self.Q[k] @ (self.H * self.S[k]) @ self.V.T
+
+    def reconstruct(self) -> IrregularTensor:
+        """Materialize every reconstructed slice as an irregular tensor."""
+        return IrregularTensor(
+            [self.reconstruct_slice(k) for k in range(self.n_slices)], copy=False
+        )
+
+    # ------------------------------------------------------------------ #
+    # quality metrics
+    # ------------------------------------------------------------------ #
+
+    def residual_squared(self, tensor: IrregularTensor) -> float:
+        """``Σk ‖Xk − X̂k‖_F²`` against the *original* data.
+
+        Computed slice by slice without materializing all reconstructions at
+        once, using the expansion
+        ``‖X − X̂‖² = ‖X‖² − 2⟨X, X̂⟩ + ‖X̂‖²`` with the cross and model
+        terms reduced to ``R×R`` products.
+        """
+        if tensor.n_slices != self.n_slices:
+            raise ValueError(
+                f"tensor has {tensor.n_slices} slices, model has {self.n_slices}"
+            )
+        if tensor.n_columns != self.V.shape[0]:
+            raise ValueError(
+                f"tensor has J={tensor.n_columns}, model V has {self.V.shape[0]} rows"
+            )
+        VtV = self.V.T @ self.V
+        total = 0.0
+        for k, Xk in enumerate(tensor):
+            B = (self.H * self.S[k]) @ self.V.T  # R x J
+            # cross term <Xk, Qk B> = trace(Bᵀ Qkᵀ Xk)
+            QtX = self.Q[k].T @ Xk  # R x J
+            cross = float(np.sum(QtX * B))
+            HS = self.H * self.S[k]
+            model_sq = float(np.sum((HS.T @ HS) * VtV))
+            total += float(np.sum(Xk * Xk)) - 2.0 * cross + model_sq
+        # Rounding can push a tiny positive residual below zero.
+        return max(total, 0.0)
+
+    def fitness(self, tensor: IrregularTensor) -> float:
+        """The paper's fitness: ``1 − Σ‖Xk − X̂k‖² / Σ‖Xk‖²``."""
+        denom = tensor.squared_norm()
+        if denom == 0.0:
+            return 1.0
+        return 1.0 - self.residual_squared(tensor) / denom
+
+    def factor_nbytes(self) -> int:
+        """Bytes needed to store the model factors themselves."""
+        return (
+            sum(Qk.nbytes for Qk in self.Q)
+            + self.H.nbytes
+            + self.S.nbytes
+            + self.V.nbytes
+        )

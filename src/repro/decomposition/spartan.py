@@ -1,0 +1,163 @@
+"""SPARTan — slice-parallel MTTKRP PARAFAC2 [Perros et al., KDD'17].
+
+SPARTan's contribution is computing the three MTTKRPs of the inner CP step
+slice-by-slice (never materializing the stacked tensor ``Y`` or a Khatri–Rao
+product) and parallelizing every per-slice stage over ``K``.  Its efficiency
+on *sparse* data additionally comes from sparse ``Qkᵀ Xk`` products; on
+dense inputs — the adaptation the paper benchmarks — each sweep still pays
+the full ``O(Σk Ik J R)`` slice work, which is why its iteration times track
+PARAFAC2-ALS in Fig. 9(b).
+
+This implementation accepts both dense slices and this library's
+:class:`~repro.sparse.csr.CsrMatrix` slices through one code path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.decomposition.convergence import ConvergenceMonitor
+from repro.decomposition.cp_als import normalize_columns, slice_mttkrp
+from repro.decomposition.initialization import initialize_factors
+from repro.decomposition.result import IterationRecord, Parafac2Result
+from repro.linalg.pinv import solve_gram
+from repro.parallel.executor import parallel_map
+from repro.sparse.csr import CsrMatrix
+from repro.tensor.irregular import IrregularTensor
+from repro.tensor.products import hadamard
+from repro.util.config import DecompositionConfig
+from repro.util.validation import check_matrix
+
+
+def _slice_matmul(Xk, dense: np.ndarray) -> np.ndarray:
+    """``Xk @ dense`` for a dense ndarray or CSR slice."""
+    if isinstance(Xk, CsrMatrix):
+        return Xk.matmul_dense(dense)
+    return Xk @ dense
+
+
+def _slice_rmatmul(Xk, dense: np.ndarray) -> np.ndarray:
+    """``denseᵀ @ Xk`` for a dense ndarray or CSR slice."""
+    if isinstance(Xk, CsrMatrix):
+        return Xk.rmatmul_dense(dense)
+    return dense.T @ Xk
+
+
+def _slice_squared_norm(Xk) -> float:
+    if isinstance(Xk, CsrMatrix):
+        return Xk.squared_norm()
+    return float(np.sum(Xk * Xk))
+
+
+def spartan(
+    tensor,
+    config: DecompositionConfig | None = None,
+    **overrides,
+) -> Parafac2Result:
+    """Fit PARAFAC2 with SPARTan's slice-parallel formulation.
+
+    Parameters
+    ----------
+    tensor:
+        An :class:`IrregularTensor`, or a plain list of slices where each
+        slice is a dense array or a :class:`CsrMatrix` (all sharing ``J``).
+    config:
+        Shared hyper-parameters (``n_threads`` controls the slice-level
+        thread pool).
+    """
+    config = (config or DecompositionConfig()).with_(**overrides)
+    if isinstance(tensor, IrregularTensor):
+        slices = list(tensor.slices)
+        n_columns = tensor.n_columns
+        input_bytes = tensor.nbytes
+    else:
+        slices = [
+            Xk if isinstance(Xk, CsrMatrix) else check_matrix(Xk, f"slices[{idx}]")
+            for idx, Xk in enumerate(tensor)
+        ]
+        if not slices:
+            raise ValueError("tensor must contain at least one slice")
+        n_columns = slices[0].shape[1]
+        for idx, Xk in enumerate(slices):
+            if Xk.shape[1] != n_columns:
+                raise ValueError(
+                    f"slice {idx} has {Xk.shape[1]} columns, expected {n_columns}"
+                )
+        input_bytes = sum(
+            Xk.data.nbytes + Xk.indices.nbytes + Xk.indptr.nbytes
+            if isinstance(Xk, CsrMatrix)
+            else Xk.nbytes
+            for Xk in slices
+        )
+    K = len(slices)
+    row_counts = [Xk.shape[0] for Xk in slices]
+    R = min(config.rank, n_columns, min(row_counts))
+
+    init = initialize_factors(n_columns, K, R, config.random_state)
+    H, V, W = init.H, init.V, init.W
+    slice_norms_sq = np.array([_slice_squared_norm(Xk) for Xk in slices])
+
+    monitor = ConvergenceMonitor(config.tolerance)
+    history: list[IterationRecord] = []
+    converged = False
+    iteration = 0
+    Q: list[np.ndarray] = [None] * K
+
+    def update_slice(k: int) -> np.ndarray:
+        """Qk update + projection for slice k (runs on a worker thread)."""
+        target = (V * W[k]) @ H.T
+        Z, _, Pt = np.linalg.svd(_slice_matmul(slices[k], target), full_matrices=False)
+        Qk = Z @ Pt
+        Q[k] = Qk
+        return _slice_rmatmul(slices[k], Qk)  # Yk = Qkᵀ Xk
+
+    start = time.perf_counter()
+    for iteration in range(1, config.max_iterations + 1):
+        sweep_start = time.perf_counter()
+        Y_slices = parallel_map(update_slice, range(K), config.n_threads)
+
+        # One CP sweep via slice-wise MTTKRP (no Y materialization).
+        H = solve_gram(
+            hadamard(W.T @ W, V.T @ V), slice_mttkrp(Y_slices, H, V, W, mode=1)
+        )
+        H, _ = normalize_columns(H)
+        V = solve_gram(
+            hadamard(W.T @ W, H.T @ H), slice_mttkrp(Y_slices, H, V, W, mode=2)
+        )
+        V, _ = normalize_columns(V)
+        W = solve_gram(
+            hadamard(V.T @ V, H.T @ H), slice_mttkrp(Y_slices, H, V, W, mode=3)
+        )
+
+        VtV = V.T @ V
+        error_sq = 0.0
+        for k, Yk in enumerate(Y_slices):
+            M_left = H * W[k]
+            cross = float(np.sum((Yk @ V) * M_left))
+            model_sq = float(np.sum((M_left.T @ M_left) * VtV))
+            error_sq += float(slice_norms_sq[k]) - 2.0 * cross + model_sq
+        error_sq = max(error_sq, 0.0)
+
+        history.append(
+            IterationRecord(iteration, error_sq, time.perf_counter() - sweep_start)
+        )
+        if monitor.update(error_sq):
+            converged = True
+            break
+    iterate_seconds = time.perf_counter() - start
+
+    return Parafac2Result(
+        Q=Q,
+        H=H,
+        S=W,
+        V=V,
+        method="spartan",
+        n_iterations=iteration,
+        converged=converged,
+        preprocess_seconds=0.0,
+        iterate_seconds=iterate_seconds,
+        preprocessed_bytes=input_bytes,
+        history=history,
+    )

@@ -1,0 +1,235 @@
+"""Streaming DPar2 — the paper's stated future work (Section VI).
+
+"Future work includes devising an efficient PARAFAC2 decomposition method
+in a streaming setting."  This module provides that extension on top of
+DPar2's compressed representation, in the spirit of SPADE [48]:
+
+* new slices arrive over time (new stocks listing, new songs ingested);
+* each arrival is compressed **once** with a randomized SVD (stage 1) —
+  the raw slice is never needed again;
+* the shared stage-2 basis ``D`` is *grown* incrementally: the new slice's
+  ``Ck Bk`` is split into the part explained by the current basis and an
+  orthogonal residual; when the residual carries significant energy the
+  basis is expanded and re-truncated to rank ``R`` via an SVD of the small
+  ``(R + R_new) x (KR)`` coefficient matrix — never touching old slices;
+* factor matrices are refreshed with a handful of warm-started DPar2
+  sweeps, reusing the previous ``H``, ``V``, ``W`` as initialization.
+
+The update cost per arriving slice is ``O(Ik J R + (K R) R²)`` — independent
+of the *rows* of all previously absorbed slices, which is the property a
+streaming method needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.decomposition.dpar2 import CompressedTensor, dpar2
+from repro.decomposition.result import Parafac2Result
+from repro.linalg.randomized_svd import randomized_svd
+from repro.tensor.irregular import IrregularTensor
+from repro.util.config import DecompositionConfig
+from repro.util.rng import as_generator
+from repro.util.validation import check_matrix
+
+
+class StreamingDpar2:
+    """Incrementally maintained DPar2 model over a growing slice stream.
+
+    Parameters
+    ----------
+    config:
+        Shared hyper-parameters; ``config.rank`` is the model rank ``R``.
+    residual_threshold:
+        Fraction of a new slice's ``Ck Bk`` energy that may be dropped
+        without expanding the shared basis ``D``.  Smaller values track the
+        stream more faithfully at the cost of more basis updates.
+    refresh_iterations:
+        Warm-started ALS sweeps run after each ``absorb``.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.util.config import DecompositionConfig
+    >>> stream = StreamingDpar2(DecompositionConfig(rank=3, random_state=0))
+    >>> rng = np.random.default_rng(0)
+    >>> for _ in range(4):
+    ...     stream.absorb(rng.random((20, 10)))
+    >>> stream.n_slices
+    4
+    >>> result = stream.result()
+    >>> result.V.shape
+    (10, 3)
+    """
+
+    def __init__(
+        self,
+        config: DecompositionConfig | None = None,
+        *,
+        residual_threshold: float = 0.05,
+        refresh_iterations: int = 5,
+    ) -> None:
+        self.config = config or DecompositionConfig()
+        if not 0.0 <= residual_threshold < 1.0:
+            raise ValueError(
+                f"residual_threshold must be in [0, 1), got {residual_threshold}"
+            )
+        if refresh_iterations < 0:
+            raise ValueError(
+                f"refresh_iterations must be >= 0, got {refresh_iterations}"
+            )
+        self.residual_threshold = residual_threshold
+        self.refresh_iterations = refresh_iterations
+        self._rng = as_generator(self.config.random_state)
+
+        # Compressed state: Ak per slice, shared D (J x R), and the
+        # coefficient matrix G = [G1; ...; GK] with Gk = coefficients of
+        # (Ck Bk) in the D basis, i.e. Ck Bk ≈ D Gk  (Gk is R x R).
+        self._A: list[np.ndarray] = []
+        self._D: np.ndarray | None = None
+        self._G: list[np.ndarray] = []
+        self._n_columns: int | None = None
+        self._last_result: Parafac2Result | None = None
+
+    # ------------------------------------------------------------------ #
+    # stream ingestion
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_slices(self) -> int:
+        return len(self._A)
+
+    @property
+    def rank(self) -> int:
+        return self.config.rank
+
+    def absorb(self, slice_matrix, *, refresh: bool = True) -> None:
+        """Ingest one new slice ``Xk`` into the compressed model.
+
+        The slice is stage-1 compressed immediately; the shared basis is
+        updated if the slice's right factor has enough energy outside the
+        current span.  With ``refresh=False`` the factor refresh is skipped
+        (batch several absorbs, then call :meth:`result`).
+        """
+        Xk = check_matrix(slice_matrix, "slice_matrix")
+        if self._n_columns is None:
+            self._n_columns = Xk.shape[1]
+        elif Xk.shape[1] != self._n_columns:
+            raise ValueError(
+                f"slice has {Xk.shape[1]} columns, stream has {self._n_columns}"
+            )
+        R = min(self.config.rank, *Xk.shape)
+
+        stage1 = randomized_svd(
+            Xk,
+            R,
+            oversampling=self.config.oversampling,
+            power_iterations=self.config.power_iterations,
+            random_state=self._rng,
+        )
+        self._A.append(stage1.U)
+        CB = stage1.V * stage1.singular_values  # J x R
+
+        if self._D is None:
+            # First slice seeds the basis directly.
+            Q, coeff = np.linalg.qr(CB)
+            self._D = Q
+            self._G.append(coeff)
+        else:
+            self._absorb_right_factor(CB)
+
+        self._last_result = None
+        if refresh:
+            self._refresh()
+
+    def _absorb_right_factor(self, CB: np.ndarray) -> None:
+        """Grow/rotate the shared basis ``D`` to cover a new ``Ck Bk``."""
+        D = self._D
+        coeff = D.T @ CB                       # r x R, explained part
+        residual = CB - D @ coeff              # J x R, orthogonal part
+        res_energy = float(np.sum(residual**2))
+        total_energy = float(np.sum(CB**2))
+
+        if total_energy == 0.0 or res_energy <= self.residual_threshold * total_energy:
+            self._G.append(coeff)
+            return
+
+        # Expand the basis with the residual's orthonormal directions, then
+        # re-truncate everything to rank R with an SVD of the (small)
+        # stacked coefficient matrix.
+        Q_new, r_new = np.linalg.qr(residual)
+        keep = np.abs(np.diag(r_new)) > 1e-12
+        Q_new = Q_new[:, keep]
+        D_ext = np.concatenate([D, Q_new], axis=1)        # J x (r + r')
+
+        # Old coefficients padded with zero rows; the new slice's coefficients.
+        extra = Q_new.shape[1]
+        padded = [
+            np.concatenate([Gk, np.zeros((extra, Gk.shape[1]))], axis=0)
+            for Gk in self._G
+        ]
+        new_coeff = np.concatenate([coeff, Q_new.T @ CB], axis=0)
+        padded.append(new_coeff)
+
+        stacked = np.concatenate(padded, axis=1)          # (r+r') x (K R)
+        U, _, _ = np.linalg.svd(stacked, full_matrices=False)
+        R = min(self.config.rank, U.shape[1])
+        rotation = U[:, :R]                               # (r+r') x R
+
+        self._D = D_ext @ rotation                        # J x R
+        self._G = [rotation.T @ Gk for Gk in padded]
+
+    # ------------------------------------------------------------------ #
+    # model access
+    # ------------------------------------------------------------------ #
+
+    def compressed(self) -> CompressedTensor:
+        """Snapshot of the stream as a :class:`CompressedTensor`.
+
+        The stage-2 structure ``D E Fᵀ`` is recovered from the maintained
+        ``(D, {Gk})`` pair by one SVD of the small stacked coefficients.
+        """
+        if not self._A:
+            raise RuntimeError("no slices absorbed yet")
+        stacked = np.concatenate(self._G, axis=1)  # r x (K R)
+        U, s, Vt = np.linalg.svd(stacked, full_matrices=False)
+        R = min(self.config.rank, s.shape[0])
+        D = self._D @ U[:, :R]
+        E = s[:R]
+        R_slice = self._G[0].shape[1]
+        F_blocks = np.stack(
+            [
+                Vt[:R, k * R_slice : (k + 1) * R_slice].T
+                for k in range(self.n_slices)
+            ]
+        )
+        # Pad A / F blocks if slice rank ran below R (tiny early slices).
+        A = list(self._A)
+        if F_blocks.shape[2] < R:
+            pad = R - F_blocks.shape[2]
+            F_blocks = np.pad(F_blocks, ((0, 0), (0, 0), (0, pad)))
+            A = [np.pad(Ak, ((0, 0), (0, pad))) for Ak in A]
+        return CompressedTensor(A=A, D=D, E=E, F_blocks=F_blocks, seconds=0.0)
+
+    def result(self) -> Parafac2Result:
+        """The current PARAFAC2 model (refreshing factors if needed)."""
+        if self._last_result is None:
+            self._refresh()
+        return self._last_result
+
+    def _refresh(self) -> None:
+        compressed = self.compressed()
+        # Reconstruct approximate slices only for the result container's
+        # bookkeeping — iteration uses the compressed form throughout.
+        tensor = IrregularTensor(
+            [compressed.reconstruct_slice(k) for k in range(self.n_slices)],
+            copy=False,
+        )
+        config = self.config.with_(
+            max_iterations=max(self.refresh_iterations, 1)
+        )
+        self._last_result = dpar2(tensor, config, compressed=compressed)
+
+    def fitness(self, tensor: IrregularTensor) -> float:
+        """Fitness of the current model against externally held raw slices."""
+        return self.result().fitness(tensor)

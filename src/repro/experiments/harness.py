@@ -1,0 +1,107 @@
+"""Shared measurement harness for the per-figure experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.decomposition.registry import DISPLAY_NAMES, SOLVERS, get_solver
+from repro.tensor.irregular import IrregularTensor
+from repro.util.config import DecompositionConfig
+
+
+@dataclass
+class MethodMeasurement:
+    """One solver's outcome on one workload — the unit every figure plots."""
+
+    method: str
+    rank: int
+    fitness: float
+    preprocess_seconds: float
+    iterate_seconds: float
+    n_iterations: int
+    preprocessed_bytes: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.preprocess_seconds + self.iterate_seconds
+
+    @property
+    def seconds_per_iteration(self) -> float:
+        if self.n_iterations == 0:
+            return 0.0
+        return self.iterate_seconds / self.n_iterations
+
+    @property
+    def display_name(self) -> str:
+        return DISPLAY_NAMES.get(self.method, self.method)
+
+
+def measure_method(
+    tensor: IrregularTensor,
+    method: str,
+    config: DecompositionConfig,
+    *,
+    repeats: int = 1,
+) -> MethodMeasurement:
+    """Run one solver ``repeats`` times; report mean times, last-run fitness.
+
+    The paper averages running time over 5 runs (Section IV-A); fitness is
+    deterministic given the seed so one evaluation suffices.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    solver = get_solver(method)
+    pre_times: list[float] = []
+    iter_times: list[float] = []
+    result = None
+    for _ in range(repeats):
+        result = solver(tensor, config)
+        pre_times.append(result.preprocess_seconds)
+        iter_times.append(result.iterate_seconds)
+    return MethodMeasurement(
+        method=result.method,
+        rank=result.rank,
+        fitness=result.fitness(tensor),
+        preprocess_seconds=sum(pre_times) / repeats,
+        iterate_seconds=sum(iter_times) / repeats,
+        n_iterations=result.n_iterations,
+        preprocessed_bytes=result.preprocessed_bytes,
+    )
+
+
+def sweep_methods(
+    tensor: IrregularTensor,
+    config: DecompositionConfig,
+    *,
+    methods=None,
+    repeats: int = 1,
+) -> list[MethodMeasurement]:
+    """Measure several solvers on one workload (paper legend order)."""
+    names = list(methods) if methods is not None else list(SOLVERS)
+    return [
+        measure_method(tensor, name, config, repeats=repeats) for name in names
+    ]
+
+
+def speedup_over_best_competitor(
+    measurements: list[MethodMeasurement],
+    target: str = "dpar2",
+    attribute: str = "total_seconds",
+) -> float:
+    """``min(competitor time) / target time`` — the paper's "x× faster".
+
+    Returns ``inf`` when the target time is zero (degenerate tiny inputs).
+    """
+    target_time = None
+    competitor_best = None
+    for m in measurements:
+        value = getattr(m, attribute)
+        if m.method == target:
+            target_time = value
+        else:
+            competitor_best = value if competitor_best is None else min(competitor_best, value)
+    if target_time is None or competitor_best is None:
+        raise ValueError(f"need both {target!r} and at least one competitor")
+    if target_time == 0.0:
+        return float("inf")
+    return competitor_best / target_time

@@ -1,0 +1,80 @@
+"""Plain-text rendering for experiment outputs.
+
+The paper's figures are plots; in a terminal-only reproduction each figure
+becomes a table whose rows are the plotted series, so "the same rows/series
+the paper reports" can be eyeballed and diffed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned ASCII table."""
+    header_cells = [str(h) for h in headers]
+    body = [[_format_cell(cell) for cell in row] for row in rows]
+    for idx, row in enumerate(body):
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row {idx} has {len(row)} cells, expected {len(header_cells)}"
+            )
+    widths = [
+        max(len(header_cells[c]), *(len(row[c]) for row in body)) if body else len(header_cells[c])
+        for c in range(len(header_cells))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        " | ".join(cell.ljust(w) for cell, w in zip(header_cells, widths)),
+        sep,
+    ]
+    lines += [" | ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in body]
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentReport:
+    """A named experiment outcome: a table plus free-form findings.
+
+    ``findings`` hold the qualitative claims the experiment checks (e.g.
+    "DPar2 fastest on every dataset") so ``run_all`` can assemble
+    EXPERIMENTS.md entries mechanically.
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    findings: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} ==", ""]
+        lines.append(render_table(self.headers, self.rows))
+        if self.findings:
+            lines.append("")
+            lines += [f"* {finding}" for finding in self.findings]
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering (used for EXPERIMENTS.md)."""
+        head = "| " + " | ".join(str(h) for h in self.headers) + " |"
+        sep = "|" + "|".join("---" for _ in self.headers) + "|"
+        body = [
+            "| " + " | ".join(_format_cell(cell) for cell in row) + " |"
+            for row in self.rows
+        ]
+        parts = [f"### {self.experiment_id}: {self.title}", "", head, sep, *body]
+        if self.findings:
+            parts += [""] + [f"- {finding}" for finding in self.findings]
+        return "\n".join(parts)

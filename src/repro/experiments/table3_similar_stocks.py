@@ -1,0 +1,126 @@
+"""Table III — stocks similar to a target, via k-NN and via RWR.
+
+The paper fixes a target (Microsoft), restricts to stocks covering the
+COVID-19 window, decomposes with DPar2, and ranks the others two ways:
+
+(a) k-nearest neighbours on ``sim(si, sj) = exp(−γ‖U_si − U_sj‖²)``;
+(b) Random Walk with Restart on the similarity graph (c = 0.15).
+
+The two lists overlap heavily (sector structure) but RWR surfaces
+multi-hop neighbours the plain distance ranking misses — the blue-marked
+rows of Table III.  We reproduce this on a named synthetic universe whose
+sector factors play the role of the real markets' co-movement.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.knn import top_k_neighbors
+from repro.analysis.rwr import rwr_ranking
+from repro.analysis.similarity import similarity_graph, similarity_matrix
+from repro.data.stock import named_universe, standardize_features
+from repro.decomposition.dpar2 import dpar2
+from repro.experiments.reporting import ExperimentReport
+from repro.util.config import DecompositionConfig
+
+#: A recognizable universe patterned on Table III's rows: a technology-heavy
+#: cohort around the target plus other-sector stocks.
+UNIVERSE = {
+    "MSFT": "Technology",
+    "ADBE": "Technology",
+    "AAPL": "Technology",
+    "INTU": "Technology",
+    "ANSS": "Technology",
+    "SNPS": "Technology",
+    "NOW": "Technology",
+    "EPAM": "Technology",
+    "NVDA": "Technology",
+    "ADSK": "Technology",
+    "AMZN": "Consumer Cyclical",
+    "GOOGL": "Communication Services",
+    "NFLX": "Communication Services",
+    "MCO": "Financial Services",
+    "SPGI": "Financial Services",
+    "JPM": "Financial Services",
+    "XOM": "Energy",
+    "CVX": "Energy",
+    "JNJ": "Healthcare",
+    "PFE": "Healthcare",
+    "UNH": "Healthcare",
+    "HD": "Consumer Cyclical",
+    "DIS": "Communication Services",
+    "CAT": "Energy",
+}
+
+TARGET = "MSFT"
+GAMMA = 0.01
+RESTART = 0.15
+TOP_K = 10
+
+
+def run(
+    *,
+    rank: int = 10,
+    random_state: int = 0,
+) -> ExperimentReport:
+    market = named_universe(UNIVERSE, random_state=random_state)
+    tensor = standardize_features(market.tensor)
+    config = DecompositionConfig(
+        rank=rank, max_iterations=20, random_state=random_state
+    )
+    result = dpar2(tensor, config)
+
+    factors = [result.U(k) for k in range(result.n_slices)]
+    target_idx = market.index_of(TARGET)
+    sims = similarity_matrix(factors, gamma=GAMMA)
+    knn = top_k_neighbors(sims, target_idx, k=TOP_K)
+    adjacency = similarity_graph(factors, gamma=GAMMA)
+    rwr = rwr_ranking(adjacency, target_idx, k=TOP_K, restart_probability=RESTART)
+
+    knn_names = [market.tickers[i] for i, _ in knn]
+    rwr_names = [market.tickers[i] for i, _ in rwr]
+    rows = []
+    for position in range(TOP_K):
+        knn_i, knn_score = knn[position]
+        rwr_i, rwr_score = rwr[position]
+        rows.append(
+            [
+                position + 1,
+                market.tickers[knn_i],
+                market.sectors[knn_i],
+                knn_score,
+                market.tickers[rwr_i],
+                market.sectors[rwr_i],
+                rwr_score,
+            ]
+        )
+
+    knn_tech = sum(1 for i, _ in knn if market.sectors[i] == "Technology")
+    rwr_tech = sum(1 for i, _ in rwr if market.sectors[i] == "Technology")
+    only_rwr = [t for t in rwr_names if t not in knn_names]
+    only_knn = [t for t in knn_names if t not in rwr_names]
+    findings = [
+        f"technology-sector stocks in the top-10: kNN {knn_tech}/10, "
+        f"RWR {rwr_tech}/10 (paper: both lists are technology-heavy)",
+        f"stocks surfaced only by RWR: {only_rwr or 'none'} — multi-hop "
+        "neighbours, Table III's blue rows",
+        f"stocks surfaced only by kNN: {only_knn or 'none'}",
+    ]
+    return ExperimentReport(
+        experiment_id="table3",
+        title=f"Top-{TOP_K} stocks similar to {TARGET} (kNN vs RWR)",
+        headers=[
+            "rank", "knn_ticker", "knn_sector", "knn_sim",
+            "rwr_ticker", "rwr_sector", "rwr_score",
+        ],
+        rows=rows,
+        findings=findings,
+    )
+
+
+def main() -> int:
+    print(run().render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Linear-algebra substrate.
+
+Everything the decompositions need, implemented from scratch on top of the
+dense BLAS/LAPACK kernels numpy exposes:
+
+* :func:`randomized_svd` — Algorithm 1 of the paper (Halko et al. sketch +
+  power iteration), the compression primitive of DPar2.
+* :func:`truncated_svd` — deterministic rank-``R`` SVD.
+* :func:`gram_svd` — SVD of a tall matrix via the eigendecomposition of its
+  ``J×J`` Gram matrix; used by RD-ALS preprocessing where the concatenated
+  matrix has ``sum(Ik)`` rows but few columns.
+* :func:`orthonormal_columns` / :func:`pseudoinverse` — shared helpers.
+"""
+
+from repro.linalg.gram import gram_svd
+from repro.linalg.pinv import pseudoinverse, solve_gram
+from repro.linalg.qr import orthonormal_columns
+from repro.linalg.randomized_svd import RandomizedSVDResult, randomized_svd
+from repro.linalg.truncated_svd import truncated_svd
+
+__all__ = [
+    "RandomizedSVDResult",
+    "gram_svd",
+    "orthonormal_columns",
+    "pseudoinverse",
+    "randomized_svd",
+    "solve_gram",
+    "truncated_svd",
+]

@@ -1,0 +1,40 @@
+"""Orthonormalization helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import as_generator
+from repro.util.validation import check_matrix
+
+
+def orthonormal_columns(matrix) -> np.ndarray:
+    """Return an orthonormal basis ``Q`` for the column space of ``matrix``.
+
+    Thin wrapper over reduced QR; kept as a named function so call sites read
+    like the paper ("QR ← Y using QR factorization", Algorithm 1 line 3).
+    """
+    A = check_matrix(matrix, "matrix")
+    Q, _ = np.linalg.qr(A)
+    return Q
+
+
+def random_orthonormal(rows: int, cols: int, random_state=None) -> np.ndarray:
+    """Draw a ``rows×cols`` matrix with orthonormal columns.
+
+    Used to initialize the common factor ``H`` and ``V`` (Algorithm 2/3,
+    line 1) — a Haar-ish initialization obtained by QR of a Gaussian matrix.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError(f"dimensions must be positive, got {rows}x{cols}")
+    if cols > rows:
+        raise ValueError(
+            f"cannot build {cols} orthonormal columns in dimension {rows}"
+        )
+    rng = as_generator(random_state)
+    gaussian = rng.standard_normal((rows, cols))
+    Q, upper = np.linalg.qr(gaussian)
+    # Fix the sign ambiguity so results are reproducible across BLAS builds.
+    signs = np.sign(np.diag(upper))
+    signs[signs == 0] = 1.0
+    return Q * signs

@@ -1,0 +1,40 @@
+"""Deterministic truncated SVD.
+
+Used wherever the paper calls for an *exact* small SVD: the ``R×R`` inner
+SVD of ``F(k) E Dᵀ V Sk Hᵀ`` in DPar2's iteration, and the slice SVDs in
+PARAFAC2-ALS / SPARTan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.randomized_svd import RandomizedSVDResult
+from repro.util.validation import check_matrix, check_rank
+
+
+def truncated_svd(matrix, rank: int) -> RandomizedSVDResult:
+    """Exact SVD of ``matrix`` truncated to the top ``rank`` components.
+
+    Returns the same :class:`RandomizedSVDResult` container as the randomized
+    variant so the two are drop-in interchangeable (useful for ablations).
+    """
+    A = check_matrix(matrix, "matrix")
+    effective_rank = min(check_rank(rank), *A.shape)
+    U, sigma, Vt = np.linalg.svd(A, full_matrices=False)
+    return RandomizedSVDResult(
+        U=U[:, :effective_rank].copy(),
+        singular_values=sigma[:effective_rank].copy(),
+        V=Vt[:effective_rank].T.copy(),
+    )
+
+
+def svd_polar_factor(matrix, rank: int) -> np.ndarray:
+    """Return ``Z Pᵀ`` from the truncated SVD ``Z Σ Pᵀ`` of ``matrix``.
+
+    This is the minimizer of ``‖X − Q M‖_F`` over column-orthogonal ``Q``
+    (the orthogonal Procrustes solution), used to update ``Qk`` in
+    PARAFAC2-ALS (Algorithm 2, line 5).
+    """
+    result = truncated_svd(matrix, rank)
+    return result.U @ result.V.T

@@ -1,0 +1,17 @@
+"""Multicore substrate: Algorithm 4's greedy work partitioning plus a thin
+thread-pool wrapper.
+
+numpy's BLAS kernels release the GIL, so thread-level parallelism across
+slices gives genuine speedups for the SVD-heavy compression stage — the same
+slice-level parallelism the paper's MATLAB implementation uses.
+"""
+
+from repro.parallel.executor import map_partitioned, parallel_map
+from repro.parallel.partition import greedy_partition, partition_imbalance
+
+__all__ = [
+    "greedy_partition",
+    "map_partitioned",
+    "parallel_map",
+    "partition_imbalance",
+]

@@ -1,0 +1,17 @@
+"""Minimal sparse-matrix substrate, built from scratch.
+
+SPARTan [11] is natively a *sparse* PARAFAC2 method; to implement it
+faithfully (and to support sparse irregular tensors as inputs) the library
+carries its own COO/CSR formats rather than depending on scipy:
+
+* :class:`CooMatrix` — construction-friendly triplet format.
+* :class:`CsrMatrix` — row-compressed format with matvec / matmat kernels.
+* :func:`ops.sparse_dense_matmul` and friends — the kernels SPARTan's
+  MTTKRP needs.
+"""
+
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.ops import dense_to_sparse, sparsity
+
+__all__ = ["CooMatrix", "CsrMatrix", "dense_to_sparse", "sparsity"]

@@ -1,0 +1,93 @@
+"""Coordinate (triplet) sparse matrix format."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CooMatrix:
+    """A sparse matrix stored as ``(row, col, value)`` triplets.
+
+    Duplicate coordinates are allowed at construction and are summed when
+    converting to CSR or dense — the usual COO semantics.
+    """
+
+    def __init__(self, shape, rows, cols, values) -> None:
+        if len(shape) != 2 or shape[0] < 0 or shape[1] < 0:
+            raise ValueError(f"shape must be a pair of non-negative ints, got {shape}")
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.rows = np.asarray(rows, dtype=np.int64).ravel()
+        self.cols = np.asarray(cols, dtype=np.int64).ravel()
+        self.values = np.asarray(values, dtype=np.float64).ravel()
+        if not (self.rows.shape == self.cols.shape == self.values.shape):
+            raise ValueError(
+                "rows, cols, values must have equal lengths, got "
+                f"{self.rows.size}, {self.cols.size}, {self.values.size}"
+            )
+        if self.rows.size:
+            if self.rows.min() < 0 or self.rows.max() >= self.shape[0]:
+                raise ValueError("row index out of bounds")
+            if self.cols.min() < 0 or self.cols.max() >= self.shape[1]:
+                raise ValueError("column index out of bounds")
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored triplets (before duplicate summing)."""
+        return self.values.size
+
+    def __repr__(self) -> str:
+        return f"CooMatrix(shape={self.shape}, nnz={self.nnz})"
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape)
+        np.add.at(dense, (self.rows, self.cols), self.values)
+        return dense
+
+    def to_csr(self):
+        """Convert to CSR, summing duplicates and dropping explicit zeros."""
+        from repro.sparse.csr import CsrMatrix
+
+        if self.nnz == 0:
+            indptr = np.zeros(self.shape[0] + 1, dtype=np.int64)
+            return CsrMatrix(
+                self.shape,
+                indptr,
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        order = np.lexsort((self.cols, self.rows))
+        rows = self.rows[order]
+        cols = self.cols[order]
+        values = self.values[order]
+
+        # Collapse duplicates: a triplet starts a new entry when its (row,
+        # col) differs from its predecessor's.
+        new_entry = np.ones(rows.size, dtype=bool)
+        new_entry[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+        group = np.cumsum(new_entry) - 1
+        summed = np.zeros(group[-1] + 1)
+        np.add.at(summed, group, values)
+        unique_rows = rows[new_entry]
+        unique_cols = cols[new_entry]
+
+        keep = summed != 0.0
+        unique_rows = unique_rows[keep]
+        unique_cols = unique_cols[keep]
+        summed = summed[keep]
+
+        indptr = np.zeros(self.shape[0] + 1, dtype=np.int64)
+        np.add.at(indptr, unique_rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return CsrMatrix(self.shape, indptr, unique_cols, summed)
+
+    @classmethod
+    def from_dense(cls, dense, *, threshold: float = 0.0) -> "CooMatrix":
+        """Extract entries with ``|value| > threshold`` from a dense matrix."""
+        array = np.asarray(dense, dtype=np.float64)
+        if array.ndim != 2:
+            raise ValueError(f"expected a matrix, got shape {array.shape}")
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        mask = np.abs(array) > threshold
+        rows, cols = np.nonzero(mask)
+        return cls(array.shape, rows, cols, array[rows, cols])

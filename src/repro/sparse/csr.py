@@ -1,0 +1,121 @@
+"""Compressed Sparse Row matrix with the kernels SPARTan needs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CsrMatrix:
+    """CSR matrix: ``indptr`` (len rows+1), ``indices``, ``data``.
+
+    Rows are contiguous runs ``data[indptr[i]:indptr[i+1]]`` with column
+    indices ``indices[...]``.  Within a row, columns are sorted and unique
+    (guaranteed when built via :meth:`CooMatrix.to_csr`).
+    """
+
+    def __init__(self, shape, indptr, indices, data) -> None:
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        if self.indptr.shape != (self.shape[0] + 1,):
+            raise ValueError(
+                f"indptr must have length rows+1 = {self.shape[0] + 1}, "
+                f"got {self.indptr.shape[0]}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != self.data.size:
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.shape != self.data.shape:
+            raise ValueError("indices and data must have equal lengths")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.shape[1]
+        ):
+            raise ValueError("column index out of bounds")
+
+    @property
+    def nnz(self) -> int:
+        return self.data.size
+
+    @property
+    def density(self) -> float:
+        total = self.shape[0] * self.shape[1]
+        return self.nnz / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return f"CsrMatrix(shape={self.shape}, nnz={self.nnz})"
+
+    # ------------------------------------------------------------------ #
+    # kernels
+    # ------------------------------------------------------------------ #
+
+    def matvec(self, vector) -> np.ndarray:
+        """``A @ x`` for a dense vector ``x``."""
+        x = np.asarray(vector, dtype=np.float64).ravel()
+        if x.shape[0] != self.shape[1]:
+            raise ValueError(
+                f"vector has length {x.shape[0]}, expected {self.shape[1]}"
+            )
+        products = self.data * x[self.indices]
+        out = np.zeros(self.shape[0])
+        row_ids = self._row_ids()
+        np.add.at(out, row_ids, products)
+        return out
+
+    def matmul_dense(self, dense) -> np.ndarray:
+        """``A @ B`` for a dense matrix ``B`` (the SPARTan workhorse)."""
+        B = np.asarray(dense, dtype=np.float64)
+        if B.ndim != 2 or B.shape[0] != self.shape[1]:
+            raise ValueError(
+                f"dense operand must be ({self.shape[1]}, n), got {B.shape}"
+            )
+        out = np.zeros((self.shape[0], B.shape[1]))
+        row_ids = self._row_ids()
+        contrib = self.data[:, None] * B[self.indices]
+        np.add.at(out, row_ids, contrib)
+        return out
+
+    def rmatmul_dense(self, dense) -> np.ndarray:
+        """``Bᵀ @ A`` i.e. ``(Aᵀ B)ᵀ`` — computes ``dense.T @ self``."""
+        B = np.asarray(dense, dtype=np.float64)
+        if B.ndim != 2 or B.shape[0] != self.shape[0]:
+            raise ValueError(
+                f"dense operand must be ({self.shape[0]}, n), got {B.shape}"
+            )
+        out = np.zeros((B.shape[1], self.shape[1]))
+        row_ids = self._row_ids()
+        # out[:, j] += sum over nnz with col j of value * B[row, :]
+        contrib = self.data[:, None] * B[row_ids]
+        np.add.at(out.T, self.indices, contrib)
+        return out
+
+    def transpose(self) -> "CsrMatrix":
+        """Return ``Aᵀ`` as a new CSR matrix."""
+        from repro.sparse.coo import CooMatrix
+
+        row_ids = self._row_ids()
+        return CooMatrix(
+            (self.shape[1], self.shape[0]), self.indices, row_ids, self.data
+        ).to_csr()
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape)
+        row_ids = self._row_ids()
+        dense[row_ids, self.indices] = self.data
+        return dense
+
+    def row_norms_squared(self) -> np.ndarray:
+        """Per-row squared 2-norms (used for norm bookkeeping)."""
+        out = np.zeros(self.shape[0])
+        np.add.at(out, self._row_ids(), self.data**2)
+        return out
+
+    def squared_norm(self) -> float:
+        return float(np.sum(self.data**2))
+
+    def _row_ids(self) -> np.ndarray:
+        """Expand ``indptr`` into a per-entry row-index array."""
+        return np.repeat(
+            np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr)
+        )

@@ -1,0 +1,46 @@
+"""Sparse helpers shared by SPARTan and the data generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csr import CsrMatrix
+from repro.util.rng import as_generator
+
+
+def dense_to_sparse(dense, *, threshold: float = 0.0) -> CsrMatrix:
+    """Convert a dense matrix to CSR, keeping ``|value| > threshold``."""
+    return CooMatrix.from_dense(dense, threshold=threshold).to_csr()
+
+
+def sparsity(matrix) -> float:
+    """Fraction of zero entries, for dense arrays or CSR matrices."""
+    if isinstance(matrix, CsrMatrix):
+        return 1.0 - matrix.density
+    array = np.asarray(matrix)
+    if array.size == 0:
+        return 0.0
+    return float(np.count_nonzero(array == 0.0)) / array.size
+
+
+def random_sparse(
+    shape,
+    density: float,
+    random_state=None,
+) -> CsrMatrix:
+    """Random CSR matrix with roughly ``density`` nonzero fraction."""
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    rows, cols = int(shape[0]), int(shape[1])
+    rng = as_generator(random_state)
+    nnz = int(round(density * rows * cols))
+    if nnz == 0:
+        return CooMatrix((rows, cols), [], [], []).to_csr()
+    flat = rng.choice(rows * cols, size=nnz, replace=False)
+    return CooMatrix(
+        (rows, cols),
+        flat // cols,
+        flat % cols,
+        rng.standard_normal(nnz),
+    ).to_csr()

@@ -1,0 +1,41 @@
+"""Tensor substrate: containers, unfoldings, and structured products.
+
+* :class:`IrregularTensor` — the paper's ``{Xk}``: slices sharing a column
+  count ``J`` but with per-slice row counts ``Ik``.
+* :class:`DenseTensor` — a regular 3-order tensor with Kolda-convention
+  mode-n matricization (used by the inner CP step and the synthetic
+  scalability workloads).
+* products — Kronecker, Khatri–Rao, Hadamard, consistent with the unfolding
+  convention (``X(1) ≈ A (C ⊙ B)ᵀ``).
+"""
+
+from repro.tensor.dense import DenseTensor
+from repro.tensor.irregular import IrregularTensor
+from repro.tensor.matricization import fold, unfold
+from repro.tensor.norms import frobenius_norm, relative_error
+from repro.tensor.products import hadamard, khatri_rao, kronecker
+from repro.tensor.random import random_dense_tensor, random_irregular_tensor
+from repro.tensor.windows import (
+    WindowedTensor,
+    row_range_window,
+    split_train_tail,
+    trailing_window,
+)
+
+__all__ = [
+    "DenseTensor",
+    "IrregularTensor",
+    "WindowedTensor",
+    "fold",
+    "frobenius_norm",
+    "hadamard",
+    "khatri_rao",
+    "kronecker",
+    "random_dense_tensor",
+    "random_irregular_tensor",
+    "relative_error",
+    "row_range_window",
+    "split_train_tail",
+    "trailing_window",
+    "unfold",
+]

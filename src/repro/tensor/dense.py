@@ -1,0 +1,82 @@
+"""Regular dense 3-order tensor with CP utilities.
+
+The inner loop of every PARAFAC2 solver builds the small regular tensor
+``Y ∈ R^{R×J×K}`` whose frontal slices are ``Qkᵀ Xk`` and runs one CP-ALS
+sweep on it.  This container provides the unfoldings and reconstruction
+helpers for that step, plus what the synthetic scalability workloads need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.matricization import unfold
+from repro.tensor.products import khatri_rao
+
+
+class DenseTensor:
+    """A plain 3-order tensor stored as a ``float64`` ndarray."""
+
+    def __init__(self, data) -> None:
+        array = np.asarray(data, dtype=np.float64)
+        if array.ndim != 3:
+            raise ValueError(f"expected a 3-order tensor, got shape {array.shape}")
+        if array.size == 0:
+            raise ValueError("tensor must be non-empty")
+        if not np.all(np.isfinite(array)):
+            raise ValueError("tensor contains NaN or Inf entries")
+        self._data = np.ascontiguousarray(array)
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return self._data.shape
+
+    @property
+    def nbytes(self) -> int:
+        return self._data.nbytes
+
+    def __repr__(self) -> str:
+        return f"DenseTensor(shape={self.shape})"
+
+    def unfold(self, mode: int) -> np.ndarray:
+        """Mode-``mode`` matricization (1-based, Kolda convention)."""
+        return unfold(self._data, mode)
+
+    def frontal_slice(self, k: int) -> np.ndarray:
+        """``X(:, :, k)`` as a matrix."""
+        return self._data[:, :, k]
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self._data.ravel()))
+
+    @classmethod
+    def from_frontal_slices(cls, slices) -> "DenseTensor":
+        """Stack equal-shaped matrices ``Yk`` into a tensor along mode 3."""
+        mats = [np.asarray(Yk, dtype=np.float64) for Yk in slices]
+        if not mats:
+            raise ValueError("need at least one slice")
+        shape = mats[0].shape
+        for idx, Yk in enumerate(mats):
+            if Yk.shape != shape:
+                raise ValueError(
+                    f"slice {idx} has shape {Yk.shape}, expected {shape}"
+                )
+        return cls(np.stack(mats, axis=2))
+
+    @classmethod
+    def from_cp_factors(cls, factors, weights=None) -> "DenseTensor":
+        """Materialize a CP model ``[[A, B, C]]`` (optionally weighted)."""
+        A, B, C = (np.asarray(f, dtype=np.float64) for f in factors)
+        rank = A.shape[1]
+        if B.shape[1] != rank or C.shape[1] != rank:
+            raise ValueError("all CP factors must share the rank")
+        lam = np.ones(rank) if weights is None else np.asarray(weights, dtype=np.float64)
+        if lam.shape != (rank,):
+            raise ValueError(f"weights must have shape ({rank},)")
+        unfolded = (A * lam) @ khatri_rao(C, B).T
+        data = unfolded.reshape(A.shape[0], B.shape[0], C.shape[0], order="F")
+        return cls(data)

@@ -1,0 +1,144 @@
+"""The irregular tensor ``{Xk}`` — the paper's central data structure.
+
+An irregular tensor is a list of dense slice matrices ``Xk ∈ R^{Ik×J}``
+whose column count ``J`` is shared but whose row counts ``Ik`` differ
+(stocks with different listing periods, songs of different lengths, …).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.util.validation import check_matrix
+
+
+class IrregularTensor:
+    """A collection of dense slices ``Xk`` with a common column dimension.
+
+    Parameters
+    ----------
+    slices:
+        Sequence of 2-D arrays, each ``(Ik, J)`` with the same ``J``.
+    copy:
+        Whether to copy the slice data (default) or hold references.
+
+    Notes
+    -----
+    Slices are stored as C-contiguous ``float64`` arrays.  The container is
+    immutable by convention: methods never mutate slice data in place.
+    """
+
+    def __init__(self, slices: Iterable[np.ndarray], *, copy: bool = True) -> None:
+        materialized = list(slices)
+        if not materialized:
+            raise ValueError("an irregular tensor needs at least one slice")
+        checked = [
+            check_matrix(Xk, f"slices[{idx}]") for idx, Xk in enumerate(materialized)
+        ]
+        J = checked[0].shape[1]
+        for idx, Xk in enumerate(checked):
+            if Xk.shape[1] != J:
+                raise ValueError(
+                    f"slices[{idx}] has {Xk.shape[1]} columns; expected {J} "
+                    "(all slices must share the column dimension J)"
+                )
+        self._slices = [Xk.copy() if copy else Xk for Xk in checked]
+        self._J = J
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._slices)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self._slices)
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        return self._slices[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"IrregularTensor(K={self.n_slices}, J={self.n_columns}, "
+            f"Ik range [{min(self.row_counts)}, {max(self.row_counts)}], "
+            f"{self.n_entries} entries)"
+        )
+
+    # ------------------------------------------------------------------ #
+    # shape metadata
+    # ------------------------------------------------------------------ #
+
+    @property
+    def slices(self) -> Sequence[np.ndarray]:
+        """The underlying list of slice matrices (do not mutate)."""
+        return self._slices
+
+    @property
+    def n_slices(self) -> int:
+        """``K``, the number of frontal slices."""
+        return len(self._slices)
+
+    @property
+    def n_columns(self) -> int:
+        """``J``, the shared column dimension."""
+        return self._J
+
+    @property
+    def row_counts(self) -> list[int]:
+        """``[I1, …, IK]``: per-slice row counts — the irregularity profile."""
+        return [Xk.shape[0] for Xk in self._slices]
+
+    @property
+    def max_rows(self) -> int:
+        """``max Ik`` — Table II's "Max Dim. Ik" column."""
+        return max(self.row_counts)
+
+    @property
+    def n_entries(self) -> int:
+        """Total number of stored values ``Σk Ik·J``."""
+        return sum(Xk.size for Xk in self._slices)
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the slice data in bytes."""
+        return sum(Xk.nbytes for Xk in self._slices)
+
+    # ------------------------------------------------------------------ #
+    # numerics
+    # ------------------------------------------------------------------ #
+
+    def squared_norm(self) -> float:
+        """``Σk ‖Xk‖_F²`` — the denominator of the paper's fitness metric."""
+        return float(sum(np.sum(Xk * Xk) for Xk in self._slices))
+
+    def norm(self) -> float:
+        """Global Frobenius norm ``sqrt(Σk ‖Xk‖_F²)``."""
+        return float(np.sqrt(self.squared_norm()))
+
+    def scaled(self, factor: float) -> "IrregularTensor":
+        """Return a copy with every slice multiplied by ``factor``."""
+        return IrregularTensor([Xk * factor for Xk in self._slices], copy=False)
+
+    def transpose_concatenation(self) -> np.ndarray:
+        """``∥k Xkᵀ`` — the ``J × (Σ Ik)`` matrix RD-ALS preprocesses."""
+        return np.concatenate([Xk.T for Xk in self._slices], axis=1)
+
+    def subset(self, indices: Sequence[int]) -> "IrregularTensor":
+        """A new tensor holding the selected slices (analysis time-windows)."""
+        picked = [self._slices[i] for i in indices]
+        return IrregularTensor(picked)
+
+    @classmethod
+    def from_regular(cls, tensor: np.ndarray) -> "IrregularTensor":
+        """Split a regular ``I×J×K`` array into K frontal slices.
+
+        This is how the paper feeds the regular Traffic / PEMS-SF tensors and
+        the ``tenrand`` scalability tensors to PARAFAC2 solvers.
+        """
+        array = np.asarray(tensor, dtype=np.float64)
+        if array.ndim != 3:
+            raise ValueError(f"expected a 3-order tensor, got shape {array.shape}")
+        return cls([array[:, :, k] for k in range(array.shape[2])])

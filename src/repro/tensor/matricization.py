@@ -1,0 +1,52 @@
+"""Mode-n matricization (unfolding) and its inverse.
+
+Convention: Kolda & Bader [19], which the Tensor Toolbox (the paper's
+substrate) uses.  For ``X ∈ R^{I1×I2×I3}``, the mode-n unfolding maps element
+``(i1, i2, i3)`` to row ``in`` and a column index in which the *lower* modes
+vary fastest.  Under this convention the CP model satisfies
+``X(1) ≈ A1 (A3 ⊙ A2)ᵀ`` with ``⊙`` the column-wise Khatri–Rao product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def unfold(tensor: np.ndarray, mode: int) -> np.ndarray:
+    """Mode-``mode`` unfolding of a 3-order tensor (modes are 1-based).
+
+    ``unfold(X, 1)`` is ``I1 × (I2·I3)``, ``unfold(X, 2)`` is
+    ``I2 × (I1·I3)``, ``unfold(X, 3)`` is ``I3 × (I1·I2)``.
+    """
+    array = np.asarray(tensor)
+    if array.ndim != 3:
+        raise ValueError(f"expected a 3-order tensor, got shape {array.shape}")
+    if mode not in (1, 2, 3):
+        raise ValueError(f"mode must be 1, 2, or 3, got {mode}")
+    axis = mode - 1
+    # moveaxis puts the unfolding mode first; Fortran order then makes the
+    # remaining modes vary lower-mode-fastest, matching Kolda & Bader.
+    moved = np.moveaxis(array, axis, 0)
+    return moved.reshape(moved.shape[0], -1, order="F")
+
+
+def fold(matrix: np.ndarray, mode: int, shape: tuple[int, int, int]) -> np.ndarray:
+    """Inverse of :func:`unfold`: rebuild the tensor of ``shape``."""
+    array = np.asarray(matrix)
+    if array.ndim != 2:
+        raise ValueError(f"expected a matrix, got shape {array.shape}")
+    if mode not in (1, 2, 3):
+        raise ValueError(f"mode must be 1, 2, or 3, got {mode}")
+    if len(shape) != 3:
+        raise ValueError(f"shape must have 3 entries, got {shape}")
+    axis = mode - 1
+    expected_rows = shape[axis]
+    other = [shape[i] for i in range(3) if i != axis]
+    if array.shape != (expected_rows, other[0] * other[1]):
+        raise ValueError(
+            f"matrix shape {array.shape} inconsistent with mode-{mode} "
+            f"unfolding of tensor shape {shape}"
+        )
+    moved_shape = (expected_rows, *other)
+    moved = array.reshape(moved_shape, order="F")
+    return np.moveaxis(moved, 0, axis)

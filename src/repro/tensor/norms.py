@@ -1,0 +1,28 @@
+"""Norms and error metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def frobenius_norm(array) -> float:
+    """Frobenius norm of an array of any order."""
+    values = np.asarray(array, dtype=np.float64)
+    return float(np.sqrt(np.sum(values * values)))
+
+
+def relative_error(actual, approximation) -> float:
+    """``‖actual − approximation‖_F / ‖actual‖_F``.
+
+    Returns ``inf`` for a zero reference with a nonzero approximation and
+    ``0`` when both are zero.
+    """
+    a = np.asarray(actual, dtype=np.float64)
+    b = np.asarray(approximation, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    denom = frobenius_norm(a)
+    num = frobenius_norm(a - b)
+    if denom == 0.0:
+        return 0.0 if num == 0.0 else float("inf")
+    return num / denom

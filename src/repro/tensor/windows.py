@@ -1,0 +1,129 @@
+"""Time-window operations on irregular tensors.
+
+The Table III workflow starts by "constructing the tensor included in the
+range" — restricting every slice to a query time window and keeping only
+slices that fully cover it.  These helpers implement that plus the trailing
+/aligned views the stock analyses need.
+
+Conventions: slices are row-indexed by time with the **most recent row
+last** (the stock generator emits trailing windows), so ``trailing_window``
+takes rows from the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tensor.irregular import IrregularTensor
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class WindowedTensor:
+    """A windowed view: the sub-tensor plus the indices of surviving slices.
+
+    ``kept`` maps positions in ``tensor`` back to slice indices of the
+    original tensor, so downstream analyses can translate results (e.g.
+    similar-stock rankings) back to original identifiers.
+    """
+
+    tensor: IrregularTensor
+    kept: list[int]
+
+    def original_index(self, position: int) -> int:
+        return self.kept[position]
+
+
+def trailing_window(
+    tensor: IrregularTensor,
+    length: int,
+    *,
+    require_full: bool = True,
+) -> WindowedTensor:
+    """Keep the last ``length`` rows of every slice.
+
+    Parameters
+    ----------
+    tensor:
+        The irregular input.
+    length:
+        Window size in rows (time steps).
+    require_full:
+        When True (default, the paper's Table III restriction), slices
+        shorter than ``length`` are dropped; when False they are kept
+        whole.
+
+    Returns
+    -------
+    WindowedTensor
+        With equal-height slices when ``require_full`` is True.
+    """
+    check_positive_int(length, "length")
+    slices: list[np.ndarray] = []
+    kept: list[int] = []
+    for k, Xk in enumerate(tensor):
+        if Xk.shape[0] >= length:
+            slices.append(Xk[-length:])
+            kept.append(k)
+        elif not require_full:
+            slices.append(Xk)
+            kept.append(k)
+    if not slices:
+        raise ValueError(
+            f"no slice covers a window of {length} rows "
+            f"(longest has {tensor.max_rows})"
+        )
+    return WindowedTensor(IrregularTensor(slices), kept)
+
+
+def row_range_window(
+    tensor: IrregularTensor,
+    start: int,
+    stop: int,
+) -> WindowedTensor:
+    """Keep rows ``[start, stop)`` counted from each slice's *end*.
+
+    ``start=0`` is the most recent row; e.g. ``row_range_window(t, 20, 60)``
+    selects the 40 rows ending 20 steps before each slice's last row —
+    "the COVID window" style query.  Slices too short to cover the range
+    are dropped.
+    """
+    if start < 0 or stop <= start:
+        raise ValueError(f"need 0 <= start < stop, got [{start}, {stop})")
+    slices: list[np.ndarray] = []
+    kept: list[int] = []
+    for k, Xk in enumerate(tensor):
+        n = Xk.shape[0]
+        if n >= stop:
+            lo = n - stop
+            hi = n - start
+            slices.append(Xk[lo:hi])
+            kept.append(k)
+    if not slices:
+        raise ValueError(f"no slice covers the row range [{start}, {stop})")
+    return WindowedTensor(IrregularTensor(slices), kept)
+
+
+def split_train_tail(
+    tensor: IrregularTensor,
+    tail_rows: int,
+) -> tuple[IrregularTensor, IrregularTensor]:
+    """Split every slice into (history, tail) for forecasting-style eval.
+
+    Each slice must have more than ``tail_rows`` rows; the first part keeps
+    everything except the last ``tail_rows`` rows.
+    """
+    check_positive_int(tail_rows, "tail_rows")
+    heads: list[np.ndarray] = []
+    tails: list[np.ndarray] = []
+    for k, Xk in enumerate(tensor):
+        if Xk.shape[0] <= tail_rows:
+            raise ValueError(
+                f"slice {k} has only {Xk.shape[0]} rows; cannot hold out "
+                f"{tail_rows}"
+            )
+        heads.append(Xk[:-tail_rows])
+        tails.append(Xk[-tail_rows:])
+    return IrregularTensor(heads), IrregularTensor(tails)

@@ -1,0 +1,29 @@
+"""Shared utilities: RNG handling, timing, validation, and configuration.
+
+These helpers are deliberately small and dependency-free so that every other
+subpackage (linear algebra, tensors, decompositions, experiments) can rely on
+them without import cycles.
+"""
+
+from repro.util.config import DecompositionConfig
+from repro.util.rng import as_generator, spawn_generators
+from repro.util.timing import Stopwatch, format_seconds, time_call
+from repro.util.validation import (
+    check_matrix,
+    check_positive_int,
+    check_probability,
+    check_rank,
+)
+
+__all__ = [
+    "DecompositionConfig",
+    "Stopwatch",
+    "as_generator",
+    "check_matrix",
+    "check_positive_int",
+    "check_probability",
+    "check_rank",
+    "format_seconds",
+    "spawn_generators",
+    "time_call",
+]

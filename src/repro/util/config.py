@@ -1,0 +1,63 @@
+"""Configuration shared by every PARAFAC2 solver in the library.
+
+All four methods (PARAFAC2-ALS, RD-ALS, SPARTan, DPar2) accept the same
+knobs so that the experiment harness can sweep them uniformly — exactly how
+the paper's evaluation treats its competitors (Section IV-A: rank 10 unless
+stated, at most 32 iterations, 6 threads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class DecompositionConfig:
+    """Hyper-parameters for an ALS-style PARAFAC2 run.
+
+    Attributes
+    ----------
+    rank:
+        Target rank ``R`` of the decomposition.
+    max_iterations:
+        Hard cap on ALS sweeps; the paper uses 32.
+    tolerance:
+        Relative change of the convergence criterion below which iteration
+        stops ("the error ceases to decrease").
+    n_threads:
+        Worker threads for slice-parallel stages; the paper defaults to 6.
+    oversampling:
+        Extra columns ``s`` in the randomized-SVD sketch (Algorithm 1).
+    power_iterations:
+        Exponent ``q`` in Algorithm 1 — subspace ("power") iterations that
+        sharpen the sketch for slowly decaying spectra.
+    random_state:
+        Seed or generator for every stochastic stage.
+    """
+
+    rank: int = 10
+    max_iterations: int = 32
+    tolerance: float = 1e-4
+    n_threads: int = 1
+    oversampling: int = 5
+    power_iterations: int = 1
+    random_state: object = None
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.rank, "rank")
+        check_positive_int(self.max_iterations, "max_iterations")
+        check_positive_int(self.n_threads, "n_threads")
+        if self.oversampling < 0:
+            raise ValueError(f"oversampling must be >= 0, got {self.oversampling}")
+        if self.power_iterations < 0:
+            raise ValueError(
+                f"power_iterations must be >= 0, got {self.power_iterations}"
+            )
+        if self.tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0, got {self.tolerance}")
+
+    def with_(self, **changes) -> "DecompositionConfig":
+        """Return a copy with the given fields replaced (sweep helper)."""
+        return replace(self, **changes)

@@ -1,0 +1,55 @@
+"""Random-number-generator plumbing.
+
+Every stochastic routine in the library accepts a ``random_state`` argument
+that may be ``None``, an integer seed, or a :class:`numpy.random.Generator`.
+Funnelling all of them through :func:`as_generator` keeps experiments
+reproducible and lets callers share a single generator across stages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RandomState = "None | int | np.random.Generator"
+
+
+def as_generator(random_state=None) -> np.random.Generator:
+    """Coerce ``random_state`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` for a fresh non-deterministic generator, an ``int`` seed for
+        a deterministic one, or an existing ``Generator`` which is returned
+        unchanged (so that state continues to advance for the caller).
+
+    Raises
+    ------
+    TypeError
+        If ``random_state`` is of an unsupported type.
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        if random_state < 0:
+            raise ValueError(f"seed must be non-negative, got {random_state}")
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        "random_state must be None, an int seed, or a numpy Generator; "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def spawn_generators(random_state, count: int) -> list[np.random.Generator]:
+    """Create ``count`` independent child generators.
+
+    Used by the thread-parallel compression stage so that each worker owns a
+    private stream: numpy generators are not thread-safe to share.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = as_generator(random_state)
+    seed_seq = np.random.SeedSequence(root.integers(0, 2**63 - 1))
+    return [np.random.default_rng(child) for child in seed_seq.spawn(count)]

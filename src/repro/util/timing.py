@@ -1,0 +1,98 @@
+"""Wall-clock measurement helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class Stopwatch:
+    """A cumulative stopwatch usable as a context manager.
+
+    Example
+    -------
+    >>> watch = Stopwatch()
+    >>> with watch:
+    ...     _ = sum(range(10))
+    >>> watch.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started_at: float | None = None
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch is already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch is not running")
+        delta = time.perf_counter() - self._started_at
+        self.elapsed += delta
+        self._started_at = None
+        return delta
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+@dataclass
+class TimedResult:
+    """Return value of :func:`time_call`: the callee's result plus seconds."""
+
+    value: object
+    seconds: float
+    repeats: int = 1
+    per_repeat: list = field(default_factory=list)
+
+
+def time_call(func, *args, repeats: int = 1, **kwargs) -> TimedResult:
+    """Call ``func`` ``repeats`` times and report the mean wall-clock time.
+
+    The paper reports the average of 5 runs for every timing experiment
+    (Section IV-A); the harness uses this helper with ``repeats=5`` for the
+    headline tables and ``repeats=1`` for smoke runs.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    durations: list[float] = []
+    value = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = func(*args, **kwargs)
+        durations.append(time.perf_counter() - t0)
+    return TimedResult(
+        value=value,
+        seconds=sum(durations) / len(durations),
+        repeats=repeats,
+        per_repeat=durations,
+    )
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration the way the paper's tables do (3 significant figs)."""
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f}s"
+    minutes, rem = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{rem:04.1f}s"

@@ -1,0 +1,66 @@
+"""Input validation shared by the public API surface.
+
+The decomposition entry points are user-facing; failing early with a clear
+message beats a cryptic numpy broadcast error ten frames deep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_matrix(array, name: str = "array", *, allow_empty: bool = False) -> np.ndarray:
+    """Validate and canonicalize a 2-D float array.
+
+    Returns a C-contiguous ``float64`` view/copy of ``array``.
+
+    Raises
+    ------
+    TypeError
+        If ``array`` cannot be converted to a numeric ndarray.
+    ValueError
+        If it is not 2-D, contains NaN/Inf, or is empty while
+        ``allow_empty`` is false.
+    """
+    try:
+        matrix = np.asarray(array, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be convertible to a float array") from exc
+    if matrix.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got {matrix.ndim}-D shape {matrix.shape}")
+    if not allow_empty and matrix.size == 0:
+        raise ValueError(f"{name} must be non-empty, got shape {matrix.shape}")
+    if not np.all(np.isfinite(matrix)):
+        raise ValueError(f"{name} contains NaN or Inf entries")
+    return np.ascontiguousarray(matrix)
+
+
+def check_positive_int(value, name: str = "value") -> int:
+    """Validate a strictly positive integer parameter (e.g. rank, threads)."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_rank(rank, *, max_allowed: int | None = None, name: str = "rank") -> int:
+    """Validate a decomposition target rank, optionally capped by a dimension."""
+    rank = check_positive_int(rank, name)
+    if max_allowed is not None and rank > max_allowed:
+        raise ValueError(
+            f"{name}={rank} exceeds the largest feasible value {max_allowed} "
+            "for the given data"
+        )
+    return rank
+
+
+def check_probability(value, name: str = "value") -> float:
+    """Validate a probability-like float in [0, 1]."""
+    try:
+        prob = float(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be a float, got {type(value).__name__}") from exc
+    if not 0.0 <= prob <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {prob}")
+    return prob

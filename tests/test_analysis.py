@@ -1,0 +1,282 @@
+"""Tests for the discovery pipeline: correlation, similarity, kNN, RWR."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import (
+    correlation_matrix,
+    feature_correlation,
+    model_feature_correlation,
+    pearson_correlation,
+)
+from repro.analysis.knn import top_k_neighbors
+from repro.analysis.rwr import (
+    random_walk_with_restart,
+    row_normalize,
+    rwr_ranking,
+)
+from repro.analysis.similarity import (
+    similarity_graph,
+    similarity_matrix,
+    slice_similarity,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_input_is_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_matches_numpy(self, rng):
+        x = rng.standard_normal(50)
+        y = rng.standard_normal(50)
+        assert pearson_correlation(x, y) == pytest.approx(
+            np.corrcoef(x, y)[0, 1]
+        )
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError, match="two samples"):
+            pearson_correlation([1], [2])
+
+
+class TestCorrelationMatrix:
+    def test_unit_diagonal_symmetric(self, rng):
+        C = correlation_matrix(rng.standard_normal((5, 20)))
+        np.testing.assert_allclose(np.diag(C), 1.0)
+        np.testing.assert_allclose(C, C.T)
+
+    def test_bounds(self, rng):
+        C = correlation_matrix(rng.standard_normal((6, 10)))
+        assert np.all(C >= -1.0) and np.all(C <= 1.0)
+
+    def test_feature_selection(self, rng):
+        V = rng.standard_normal((8, 5))
+        full = feature_correlation(V)
+        sub = feature_correlation(V, [1, 3])
+        assert sub.shape == (2, 2)
+        assert sub[0, 1] == pytest.approx(full[1, 3])
+
+    def test_bad_index(self, rng):
+        with pytest.raises(IndexError, match="out of range"):
+            feature_correlation(rng.standard_normal((4, 3)), [9])
+
+
+class TestModelFeatureCorrelation:
+    def test_matches_reconstruction_gram(self, rng):
+        """Correlation must equal that of the stacked reconstructed slices
+        (up to the per-slice Qk, which cancels)."""
+        from repro.linalg.qr import random_orthonormal
+
+        R, J, K = 3, 6, 4
+        H = rng.standard_normal((R, R))
+        V = rng.standard_normal((J, R))
+        S = np.abs(rng.standard_normal((K, R))) + 0.2
+        slices = []
+        for k in range(K):
+            Qk = random_orthonormal(10, R, rng)
+            slices.append(Qk @ (H * S[k]) @ V.T)
+        stacked = np.concatenate(slices, axis=0)
+        gram = stacked.T @ stacked
+        d = np.sqrt(np.diag(gram))
+        expected = gram / np.outer(d, d)
+        got = model_feature_correlation(V, H, S)
+        np.testing.assert_allclose(got, expected, atol=1e-8)
+
+    def test_unit_diagonal(self, rng):
+        C = model_feature_correlation(
+            rng.standard_normal((5, 3)),
+            rng.standard_normal((3, 3)),
+            np.abs(rng.standard_normal((4, 3))),
+        )
+        np.testing.assert_allclose(np.diag(C), 1.0, atol=1e-10)
+
+    def test_selection(self, rng):
+        V = rng.standard_normal((6, 3))
+        H = rng.standard_normal((3, 3))
+        S = np.ones((2, 3))
+        full = model_feature_correlation(V, H, S)
+        sub = model_feature_correlation(V, H, S, [0, 5])
+        assert sub[0, 1] == pytest.approx(full[0, 5])
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="inconsistent"):
+            model_feature_correlation(
+                rng.standard_normal((5, 3)),
+                rng.standard_normal((2, 2)),
+                np.ones((4, 3)),
+            )
+
+
+class TestSliceSimilarity:
+    def test_identical_slices_similarity_one(self, rng):
+        U = rng.standard_normal((10, 3))
+        assert slice_similarity(U, U) == pytest.approx(1.0)
+
+    def test_decreasing_in_distance(self, rng):
+        U = rng.standard_normal((10, 3))
+        near = U + 0.01
+        far = U + 10.0
+        assert slice_similarity(U, near) > slice_similarity(U, far)
+
+    def test_gamma_sharpens(self, rng):
+        U = rng.standard_normal((10, 3))
+        other = U + 0.5
+        assert slice_similarity(U, other, gamma=1.0) < slice_similarity(
+            U, other, gamma=0.001
+        )
+
+    def test_range(self, rng):
+        a = rng.standard_normal((8, 2))
+        b = rng.standard_normal((8, 2))
+        s = slice_similarity(a, b)
+        assert 0.0 < s <= 1.0
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError, match="shapes differ"):
+            slice_similarity(rng.standard_normal((5, 2)),
+                             rng.standard_normal((6, 2)))
+
+    def test_bad_gamma(self, rng):
+        U = rng.standard_normal((5, 2))
+        with pytest.raises(ValueError, match="gamma"):
+            slice_similarity(U, U, gamma=0.0)
+
+
+class TestSimilarityMatrices:
+    def test_matrix_symmetric_unit_diagonal(self, rng):
+        factors = [rng.standard_normal((6, 2)) for _ in range(4)]
+        S = similarity_matrix(factors)
+        np.testing.assert_allclose(S, S.T)
+        np.testing.assert_allclose(np.diag(S), 1.0)
+
+    def test_graph_zero_diagonal(self, rng):
+        factors = [rng.standard_normal((6, 2)) for _ in range(4)]
+        A = similarity_graph(factors)
+        np.testing.assert_array_equal(np.diag(A), 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            similarity_matrix([])
+
+
+class TestKnn:
+    @pytest.fixture
+    def sims(self):
+        return np.array([
+            [1.0, 0.9, 0.2, 0.5],
+            [0.9, 1.0, 0.3, 0.1],
+            [0.2, 0.3, 1.0, 0.8],
+            [0.5, 0.1, 0.8, 1.0],
+        ])
+
+    def test_order(self, sims):
+        out = top_k_neighbors(sims, 0, k=3)
+        assert [i for i, _ in out] == [1, 3, 2]
+
+    def test_excludes_query(self, sims):
+        out = top_k_neighbors(sims, 2, k=3)
+        assert 2 not in [i for i, _ in out]
+
+    def test_k_clipped(self, sims):
+        assert len(top_k_neighbors(sims, 0, k=100)) == 3
+
+    def test_scores_returned(self, sims):
+        out = top_k_neighbors(sims, 0, k=1)
+        assert out[0] == (1, 0.9)
+
+    def test_tie_broken_by_index(self):
+        S = np.ones((3, 3))
+        out = top_k_neighbors(S, 0, k=2)
+        assert [i for i, _ in out] == [1, 2]
+
+    def test_query_out_of_range(self, sims):
+        with pytest.raises(IndexError):
+            top_k_neighbors(sims, 7)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            top_k_neighbors(np.ones((2, 3)), 0)
+
+    def test_bad_k(self, sims):
+        with pytest.raises(ValueError, match="k must be"):
+            top_k_neighbors(sims, 0, k=0)
+
+
+class TestRwr:
+    def test_row_normalize_sums_to_one(self, rng):
+        A = np.abs(rng.standard_normal((5, 5)))
+        np.testing.assert_allclose(row_normalize(A).sum(axis=1), 1.0)
+
+    def test_row_normalize_dangling_uniform(self):
+        A = np.zeros((3, 3))
+        A[0, 1] = 1.0
+        out = row_normalize(A)
+        np.testing.assert_allclose(out[1], 1.0 / 3.0)
+        np.testing.assert_allclose(out[2], 1.0 / 3.0)
+
+    def test_row_normalize_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            row_normalize(np.array([[-1.0, 0.0], [0.0, 0.0]]))
+
+    def test_scores_are_distribution(self, rng):
+        A = np.abs(rng.standard_normal((6, 6)))
+        np.fill_diagonal(A, 0.0)
+        r = random_walk_with_restart(A, 0)
+        assert np.all(r >= 0)
+        assert r.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_query_has_high_score(self, rng):
+        A = np.abs(rng.standard_normal((6, 6)))
+        np.fill_diagonal(A, 0.0)
+        r = random_walk_with_restart(A, 2, restart_probability=0.5)
+        assert np.argmax(r) == 2
+
+    def test_satisfies_fixed_point(self, rng):
+        A = np.abs(rng.standard_normal((5, 5)))
+        np.fill_diagonal(A, 0.0)
+        c = 0.15
+        r = random_walk_with_restart(A, 1, restart_probability=c,
+                                     max_iterations=500, tolerance=1e-14)
+        q = np.zeros(5)
+        q[1] = 1.0
+        fixed = (1 - c) * row_normalize(A).T @ r + c * q
+        np.testing.assert_allclose(r, fixed, atol=1e-10)
+
+    def test_two_cliques_prefer_own_clique(self):
+        """RWR must rank same-clique nodes above the far clique."""
+        n = 6
+        A = np.zeros((n, n))
+        for i in range(3):
+            for j in range(3):
+                if i != j:
+                    A[i, j] = 1.0
+                    A[i + 3, j + 3] = 1.0
+        A[2, 3] = A[3, 2] = 0.05  # weak bridge
+        ranking = rwr_ranking(A, 0, k=5)
+        top_two = [i for i, _ in ranking[:2]]
+        assert set(top_two) == {1, 2}
+
+    def test_restart_probability_validated(self, rng):
+        A = np.abs(rng.standard_normal((4, 4)))
+        with pytest.raises(ValueError):
+            random_walk_with_restart(A, 0, restart_probability=1.5)
+
+    def test_query_out_of_range(self, rng):
+        A = np.abs(rng.standard_normal((4, 4)))
+        with pytest.raises(IndexError):
+            random_walk_with_restart(A, 9)
+
+    def test_ranking_excludes_query(self, rng):
+        A = np.abs(rng.standard_normal((5, 5)))
+        np.fill_diagonal(A, 0.0)
+        out = rwr_ranking(A, 3, k=4)
+        assert 3 not in [i for i, _ in out]

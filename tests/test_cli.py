@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENT_MODULES, build_parser, main
+
+
+class TestParser:
+    def test_datasets_command(self):
+        args = build_parser().parse_args(["datasets"])
+        assert args.command == "datasets"
+
+    def test_decompose_defaults(self):
+        args = build_parser().parse_args(["decompose", "activity"])
+        assert args.method == "dpar2"
+        assert args.rank == 10
+        assert args.max_iterations == 32
+
+    def test_decompose_options(self):
+        args = build_parser().parse_args(
+            ["decompose", "traffic", "--method", "spartan", "--rank", "5",
+             "--max-iterations", "3", "--threads", "2", "--seed", "9"]
+        )
+        assert args.method == "spartan"
+        assert args.rank == 5
+        assert args.seed == 9
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["decompose", "nonexistent"])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["decompose", "activity", "--method", "magic"]
+            )
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig10"])
+        assert args.which == "fig10"
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_datasets_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fma", "urban", "us_stock", "kr_stock", "activity",
+                     "action", "traffic", "pems_sf"):
+            assert name in out
+
+    def test_decompose_runs(self, capsys):
+        code = main(
+            ["decompose", "traffic", "--rank", "4", "--max-iterations", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fitness" in out
+        assert "DPar2" in out
+
+    def test_decompose_other_method(self, capsys):
+        code = main(
+            ["decompose", "traffic", "--method", "parafac2_als",
+             "--rank", "3", "--max-iterations", "2"]
+        )
+        assert code == 0
+        assert "PARAFAC2-ALS" in capsys.readouterr().out
+
+    def test_bench_info(self, capsys):
+        assert main(["bench-info"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in EXPERIMENT_MODULES:
+            assert exp_id in out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "Datasets" in capsys.readouterr().out
+
+
+class TestExperimentIndexComplete:
+    def test_every_paper_artifact_has_a_command(self):
+        """The CLI index must cover every table/figure in DESIGN.md §2."""
+        for exp_id in ("fig1", "fig8", "fig9a", "fig9b", "fig10", "fig11",
+                       "fig12", "table2", "table3"):
+            assert exp_id in EXPERIMENT_MODULES

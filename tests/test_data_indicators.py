@@ -1,0 +1,240 @@
+"""Tests for the technical-indicator library."""
+
+import numpy as np
+import pytest
+
+from repro.data import indicators as ind
+
+
+@pytest.fixture
+def ohlcv(rng):
+    T = 120
+    returns = 0.01 * rng.standard_normal(T)
+    close = 100.0 * np.exp(np.cumsum(returns))
+    spread = 0.01 * close * (1 + rng.random(T))
+    high = close + spread * rng.random(T)
+    low = close - spread * rng.random(T)
+    open_ = low + (high - low) * rng.random(T)
+    volume = rng.uniform(1e5, 1e6, T)
+    return np.column_stack([open_, high, low, close, volume])
+
+
+class TestMovingAverages:
+    def test_sma_constant_series(self):
+        np.testing.assert_allclose(ind.sma(np.full(20, 7.0), 5), 7.0)
+
+    def test_sma_matches_naive(self, rng):
+        x = rng.standard_normal(50)
+        out = ind.sma(x, 7)
+        for i in range(6, 50):
+            assert out[i] == pytest.approx(x[i - 6 : i + 1].mean())
+
+    def test_sma_warmup_is_expanding_mean(self, rng):
+        x = rng.standard_normal(20)
+        out = ind.sma(x, 10)
+        assert out[0] == pytest.approx(x[0])
+        assert out[3] == pytest.approx(x[:4].mean())
+
+    def test_ema_constant_series(self):
+        np.testing.assert_allclose(ind.ema(np.full(15, 3.0), 4), 3.0)
+
+    def test_ema_recursion(self, rng):
+        x = rng.standard_normal(10)
+        out = ind.ema(x, 4)
+        alpha = 2.0 / 5.0
+        expected = x[0]
+        for i in range(1, 10):
+            expected = alpha * x[i] + (1 - alpha) * expected
+            assert out[i] == pytest.approx(expected)
+
+    def test_wma_weights_recent_more(self):
+        # Rising series: WMA should exceed SMA because recent values weigh more.
+        x = np.arange(30, dtype=float)
+        assert ind.wma(x, 10)[-1] > ind.sma(x, 10)[-1]
+
+    def test_wma_matches_naive(self, rng):
+        x = rng.standard_normal(30)
+        out = ind.wma(x, 5)
+        w = np.arange(1, 6, dtype=float)
+        w /= w.sum()
+        for i in range(4, 30):
+            assert out[i] == pytest.approx(float(x[i - 4 : i + 1] @ w))
+
+    def test_window_one_is_identity(self, rng):
+        x = rng.standard_normal(10)
+        np.testing.assert_allclose(ind.sma(x, 1), x)
+        np.testing.assert_allclose(ind.wma(x, 1), x)
+
+    def test_window_larger_than_series_clipped(self, rng):
+        x = rng.standard_normal(5)
+        out = ind.sma(x, 50)
+        assert out.shape == x.shape
+
+    def test_invalid_window(self, rng):
+        with pytest.raises(ValueError, match="window"):
+            ind.sma(rng.standard_normal(5), 0)
+
+
+class TestPaperIndicators:
+    """OBV, ATR, MACD, STOCH — the four analyzed in Fig. 12."""
+
+    def test_obv_accumulates_signed_volume(self):
+        close = np.array([10.0, 11.0, 10.5, 10.5, 12.0])
+        volume = np.array([100.0, 200.0, 300.0, 400.0, 500.0])
+        out = ind.obv(close, volume)
+        np.testing.assert_allclose(out, [0.0, 200.0, -100.0, -100.0, 400.0])
+
+    def test_obv_length_mismatch(self):
+        with pytest.raises(ValueError, match="lengths"):
+            ind.obv(np.ones(3), np.ones(4))
+
+    def test_true_range_dominates_high_low(self, ohlcv):
+        tr = ind.true_range(ohlcv[:, 1], ohlcv[:, 2], ohlcv[:, 3])
+        assert np.all(tr >= ohlcv[:, 1] - ohlcv[:, 2] - 1e-12)
+
+    def test_atr_positive(self, ohlcv):
+        atr = ind.atr(ohlcv[:, 1], ohlcv[:, 2], ohlcv[:, 3])
+        assert np.all(atr > 0)
+
+    def test_atr_tracks_volatility_level(self, rng):
+        quiet = ind.atr(
+            np.full(50, 101.0), np.full(50, 99.0), np.full(50, 100.0)
+        )
+        wild = ind.atr(
+            np.full(50, 110.0), np.full(50, 90.0), np.full(50, 100.0)
+        )
+        assert wild[-1] > quiet[-1]
+
+    def test_macd_zero_on_constant_series(self):
+        np.testing.assert_allclose(ind.macd(np.full(60, 5.0)), 0.0, atol=1e-12)
+
+    def test_macd_positive_in_uptrend(self):
+        close = np.exp(np.linspace(0, 1, 100))
+        assert ind.macd(close)[-1] > 0
+
+    def test_macd_fast_slow_order_enforced(self):
+        with pytest.raises(ValueError, match="below"):
+            ind.macd(np.ones(50), fast=26, slow=12)
+
+    def test_macd_signal_smooths_macd(self, ohlcv):
+        close = ohlcv[:, 3]
+        line = ind.macd(close)
+        signal = ind.macd_signal(close)
+        assert np.std(np.diff(signal)) <= np.std(np.diff(line)) + 1e-12
+
+    def test_stoch_bounds(self, ohlcv):
+        out = ind.stochastic_oscillator(ohlcv[:, 1], ohlcv[:, 2], ohlcv[:, 3])
+        assert np.all(out >= 0.0) and np.all(out <= 100.0)
+
+    def test_stoch_flat_window_is_50(self):
+        out = ind.stochastic_oscillator(
+            np.full(10, 5.0), np.full(10, 5.0), np.full(10, 5.0)
+        )
+        np.testing.assert_allclose(out, 50.0)
+
+    def test_stoch_at_window_high(self):
+        high = np.array([10.0, 12.0, 14.0])
+        low = np.array([8.0, 9.0, 10.0])
+        close = high.copy()  # closes at the top of the range
+        out = ind.stochastic_oscillator(high, low, close, window=3)
+        assert out[-1] == pytest.approx(100.0)
+
+
+class TestOscillators:
+    def test_rsi_bounds(self, ohlcv):
+        out = ind.rsi(ohlcv[:, 3])
+        assert np.all(out >= 0.0) and np.all(out <= 100.0)
+
+    def test_rsi_100_on_monotone_up(self):
+        assert ind.rsi(np.arange(1.0, 40.0))[-1] == pytest.approx(100.0)
+
+    def test_rsi_0_on_monotone_down(self):
+        assert ind.rsi(np.arange(40.0, 1.0, -1.0))[-1] == pytest.approx(0.0)
+
+    def test_rsi_flat_is_50(self):
+        np.testing.assert_allclose(ind.rsi(np.full(30, 2.0)), 50.0)
+
+    def test_momentum(self):
+        x = np.arange(20, dtype=float)
+        np.testing.assert_allclose(ind.momentum(x, 5)[5:], 5.0)
+
+    def test_rate_of_change(self):
+        x = np.full(20, 10.0)
+        x[10:] = 11.0
+        out = ind.rate_of_change(x, 10)
+        assert out[10] == pytest.approx(10.0)
+
+    def test_williams_r_is_shifted_stoch(self, ohlcv):
+        h, l, c = ohlcv[:, 1], ohlcv[:, 2], ohlcv[:, 3]
+        np.testing.assert_allclose(
+            ind.williams_r(h, l, c),
+            ind.stochastic_oscillator(h, l, c) - 100.0,
+        )
+
+    def test_cci_zero_on_constant(self):
+        out = ind.cci(np.full(30, 5.0), np.full(30, 5.0), np.full(30, 5.0))
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_trix_zero_on_constant(self):
+        np.testing.assert_allclose(ind.trix(np.full(60, 9.0)), 0.0, atol=1e-12)
+
+    def test_mfi_bounds(self, ohlcv):
+        out = ind.mfi(ohlcv[:, 1], ohlcv[:, 2], ohlcv[:, 3], ohlcv[:, 4])
+        assert np.all(out >= 0.0) and np.all(out <= 100.0)
+
+
+class TestBandsAndVolatility:
+    def test_bollinger_ordering(self, ohlcv):
+        mid, upper, lower = ind.bollinger_bands(ohlcv[:, 3])
+        assert np.all(upper >= mid) and np.all(mid >= lower)
+
+    def test_bollinger_width_scales_with_nstd(self, ohlcv):
+        _, u1, l1 = ind.bollinger_bands(ohlcv[:, 3], n_std=1.0)
+        _, u2, l2 = ind.bollinger_bands(ohlcv[:, 3], n_std=2.0)
+        assert np.all((u2 - l2) >= (u1 - l1) - 1e-12)
+
+    def test_rolling_std_constant_is_zero(self):
+        np.testing.assert_allclose(ind.rolling_std(np.full(20, 4.0), 5), 0.0)
+
+    def test_rolling_std_matches_numpy(self, rng):
+        x = rng.standard_normal(40)
+        out = ind.rolling_std(x, 8)
+        for i in range(7, 40):
+            assert out[i] == pytest.approx(np.std(x[i - 7 : i + 1]))
+
+    def test_pvt_constant_price_is_zero(self):
+        out = ind.price_volume_trend(np.full(10, 5.0), np.ones(10) * 100)
+        np.testing.assert_allclose(out, 0.0)
+
+
+class TestFeatureMatrix:
+    def test_exactly_83_indicators(self):
+        assert len(ind.indicator_names()) == 83
+
+    def test_exactly_88_features(self):
+        assert len(ind.feature_names()) == 88
+
+    def test_names_are_unique(self):
+        names = ind.feature_names()
+        assert len(names) == len(set(names))
+
+    def test_matrix_shape(self, ohlcv):
+        out = ind.compute_feature_matrix(ohlcv)
+        assert out.shape == (len(ohlcv), 88)
+
+    def test_matrix_finite(self, ohlcv):
+        assert np.all(np.isfinite(ind.compute_feature_matrix(ohlcv)))
+
+    def test_basic_columns_passthrough(self, ohlcv):
+        out = ind.compute_feature_matrix(ohlcv)
+        np.testing.assert_array_equal(out[:, :5], ohlcv)
+
+    def test_wrong_column_count_rejected(self, rng):
+        with pytest.raises(ValueError, match=r"\(T, 5\)"):
+            ind.compute_indicator_matrix(rng.standard_normal((10, 4)))
+
+    def test_nan_input_rejected(self):
+        bad = np.ones((10, 5))
+        bad[3, 2] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            ind.compute_indicator_matrix(bad)

@@ -1,0 +1,163 @@
+"""Property-style invariance tests for the PARAFAC2 solvers.
+
+The PARAFAC2 objective has exact symmetries; a correct solver must respect
+them (up to the stochasticity of its own initialization, which we pin by
+seed):
+
+* slice permutation: relabeling the slices permutes S rows and Q but
+  cannot change the achievable fitness;
+* global scaling: scaling the data scales the model, fitness unchanged;
+* shared orthogonal feature rotation: replacing every ``Xk`` by ``Xk G``
+  for orthogonal ``G`` rotates ``V`` and leaves fitness unchanged;
+* per-slice row rotation: replacing ``Xk`` by ``Ok Xk`` for orthogonal
+  ``Ok`` absorbs into ``Qk``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.decomposition import dpar2, parafac2_als
+from repro.linalg.qr import random_orthonormal
+from repro.tensor.irregular import IrregularTensor
+from repro.tensor.random import low_rank_irregular_tensor
+from repro.util.config import DecompositionConfig
+
+CONFIG = DecompositionConfig(rank=4, max_iterations=25, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def base_tensor():
+    return low_rank_irregular_tensor(
+        [40, 55, 35, 50], 24, rank=4, noise=0.03, random_state=8
+    )
+
+
+@pytest.fixture(scope="module")
+def base_fits(base_tensor):
+    return {
+        "dpar2": dpar2(base_tensor, CONFIG).fitness(base_tensor),
+        "parafac2_als": parafac2_als(base_tensor, CONFIG).fitness(base_tensor),
+    }
+
+
+class TestSlicePermutationInvariance:
+    @pytest.mark.parametrize("solver_name,solver",
+                             [("dpar2", dpar2), ("parafac2_als", parafac2_als)])
+    def test_fitness_invariant(self, base_tensor, base_fits, solver_name,
+                               solver):
+        perm = [2, 0, 3, 1]
+        permuted = base_tensor.subset(perm)
+        fit = solver(permuted, CONFIG).fitness(permuted)
+        assert fit == pytest.approx(base_fits[solver_name], abs=0.02)
+
+
+class TestScalingInvariance:
+    @pytest.mark.parametrize("scale", [1e-3, 1.0, 1e3])
+    def test_dpar2_fitness_scale_free(self, base_tensor, base_fits, scale):
+        scaled = base_tensor.scaled(scale)
+        fit = dpar2(scaled, CONFIG).fitness(scaled)
+        assert fit == pytest.approx(base_fits["dpar2"], abs=1e-6)
+
+    @pytest.mark.parametrize("scale", [1e-3, 1e3])
+    def test_als_fitness_scale_free(self, base_tensor, base_fits, scale):
+        scaled = base_tensor.scaled(scale)
+        fit = parafac2_als(scaled, CONFIG).fitness(scaled)
+        assert fit == pytest.approx(base_fits["parafac2_als"], abs=1e-6)
+
+
+class TestFeatureRotationInvariance:
+    def test_dpar2_fitness_invariant(self, base_tensor, base_fits, rng):
+        G = random_orthonormal(base_tensor.n_columns,
+                               base_tensor.n_columns, rng)
+        rotated = IrregularTensor([Xk @ G for Xk in base_tensor], copy=False)
+        fit = dpar2(rotated, CONFIG).fitness(rotated)
+        assert fit == pytest.approx(base_fits["dpar2"], abs=0.02)
+
+    def test_als_fitness_invariant(self, base_tensor, base_fits, rng):
+        G = random_orthonormal(base_tensor.n_columns,
+                               base_tensor.n_columns, rng)
+        rotated = IrregularTensor([Xk @ G for Xk in base_tensor], copy=False)
+        fit = parafac2_als(rotated, CONFIG).fitness(rotated)
+        assert fit == pytest.approx(base_fits["parafac2_als"], abs=0.02)
+
+    def test_V_rotates_with_data(self, base_tensor, rng):
+        """The recovered V of the rotated problem must span Gᵀ·span(V)."""
+        from repro.analysis.metrics import subspace_angle
+
+        G = random_orthonormal(base_tensor.n_columns,
+                               base_tensor.n_columns, rng)
+        plain = parafac2_als(base_tensor, CONFIG)
+        rotated_tensor = IrregularTensor(
+            [Xk @ G for Xk in base_tensor], copy=False
+        )
+        rotated = parafac2_als(rotated_tensor, CONFIG)
+        angle = subspace_angle(G.T @ plain.V, rotated.V)
+        assert angle < 0.35  # subspaces agree up to estimation noise
+
+
+class TestRowRotationInvariance:
+    def test_per_slice_rotation_absorbed(self, base_tensor, base_fits, rng):
+        rotated = IrregularTensor(
+            [
+                random_orthonormal(Xk.shape[0], Xk.shape[0], rng) @ Xk
+                for Xk in base_tensor
+            ],
+            copy=False,
+        )
+        fit = dpar2(rotated, CONFIG).fitness(rotated)
+        assert fit == pytest.approx(base_fits["dpar2"], abs=0.02)
+
+    def test_shared_factors_unchanged(self, base_tensor, rng):
+        """Row rotations change only Qk: V and S must be recovered alike."""
+        from repro.analysis.metrics import parafac2_factor_match
+
+        plain = parafac2_als(base_tensor, CONFIG)
+        rotated_tensor = IrregularTensor(
+            [
+                random_orthonormal(Xk.shape[0], Xk.shape[0], rng) @ Xk
+                for Xk in base_tensor
+            ],
+            copy=False,
+        )
+        rotated = parafac2_als(rotated_tensor, CONFIG)
+        assert parafac2_factor_match(plain, rotated) > 0.95
+
+
+class TestAblationReports:
+    """The ablations experiment module must produce well-formed reports."""
+
+    def test_partitioning_report(self):
+        from repro.experiments.ablations import run_partitioning
+
+        report = run_partitioning(n_threads=4, random_state=0)
+        assert len(report.rows) == 2
+        greedy_imbalance = report.rows[1][1]
+        naive_imbalance = report.rows[0][1]
+        assert greedy_imbalance <= naive_imbalance
+
+    def test_convergence_report(self):
+        from repro.experiments.ablations import run_convergence_criterion
+
+        report = run_convergence_criterion(dataset="activity", rank=4,
+                                           random_state=0)
+        compressed_time = report.rows[0][1]
+        exact_time = report.rows[1][1]
+        assert exact_time > compressed_time
+        assert report.rows[0][2] == pytest.approx(report.rows[1][2], abs=1e-6)
+
+    def test_stage2_report(self):
+        from repro.experiments.ablations import run_stage2
+
+        report = run_stage2(dataset="activity", rank=4, random_state=0)
+        stage1_bytes = report.rows[0][2]
+        two_stage_bytes = report.rows[1][2]
+        assert two_stage_bytes < stage1_bytes
+
+    def test_power_iteration_report(self):
+        from repro.experiments.ablations import run_power_iterations
+
+        report = run_power_iterations(dataset="activity", rank=4,
+                                      random_state=0)
+        assert [row[0] for row in report.rows] == [0, 1, 2]
+        for row in report.rows:
+            assert 0.0 <= row[2] <= 1.0

@@ -1,0 +1,205 @@
+"""Tests for convergence monitoring, initialization, results, registry."""
+
+import numpy as np
+import pytest
+
+from repro.decomposition.convergence import ConvergenceMonitor
+from repro.decomposition.initialization import initialize_factors
+from repro.decomposition.registry import DISPLAY_NAMES, SOLVERS, get_solver
+from repro.decomposition.result import IterationRecord, Parafac2Result
+from repro.linalg.qr import random_orthonormal
+
+
+class TestConvergenceMonitor:
+    def test_first_update_never_converges(self):
+        monitor = ConvergenceMonitor(1.0)
+        assert not monitor.update(5.0)
+
+    def test_converges_on_small_change(self):
+        monitor = ConvergenceMonitor(1e-2)
+        monitor.update(100.0)
+        assert monitor.update(99.999)
+
+    def test_does_not_converge_on_large_change(self):
+        monitor = ConvergenceMonitor(1e-2)
+        monitor.update(100.0)
+        assert not monitor.update(50.0)
+
+    def test_geometric_decay_to_zero_converges(self):
+        """The scenario that motivated scaling by the initial value."""
+        monitor = ConvergenceMonitor(1e-6)
+        value = 1.0
+        converged = False
+        for _ in range(100):
+            value *= 0.5
+            if monitor.update(value):
+                converged = True
+                break
+        assert converged
+
+    def test_nan_raises(self):
+        monitor = ConvergenceMonitor(1e-4)
+        with pytest.raises(FloatingPointError, match="NaN"):
+            monitor.update(float("nan"))
+
+    def test_last_property(self):
+        monitor = ConvergenceMonitor(0.1)
+        monitor.update(3.0)
+        assert monitor.last == 3.0
+
+    def test_last_before_update_raises(self):
+        with pytest.raises(RuntimeError, match="no criterion"):
+            _ = ConvergenceMonitor(0.1).last
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            ConvergenceMonitor(-1.0)
+
+    def test_zero_tolerance_never_converges(self):
+        monitor = ConvergenceMonitor(0.0)
+        monitor.update(1.0)
+        assert not monitor.update(1.0 - 1e-15)
+
+
+class TestInitializeFactors:
+    def test_shapes(self):
+        init = initialize_factors(12, 5, 3, random_state=0)
+        assert init.H.shape == (3, 3)
+        assert init.V.shape == (12, 3)
+        assert init.W.shape == (5, 3)
+
+    def test_H_is_identity(self):
+        init = initialize_factors(12, 5, 3, random_state=0)
+        np.testing.assert_array_equal(init.H, np.eye(3))
+
+    def test_W_is_ones(self):
+        init = initialize_factors(12, 5, 3, random_state=0)
+        np.testing.assert_array_equal(init.W, np.ones((5, 3)))
+
+    def test_V_orthonormal_when_possible(self):
+        init = initialize_factors(12, 5, 3, random_state=0)
+        np.testing.assert_allclose(init.V.T @ init.V, np.eye(3), atol=1e-10)
+
+    def test_V_fallback_when_J_below_rank(self):
+        init = initialize_factors(2, 5, 4, random_state=0)
+        assert init.V.shape == (2, 4)
+
+    def test_deterministic(self):
+        a = initialize_factors(8, 3, 2, random_state=7)
+        b = initialize_factors(8, 3, 2, random_state=7)
+        np.testing.assert_array_equal(a.V, b.V)
+
+
+def make_result(rng, row_counts=(6, 8), J=5, R=3):
+    Q = [random_orthonormal(n, R, rng) for n in row_counts]
+    return Parafac2Result(
+        Q=Q,
+        H=rng.standard_normal((R, R)),
+        S=np.abs(rng.standard_normal((len(row_counts), R))) + 0.1,
+        V=rng.standard_normal((J, R)),
+        method="test",
+    )
+
+
+class TestParafac2Result:
+    def test_basic_properties(self, rng):
+        result = make_result(rng)
+        assert result.rank == 3
+        assert result.n_slices == 2
+        assert result.total_seconds == 0.0
+
+    def test_U_is_QH(self, rng):
+        result = make_result(rng)
+        np.testing.assert_allclose(result.U(0), result.Q[0] @ result.H)
+
+    def test_S_matrix_diagonal(self, rng):
+        result = make_result(rng)
+        np.testing.assert_array_equal(result.S_matrix(1), np.diag(result.S[1]))
+
+    def test_reconstruct_slice(self, rng):
+        result = make_result(rng)
+        expected = result.Q[0] @ result.H @ np.diag(result.S[0]) @ result.V.T
+        np.testing.assert_allclose(result.reconstruct_slice(0), expected,
+                                   atol=1e-12)
+
+    def test_reconstruct_returns_tensor(self, rng):
+        result = make_result(rng)
+        tensor = result.reconstruct()
+        assert tensor.n_slices == 2
+        assert tensor.row_counts == [6, 8]
+
+    def test_residual_matches_naive(self, rng):
+        from repro.tensor.irregular import IrregularTensor
+
+        result = make_result(rng)
+        data = IrregularTensor([rng.standard_normal((n, 5)) for n in (6, 8)])
+        fast = result.residual_squared(data)
+        naive = sum(
+            np.sum((data[k] - result.reconstruct_slice(k)) ** 2)
+            for k in range(2)
+        )
+        assert fast == pytest.approx(naive, rel=1e-9)
+
+    def test_perfect_fitness_on_own_reconstruction(self, rng):
+        result = make_result(rng)
+        recon = result.reconstruct()
+        assert result.fitness(recon) == pytest.approx(1.0, abs=1e-9)
+
+    def test_slice_count_mismatch_rejected(self, rng):
+        from repro.tensor.irregular import IrregularTensor
+
+        result = make_result(rng)
+        data = IrregularTensor([rng.standard_normal((6, 5))])
+        with pytest.raises(ValueError, match="slices"):
+            result.residual_squared(data)
+
+    def test_column_mismatch_rejected(self, rng):
+        from repro.tensor.irregular import IrregularTensor
+
+        result = make_result(rng)
+        data = IrregularTensor([rng.standard_normal((n, 9)) for n in (6, 8)])
+        with pytest.raises(ValueError, match="J="):
+            result.residual_squared(data)
+
+    def test_invalid_H_shape_rejected(self, rng):
+        with pytest.raises(ValueError, match="square"):
+            Parafac2Result(
+                Q=[random_orthonormal(6, 3, rng)],
+                H=rng.standard_normal((3, 2)),
+                S=np.ones((1, 3)),
+                V=rng.standard_normal((5, 3)),
+            )
+
+    def test_invalid_S_shape_rejected(self, rng):
+        with pytest.raises(ValueError, match="S must be"):
+            Parafac2Result(
+                Q=[random_orthonormal(6, 3, rng)],
+                H=np.eye(3),
+                S=np.ones((2, 3)),
+                V=rng.standard_normal((5, 3)),
+            )
+
+    def test_factor_nbytes_positive(self, rng):
+        assert make_result(rng).factor_nbytes() > 0
+
+    def test_iteration_record(self):
+        record = IterationRecord(iteration=3, criterion=0.5, seconds=0.1)
+        assert record.iteration == 3
+
+
+class TestRegistry:
+    def test_all_four_solvers_registered(self):
+        assert set(SOLVERS) == {"dpar2", "rd_als", "parafac2_als", "spartan"}
+
+    def test_display_names_cover_solvers(self):
+        assert set(DISPLAY_NAMES) == set(SOLVERS)
+
+    def test_lookup_case_insensitive(self):
+        assert get_solver("DPar2") is SOLVERS["dpar2"]
+
+    def test_lookup_dash_normalized(self):
+        assert get_solver("rd-als") is SOLVERS["rd_als"]
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(KeyError, match="unknown solver"):
+            get_solver("nope")

@@ -1,0 +1,169 @@
+"""Tests for DPar2 (Algorithm 3): compression, update rules, convergence."""
+
+import numpy as np
+import pytest
+
+from repro.decomposition.dpar2 import CompressedTensor, compress_tensor, dpar2
+from repro.decomposition.parafac2_als import parafac2_als
+from repro.tensor.random import low_rank_irregular_tensor
+from repro.util.config import DecompositionConfig
+from tests.conftest import assert_valid_parafac2_result
+
+
+class TestCompression:
+    def test_factor_shapes(self, small_tensor):
+        R = 3
+        c = compress_tensor(small_tensor, R, random_state=0)
+        assert c.rank == R
+        assert c.n_slices == small_tensor.n_slices
+        assert c.D.shape == (small_tensor.n_columns, R)
+        assert c.E.shape == (R,)
+        assert c.F_blocks.shape == (small_tensor.n_slices, R, R)
+        for k, Ak in enumerate(c.A):
+            assert Ak.shape == (small_tensor.row_counts[k], R)
+
+    def test_A_orthonormal(self, small_tensor):
+        c = compress_tensor(small_tensor, 3, random_state=0)
+        for Ak in c.A:
+            np.testing.assert_allclose(Ak.T @ Ak, np.eye(3), atol=1e-8)
+
+    def test_D_orthonormal(self, small_tensor):
+        c = compress_tensor(small_tensor, 3, random_state=0)
+        np.testing.assert_allclose(c.D.T @ c.D, np.eye(3), atol=1e-8)
+
+    def test_exact_on_low_rank_data(self):
+        tensor = low_rank_irregular_tensor([25, 30, 20], 15, rank=3,
+                                           noise=0.0, random_state=0)
+        c = compress_tensor(tensor, 3, power_iterations=2, random_state=0)
+        for k, Xk in enumerate(tensor):
+            np.testing.assert_allclose(c.reconstruct_slice(k), Xk, atol=1e-6)
+
+    def test_compression_shrinks_storage(self, structured_tensor):
+        c = compress_tensor(structured_tensor, 4, random_state=0)
+        assert c.nbytes < structured_tensor.nbytes
+        assert c.compression_ratio(structured_tensor) > 1.0
+
+    def test_threaded_matches_sequential(self, structured_tensor):
+        a = compress_tensor(structured_tensor, 4, random_state=5, n_threads=1)
+        b = compress_tensor(structured_tensor, 4, random_state=5, n_threads=3)
+        for Ak, Bk in zip(a.A, b.A):
+            np.testing.assert_allclose(Ak, Bk, atol=1e-10)
+        np.testing.assert_allclose(a.D, b.D, atol=1e-10)
+
+    def test_naive_partition_matches_greedy(self, structured_tensor):
+        a = compress_tensor(structured_tensor, 4, random_state=5,
+                            n_threads=2, use_greedy_partition=True)
+        b = compress_tensor(structured_tensor, 4, random_state=5,
+                            n_threads=2, use_greedy_partition=False)
+        np.testing.assert_allclose(a.D, b.D, atol=1e-10)
+
+    def test_records_time(self, small_tensor):
+        c = compress_tensor(small_tensor, 3, random_state=0)
+        assert c.seconds > 0.0
+
+    def test_inconsistent_shapes_rejected(self, small_tensor):
+        c = compress_tensor(small_tensor, 3, random_state=0)
+        with pytest.raises(ValueError, match="E must have shape"):
+            CompressedTensor(A=c.A, D=c.D, E=np.ones(5), F_blocks=c.F_blocks)
+
+
+class TestDpar2:
+    def test_result_structure(self, small_tensor, default_config):
+        result = dpar2(small_tensor, default_config)
+        assert result.method == "dpar2"
+        assert_valid_parafac2_result(result, small_tensor)
+
+    def test_fits_noiseless_data(self, noiseless_tensor):
+        config = DecompositionConfig(rank=3, max_iterations=100,
+                                     tolerance=1e-12, power_iterations=2,
+                                     random_state=0)
+        result = dpar2(noiseless_tensor, config)
+        assert result.fitness(noiseless_tensor) > 0.99
+
+    def test_comparable_fitness_to_exact_als(self, structured_tensor):
+        config = DecompositionConfig(rank=4, max_iterations=30, random_state=0)
+        fit_fast = dpar2(structured_tensor, config).fitness(structured_tensor)
+        fit_exact = parafac2_als(structured_tensor, config).fitness(structured_tensor)
+        assert abs(fit_fast - fit_exact) < 0.05
+
+    def test_criterion_monotone(self, structured_tensor, default_config):
+        result = dpar2(structured_tensor, default_config)
+        values = [r.criterion for r in result.history]
+        for earlier, later in zip(values, values[1:]):
+            assert later <= earlier + 1e-6 * max(abs(earlier), 1.0)
+
+    def test_compressed_criterion_equals_exact_identity(self, structured_tensor):
+        """Section III-E: the compressed criterion equals
+        Σk ‖Ak F(k) E Dᵀ − X̂k‖² computed on materialized matrices."""
+        config = DecompositionConfig(rank=4, max_iterations=5,
+                                     tolerance=0.0, random_state=0)
+        compressed = compress_tensor(structured_tensor, 4, random_state=0)
+        result = dpar2(structured_tensor, config, compressed=compressed)
+
+        # Recompute the criterion naively from the returned factors.
+        naive = 0.0
+        for k in range(result.n_slices):
+            X_tilde = compressed.reconstruct_slice(k)
+            X_hat = result.reconstruct_slice(k)
+            naive += np.sum((X_tilde - X_hat) ** 2)
+        assert result.history[-1].criterion == pytest.approx(naive, rel=1e-6)
+
+    def test_exact_convergence_ablation(self, structured_tensor):
+        config = DecompositionConfig(rank=4, max_iterations=5,
+                                     tolerance=0.0, random_state=0)
+        result = dpar2(structured_tensor, config, exact_convergence=True)
+        exact = result.residual_squared(structured_tensor)
+        assert result.history[-1].criterion == pytest.approx(exact, rel=1e-6)
+
+    def test_precomputed_compression_reused(self, structured_tensor):
+        config = DecompositionConfig(rank=4, max_iterations=5, random_state=0)
+        compressed = compress_tensor(structured_tensor, 4, random_state=0)
+        result = dpar2(structured_tensor, config, compressed=compressed)
+        assert result.preprocess_seconds == compressed.seconds
+        assert result.preprocessed_bytes == compressed.nbytes
+
+    def test_precomputed_compression_rank_check(self, structured_tensor):
+        compressed = compress_tensor(structured_tensor, 2, random_state=0)
+        with pytest.raises(ValueError, match="rank"):
+            dpar2(structured_tensor,
+                  DecompositionConfig(rank=4, max_iterations=2),
+                  compressed=compressed)
+
+    def test_deterministic_given_seed(self, structured_tensor):
+        config = DecompositionConfig(rank=4, max_iterations=8, random_state=9)
+        a = dpar2(structured_tensor, config)
+        b = dpar2(structured_tensor, config)
+        np.testing.assert_allclose(a.V, b.V, atol=1e-12)
+        np.testing.assert_allclose(a.H, b.H, atol=1e-12)
+
+    def test_threaded_iterations_match(self, structured_tensor):
+        config = DecompositionConfig(rank=4, max_iterations=8,
+                                     tolerance=0.0, random_state=2)
+        seq = dpar2(structured_tensor, config)
+        par = dpar2(structured_tensor, config.with_(n_threads=3))
+        assert seq.fitness(structured_tensor) == pytest.approx(
+            par.fitness(structured_tensor), abs=1e-6
+        )
+
+    def test_preprocessed_smaller_than_input(self, structured_tensor,
+                                             default_config):
+        result = dpar2(structured_tensor, default_config)
+        assert result.preprocessed_bytes < structured_tensor.nbytes
+
+    def test_rank_capped_by_smallest_slice(self, rng):
+        from repro.tensor.random import random_irregular_tensor
+
+        tensor = random_irregular_tensor([4, 20, 20], 10, random_state=0)
+        result = dpar2(tensor, DecompositionConfig(rank=8, max_iterations=2))
+        assert result.rank == 4
+
+    def test_keyword_overrides(self, small_tensor, default_config):
+        result = dpar2(small_tensor, default_config, rank=2, max_iterations=3)
+        assert result.rank == 2
+        assert result.n_iterations <= 3
+
+    def test_converges(self, noiseless_tensor):
+        config = DecompositionConfig(rank=3, max_iterations=200,
+                                     tolerance=1e-6, random_state=0)
+        result = dpar2(noiseless_tensor, config)
+        assert result.converged

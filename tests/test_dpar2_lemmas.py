@@ -1,0 +1,129 @@
+"""Direct verification of Lemmas 1-3 (Section III-E).
+
+Each lemma claims that an einsum over the small factorized matrices equals
+the naive MTTKRP computed by materializing the stacked tensor
+``Y(:, :, k) = Pk Zkᵀ F(k) E Dᵀ`` and its Khatri-Rao products.  These tests
+build random factorized inputs, materialize Y, and compare both sides — the
+strongest correctness evidence for DPar2's update rules.
+"""
+
+import numpy as np
+import pytest
+
+from repro.linalg.qr import random_orthonormal
+from repro.tensor.dense import DenseTensor
+from repro.tensor.products import khatri_rao
+
+
+@pytest.fixture
+def factorized(rng):
+    """Random factorized quantities with the right orthogonality structure."""
+    R, J, K = 4, 9, 6
+    D = random_orthonormal(J, R, rng)
+    E = np.sort(np.abs(rng.standard_normal(R)))[::-1] + 0.1
+    F = rng.standard_normal((K, R, R))
+    polar = np.stack([
+        random_orthonormal(R, R, rng) for _ in range(K)
+    ])  # each is Zk Pkᵀ, orthogonal
+    T = np.einsum("kji,kjs->kis", polar, F)  # Tk = Pk Zkᵀ F(k)
+    H = rng.standard_normal((R, R))
+    V = rng.standard_normal((J, R))
+    W = rng.standard_normal((K, R))
+    return D, E, F, T, H, V, W
+
+
+def materialize_Y(D, E, T):
+    """Yk = Tk E Dᵀ, stacked into an R x J x K tensor."""
+    slices = [(Tk * E) @ D.T for Tk in T]
+    return DenseTensor.from_frontal_slices(slices)
+
+
+class TestLemma1:
+    def test_G1_equals_naive_mttkrp(self, factorized):
+        D, E, F, T, H, V, W = factorized
+        Y = materialize_Y(D, E, T)
+        naive = Y.unfold(1) @ khatri_rao(W, V)
+
+        EDtV = (D.T @ V) * E[:, None]
+        fast = np.einsum("kr,kij,jr->ir", W, T, EDtV, optimize=True)
+        np.testing.assert_allclose(fast, naive, atol=1e-9)
+
+    def test_column_formula(self, factorized):
+        """G(1)(:, r) = (Σk W(k,r) Tk) E Dᵀ V(:, r) — the paper's statement."""
+        D, E, F, T, H, V, W = factorized
+        Y = materialize_Y(D, E, T)
+        naive = Y.unfold(1) @ khatri_rao(W, V)
+        for r in range(W.shape[1]):
+            summed = np.tensordot(W[:, r], T, axes=(0, 0))
+            column = summed @ (E * (D.T @ V[:, r]))
+            np.testing.assert_allclose(column, naive[:, r], atol=1e-9)
+
+
+class TestLemma2:
+    def test_G2_equals_naive_mttkrp(self, factorized):
+        D, E, F, T, H, V, W = factorized
+        Y = materialize_Y(D, E, T)
+        naive = Y.unfold(2) @ khatri_rao(W, H)
+
+        inner = np.einsum("kr,kji,jr->ir", W, T, H, optimize=True)
+        fast = (D * E) @ inner
+        np.testing.assert_allclose(fast, naive, atol=1e-9)
+
+    def test_column_formula(self, factorized):
+        """G(2)(:, r) = D E Σk W(k,r) Tkᵀ H(:, r)."""
+        D, E, F, T, H, V, W = factorized
+        Y = materialize_Y(D, E, T)
+        naive = Y.unfold(2) @ khatri_rao(W, H)
+        for r in range(W.shape[1]):
+            acc = np.zeros(T.shape[2])
+            for k in range(T.shape[0]):
+                acc += W[k, r] * (T[k].T @ H[:, r])
+            np.testing.assert_allclose((D * E) @ acc, naive[:, r], atol=1e-9)
+
+
+class TestLemma3:
+    def test_G3_equals_naive_mttkrp(self, factorized):
+        D, E, F, T, H, V, W = factorized
+        Y = materialize_Y(D, E, T)
+        naive = Y.unfold(3) @ khatri_rao(V, H)
+
+        EDtV = (D.T @ V) * E[:, None]
+        fast = np.einsum("ir,kij,jr->kr", H, T, EDtV, optimize=True)
+        np.testing.assert_allclose(fast, naive, atol=1e-9)
+
+    def test_entry_formula(self, factorized):
+        """G(3)(k, r) = vec(Tk)ᵀ (E Dᵀ V(:, r) ⊗ H(:, r)) — with MATLAB
+        column-major vec, as in the paper."""
+        from repro.tensor.products import vec
+
+        D, E, F, T, H, V, W = factorized
+        Y = materialize_Y(D, E, T)
+        naive = Y.unfold(3) @ khatri_rao(V, H)
+        for k in range(T.shape[0]):
+            for r in range(W.shape[1]):
+                a = E * (D.T @ V[:, r])
+                entry = float(vec(T[k]) @ np.kron(a, H[:, r]))
+                assert entry == pytest.approx(naive[k, r], abs=1e-9)
+
+
+class TestCompressedCriterionIdentity:
+    def test_unitary_invariance_chain(self, factorized):
+        """‖Pk Zkᵀ F(k) E Dᵀ − H Sk Vᵀ‖ = ‖Ak F(k) E Dᵀ − Ak Zk Pkᵀ H Sk Vᵀ‖
+        — the Section III-E chain, checked with materialized matrices."""
+        rng = np.random.default_rng(3)
+        D, E, F, T, H, V, W = factorized
+        R = H.shape[0]
+        for k in range(3):
+            Ik = 15
+            Ak = random_orthonormal(Ik, R, rng)
+            # Recover the orthogonal Zk Pkᵀ relating Tk and F(k) by
+            # orthogonal Procrustes, then check both sides of the chain.
+            U_, _, Vt_ = np.linalg.svd(T[k] @ F[k].T)
+            ZPt = (U_ @ Vt_).T
+            Tk = ZPt.T @ F[k]
+            left = np.linalg.norm((Tk * E) @ D.T - (H * W[k]) @ V.T)
+            Qk = Ak @ ZPt
+            right = np.linalg.norm(
+                Ak @ (F[k] * E) @ D.T - Qk @ (H * W[k]) @ V.T
+            )
+            assert left == pytest.approx(right, rel=1e-9)

@@ -1,0 +1,162 @@
+"""Degenerate-input and failure-injection tests for all solvers.
+
+A production library must behave sensibly at the boundaries: single-slice
+tensors, rank-1 targets, J = 1 columns, constant slices, huge condition
+numbers, and adversarial configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.decomposition import dpar2, parafac2_als, rd_als, spartan
+from repro.tensor.irregular import IrregularTensor
+from repro.util.config import DecompositionConfig
+
+ALL_SOLVERS = (dpar2, rd_als, parafac2_als, spartan)
+
+
+def run_all(tensor, **config_kwargs):
+    config = DecompositionConfig(
+        max_iterations=5, random_state=0, **config_kwargs
+    )
+    return [solver(tensor, config) for solver in ALL_SOLVERS]
+
+
+class TestSingleSlice:
+    def test_all_solvers_handle_k_equals_1(self, rng):
+        tensor = IrregularTensor([rng.standard_normal((20, 8))])
+        for result in run_all(tensor, rank=3):
+            assert result.n_slices == 1
+            assert np.isfinite(result.fitness(tensor))
+
+    def test_single_slice_equals_truncated_svd_quality(self, rng):
+        """With K=1 PARAFAC2 reduces to an SVD-like factorization; fitness
+        must approach the rank-R truncation quality."""
+        Xk = rng.standard_normal((30, 12))
+        tensor = IrregularTensor([Xk])
+        config = DecompositionConfig(rank=4, max_iterations=50,
+                                     random_state=0)
+        result = parafac2_als(tensor, config)
+        s = np.linalg.svd(Xk, compute_uv=False)
+        optimal = 1.0 - np.sum(s[4:] ** 2) / np.sum(s**2)
+        assert result.fitness(tensor) > optimal - 0.02
+
+
+class TestRankOne:
+    def test_all_solvers_rank_1(self, rng):
+        tensor = IrregularTensor(
+            [rng.standard_normal((n, 6)) for n in (10, 14)]
+        )
+        for result in run_all(tensor, rank=1):
+            assert result.rank == 1
+            assert result.V.shape == (6, 1)
+
+    def test_rank_1_on_rank_1_data(self, rng):
+        u1 = rng.standard_normal((12, 1))
+        u2 = rng.standard_normal((9, 1))
+        v = rng.standard_normal((1, 7))
+        tensor = IrregularTensor([u1 @ v, u2 @ v])
+        config = DecompositionConfig(rank=1, max_iterations=30,
+                                     random_state=0)
+        for solver in ALL_SOLVERS:
+            assert solver(tensor, config).fitness(tensor) > 0.99
+
+
+class TestSingleColumn:
+    def test_j_equals_1(self, rng):
+        tensor = IrregularTensor(
+            [rng.standard_normal((n, 1)) for n in (8, 12, 10)]
+        )
+        for result in run_all(tensor, rank=3):
+            assert result.rank == 1  # capped by J
+            assert np.isfinite(result.fitness(tensor))
+
+
+class TestConstantSlices:
+    def test_all_zero_tensor(self):
+        tensor = IrregularTensor([np.zeros((10, 5)), np.zeros((8, 5))])
+        for result in run_all(tensor, rank=2):
+            # Fitness of a zero tensor is defined as 1 (nothing to explain).
+            assert result.fitness(tensor) == pytest.approx(1.0)
+
+    def test_constant_slices(self):
+        tensor = IrregularTensor([np.full((10, 5), 3.0), np.full((7, 5), 3.0)])
+        for result in run_all(tensor, rank=2):
+            assert result.fitness(tensor) > 0.99  # rank-1 structure
+
+
+class TestScaleRobustness:
+    def test_tiny_scale(self, rng):
+        tensor = IrregularTensor(
+            [1e-10 * rng.standard_normal((15, 6)) for _ in range(3)]
+        )
+        for result in run_all(tensor, rank=2):
+            assert np.isfinite(result.fitness(tensor))
+
+    def test_huge_scale(self, rng):
+        tensor = IrregularTensor(
+            [1e10 * rng.standard_normal((15, 6)) for _ in range(3)]
+        )
+        for result in run_all(tensor, rank=2):
+            assert np.isfinite(result.fitness(tensor))
+
+    def test_mixed_slice_scales(self, rng):
+        """One slice 1e6x larger than the others must not produce NaNs."""
+        slices = [rng.standard_normal((12, 6)) for _ in range(3)]
+        slices[1] = slices[1] * 1e6
+        tensor = IrregularTensor(slices)
+        for result in run_all(tensor, rank=2):
+            assert np.isfinite(result.fitness(tensor))
+
+
+class TestBadInputsRejected:
+    def test_nan_slice_rejected_at_construction(self):
+        bad = np.ones((5, 4))
+        bad[2, 2] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            IrregularTensor([bad])
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS)
+    def test_nan_list_input_rejected(self, solver):
+        bad = np.ones((5, 4))
+        bad[0, 0] = np.inf
+        with pytest.raises(ValueError):
+            solver([bad], DecompositionConfig(rank=2, max_iterations=1))
+
+
+class TestExtremeAspectRatios:
+    def test_very_tall_slices(self, rng):
+        tensor = IrregularTensor([rng.standard_normal((500, 4))])
+        result = dpar2(tensor, DecompositionConfig(rank=3, max_iterations=3,
+                                                   random_state=0))
+        assert result.Q[0].shape == (500, 3)
+
+    def test_very_wide_slices(self, rng):
+        tensor = IrregularTensor(
+            [rng.standard_normal((5, 200)) for _ in range(3)]
+        )
+        result = dpar2(tensor, DecompositionConfig(rank=4, max_iterations=3,
+                                                   random_state=0))
+        assert result.rank == 4
+        assert result.V.shape == (200, 4)
+
+    def test_many_tiny_slices(self, rng):
+        tensor = IrregularTensor(
+            [rng.standard_normal((3, 4)) for _ in range(60)]
+        )
+        for result in run_all(tensor, rank=2):
+            assert result.n_slices == 60
+            assert np.isfinite(result.fitness(tensor))
+
+
+class TestThreadEdgeCases:
+    def test_more_threads_than_slices(self, rng):
+        tensor = IrregularTensor(
+            [rng.standard_normal((10, 5)) for _ in range(2)]
+        )
+        result = dpar2(
+            tensor,
+            DecompositionConfig(rank=2, max_iterations=3, n_threads=16,
+                                random_state=0),
+        )
+        assert np.isfinite(result.fitness(tensor))

@@ -1,0 +1,213 @@
+"""Tests for the experiment harness, reporting, and per-figure modules.
+
+Figure modules are exercised at reduced sizes — these are smoke-plus-shape
+tests: each run() must produce a well-formed report whose qualitative
+finding matches the paper's direction where that is cheap to check.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import (
+    MethodMeasurement,
+    measure_method,
+    speedup_over_best_competitor,
+    sweep_methods,
+)
+from repro.experiments.reporting import ExperimentReport, render_table
+from repro.tensor.random import low_rank_irregular_tensor
+from repro.util.config import DecompositionConfig
+
+
+@pytest.fixture
+def tiny_tensor():
+    return low_rank_irregular_tensor(
+        [20, 30, 25, 35], 16, rank=3, noise=0.05, random_state=0
+    )
+
+
+@pytest.fixture
+def tiny_config():
+    return DecompositionConfig(rank=3, max_iterations=4, tolerance=0.0,
+                               random_state=0)
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table(["a", "bb"], [[1, 2.5], ["x", 3.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.5" in lines[2]
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = render_table(["x"], [[1.23456789e-7]])
+        assert "e-07" in out
+
+    def test_empty_rows_ok(self):
+        out = render_table(["col"], [])
+        assert "col" in out
+
+
+class TestExperimentReport:
+    def test_render_contains_everything(self):
+        report = ExperimentReport(
+            "figX", "Title", ["h1"], [[1.0]], findings=["important"]
+        )
+        text = report.render()
+        assert "figX" in text and "Title" in text and "important" in text
+
+    def test_markdown_table(self):
+        report = ExperimentReport("figX", "T", ["a", "b"], [[1, 2]])
+        md = report.to_markdown()
+        assert "| a | b |" in md
+        assert "| 1 | 2 |" in md
+
+
+class TestHarness:
+    def test_measure_method(self, tiny_tensor, tiny_config):
+        m = measure_method(tiny_tensor, "dpar2", tiny_config)
+        assert m.method == "dpar2"
+        assert m.total_seconds > 0
+        assert 0.0 <= m.fitness <= 1.0
+        assert m.n_iterations == 4
+
+    def test_seconds_per_iteration(self, tiny_tensor, tiny_config):
+        m = measure_method(tiny_tensor, "parafac2_als", tiny_config)
+        assert m.seconds_per_iteration == pytest.approx(
+            m.iterate_seconds / m.n_iterations
+        )
+
+    def test_display_name(self, tiny_tensor, tiny_config):
+        m = measure_method(tiny_tensor, "dpar2", tiny_config)
+        assert m.display_name == "DPar2"
+
+    def test_repeats_validated(self, tiny_tensor, tiny_config):
+        with pytest.raises(ValueError, match="repeats"):
+            measure_method(tiny_tensor, "dpar2", tiny_config, repeats=0)
+
+    def test_sweep_covers_all_solvers(self, tiny_tensor, tiny_config):
+        out = sweep_methods(tiny_tensor, tiny_config)
+        assert [m.method for m in out] == [
+            "dpar2", "rd_als", "parafac2_als", "spartan",
+        ]
+
+    def test_speedup_computation(self):
+        def meas(method, total):
+            return MethodMeasurement(
+                method=method, rank=5, fitness=0.9,
+                preprocess_seconds=0.0, iterate_seconds=total,
+                n_iterations=1, preprocessed_bytes=0,
+            )
+
+        out = speedup_over_best_competitor(
+            [meas("dpar2", 1.0), meas("rd_als", 3.0), meas("spartan", 2.0)]
+        )
+        assert out == pytest.approx(2.0)
+
+    def test_speedup_needs_target(self):
+        m = MethodMeasurement("rd_als", 5, 0.9, 0.0, 1.0, 1, 0)
+        with pytest.raises(ValueError, match="competitor"):
+            speedup_over_best_competitor([m])
+
+
+class TestFigureModules:
+    def test_fig1_report(self):
+        from repro.experiments import fig1_tradeoff
+
+        report = fig1_tradeoff.run(
+            datasets=("activity",), ranks=(4,), max_iterations=2,
+            n_threads=1, random_state=0,
+        )
+        assert report.experiment_id == "fig1"
+        assert len(report.rows) == 4  # one per method
+        for row in report.rows:
+            assert 0.0 <= row[4] <= 1.0  # fitness column
+
+    def test_fig8_report(self):
+        from repro.experiments import fig8_slice_lengths
+
+        report = fig8_slice_lengths.run(n_threads=4, random_state=0)
+        assert len(report.rows) == 2
+        for row in report.rows:
+            # greedy imbalance (last col) must not exceed round-robin's
+            assert row[-1] <= row[-2] + 1e-9
+
+    def test_fig9a_report(self):
+        from repro.experiments import fig9_preprocessing
+
+        report = fig9_preprocessing.run(
+            datasets=("activity",), rank=4, repeats=1, n_threads=1,
+            random_state=0,
+        )
+        assert report.rows[0][1] > 0  # dpar2 preprocessing time
+        assert report.rows[0][2] > 0  # rd-als preprocessing time
+
+    def test_fig9b_report(self):
+        from repro.experiments import fig9_iteration
+
+        report = fig9_iteration.run(
+            datasets=("activity",), rank=4, max_iterations=2, n_threads=1,
+            random_state=0,
+        )
+        assert len(report.headers) == 5  # dataset + 4 methods
+
+    def test_fig10_report(self):
+        from repro.experiments import fig10_compression
+
+        report = fig10_compression.run(datasets=("activity",), rank=4,
+                                       random_state=0)
+        input_bytes, dpar2_bytes = report.rows[0][1], report.rows[0][2]
+        assert dpar2_bytes < input_bytes
+
+    def test_fig11_size_report(self):
+        from repro.experiments import fig11_scalability
+
+        report = fig11_scalability.run_size(
+            scale=0.03, rank=3, max_iterations=2, n_threads=1, random_state=0
+        )
+        assert len(report.rows) == 5  # the five paper grid points
+
+    def test_fig11_threads_modeled_scaleup(self):
+        from repro.experiments.fig11_scalability import modeled_scale_up
+
+        counts = [100] * 64
+        s1 = modeled_scale_up(counts, 1, parallel_fraction=0.9)
+        s4 = modeled_scale_up(counts, 4, parallel_fraction=0.9)
+        s8 = modeled_scale_up(counts, 8, parallel_fraction=0.9)
+        assert s1 == pytest.approx(1.0)
+        assert 1.0 < s4 < 4.0
+        assert s4 < s8 <= 8.0
+
+    def test_fig11_modeled_scaleup_validates(self):
+        from repro.experiments.fig11_scalability import modeled_scale_up
+
+        with pytest.raises(ValueError, match="parallel_fraction"):
+            modeled_scale_up([1, 2], 2, parallel_fraction=1.5)
+
+    def test_table2_report(self):
+        from repro.experiments import table2_datasets
+
+        report = table2_datasets.run(random_state=0)
+        assert len(report.rows) == 8
+
+    def test_table3_report(self):
+        from repro.experiments import table3_similar_stocks
+
+        report = table3_similar_stocks.run(rank=6, random_state=0)
+        assert len(report.rows) == 10
+        tickers = {row[1] for row in report.rows}
+        assert "MSFT" not in tickers  # the query is excluded
+
+    def test_fig12_market_correlations_shape(self):
+        from repro.experiments import fig12_correlation
+
+        matrix = fig12_correlation.market_correlations(
+            "kr_stock", rank=6, random_state=0
+        )
+        assert matrix.shape == (8, 8)
+        np.testing.assert_allclose(np.diag(matrix), 1.0, atol=1e-8)

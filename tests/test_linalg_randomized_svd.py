@@ -1,0 +1,139 @@
+"""Tests for the randomized SVD (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.randomized_svd import randomized_svd
+from tests.conftest import assert_orthonormal_columns
+
+
+def low_rank_matrix(rows, cols, rank, rng, noise=0.0):
+    base = rng.standard_normal((rows, rank)) @ rng.standard_normal((rank, cols))
+    if noise:
+        base = base + noise * rng.standard_normal((rows, cols))
+    return base
+
+
+class TestShapes:
+    def test_factor_shapes(self, rng):
+        A = rng.standard_normal((30, 20))
+        out = randomized_svd(A, 5, random_state=rng)
+        assert out.U.shape == (30, 5)
+        assert out.singular_values.shape == (5,)
+        assert out.V.shape == (20, 5)
+        assert out.rank == 5
+
+    def test_rank_capped_by_dimensions(self, rng):
+        A = rng.standard_normal((6, 4))
+        out = randomized_svd(A, 10, random_state=rng)
+        assert out.rank == 4
+
+    def test_wide_matrix(self, rng):
+        A = rng.standard_normal((10, 50))
+        out = randomized_svd(A, 3, random_state=rng)
+        assert out.U.shape == (10, 3)
+        assert out.V.shape == (50, 3)
+
+
+class TestOrthogonality:
+    def test_U_orthonormal(self, rng):
+        out = randomized_svd(rng.standard_normal((40, 25)), 6, random_state=rng)
+        assert_orthonormal_columns(out.U)
+
+    def test_V_orthonormal(self, rng):
+        out = randomized_svd(rng.standard_normal((40, 25)), 6, random_state=rng)
+        assert_orthonormal_columns(out.V)
+
+    def test_singular_values_sorted_nonnegative(self, rng):
+        out = randomized_svd(rng.standard_normal((40, 25)), 8, random_state=rng)
+        sv = out.singular_values
+        assert np.all(sv >= 0)
+        assert np.all(np.diff(sv) <= 1e-12)
+
+
+class TestAccuracy:
+    def test_exact_on_low_rank_input(self, rng):
+        A = low_rank_matrix(50, 30, 4, rng)
+        out = randomized_svd(A, 4, random_state=rng)
+        np.testing.assert_allclose(out.reconstruct(), A, atol=1e-8)
+
+    def test_close_to_exact_svd_on_noisy_input(self, rng):
+        A = low_rank_matrix(60, 40, 5, rng, noise=0.01)
+        approx = randomized_svd(A, 5, power_iterations=2, random_state=rng)
+        exact_error = np.linalg.norm(A - _best_rank(A, 5))
+        rand_error = np.linalg.norm(A - approx.reconstruct())
+        assert rand_error <= 1.1 * exact_error + 1e-9
+
+    def test_power_iterations_help_on_flat_spectrum(self, rng):
+        U = np.linalg.qr(rng.standard_normal((80, 80)))[0]
+        V = np.linalg.qr(rng.standard_normal((60, 60)))[0]
+        sv = np.concatenate([np.ones(10) * 10, np.ones(50) * 8])
+        A = U[:, :60] @ np.diag(sv) @ V.T
+        err0 = np.linalg.norm(
+            A - randomized_svd(A, 10, power_iterations=0, random_state=0).reconstruct()
+        )
+        err3 = np.linalg.norm(
+            A - randomized_svd(A, 10, power_iterations=3, random_state=0).reconstruct()
+        )
+        assert err3 <= err0 + 1e-9
+
+    def test_oversampling_helps(self, rng):
+        A = low_rank_matrix(60, 40, 15, rng, noise=0.05)
+        err_none = np.linalg.norm(
+            A - randomized_svd(A, 8, oversampling=0, power_iterations=0,
+                               random_state=3).reconstruct()
+        )
+        err_big = np.linalg.norm(
+            A - randomized_svd(A, 8, oversampling=20, power_iterations=0,
+                               random_state=3).reconstruct()
+        )
+        assert err_big <= err_none + 1e-9
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, rng):
+        A = rng.standard_normal((25, 18))
+        a = randomized_svd(A, 5, random_state=11)
+        b = randomized_svd(A, 5, random_state=11)
+        np.testing.assert_array_equal(a.U, b.U)
+        np.testing.assert_array_equal(a.singular_values, b.singular_values)
+
+
+class TestValidation:
+    def test_rejects_vector(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            randomized_svd(np.ones(5), 2)
+
+    def test_rejects_zero_rank(self, rng):
+        with pytest.raises(ValueError, match="positive"):
+            randomized_svd(np.ones((4, 4)), 0)
+
+    def test_rejects_negative_oversampling(self, rng):
+        with pytest.raises(ValueError, match="oversampling"):
+            randomized_svd(np.ones((4, 4)), 2, oversampling=-1)
+
+    def test_rejects_negative_power_iterations(self, rng):
+        with pytest.raises(ValueError, match="power_iterations"):
+            randomized_svd(np.ones((4, 4)), 2, power_iterations=-1)
+
+    def test_rejects_nan(self):
+        bad = np.ones((4, 4))
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            randomized_svd(bad, 2)
+
+
+class TestResultContainer:
+    def test_sigma_matrix_is_diagonal(self, rng):
+        out = randomized_svd(rng.standard_normal((10, 8)), 3, random_state=rng)
+        sigma = out.sigma_matrix()
+        np.testing.assert_array_equal(sigma, np.diag(out.singular_values))
+
+    def test_reconstruct_shape(self, rng):
+        out = randomized_svd(rng.standard_normal((10, 8)), 3, random_state=rng)
+        assert out.reconstruct().shape == (10, 8)
+
+
+def _best_rank(A, rank):
+    U, s, Vt = np.linalg.svd(A, full_matrices=False)
+    return (U[:, :rank] * s[:rank]) @ Vt[:rank]

@@ -1,0 +1,139 @@
+"""Tests for the from-scratch COO/CSR sparse substrate."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.ops import dense_to_sparse, random_sparse, sparsity
+
+
+@pytest.fixture
+def dense(rng):
+    A = rng.standard_normal((6, 8))
+    A[A < 0.3] = 0.0  # make it actually sparse
+    return A
+
+
+class TestCoo:
+    def test_roundtrip_dense(self, dense):
+        coo = CooMatrix.from_dense(dense)
+        np.testing.assert_array_equal(coo.to_dense(), dense)
+
+    def test_nnz(self, dense):
+        coo = CooMatrix.from_dense(dense)
+        assert coo.nnz == np.count_nonzero(dense)
+
+    def test_duplicates_summed_in_to_dense(self):
+        coo = CooMatrix((2, 2), [0, 0], [1, 1], [2.0, 3.0])
+        assert coo.to_dense()[0, 1] == 5.0
+
+    def test_duplicates_summed_in_csr(self):
+        csr = CooMatrix((2, 2), [0, 0], [1, 1], [2.0, 3.0]).to_csr()
+        assert csr.to_dense()[0, 1] == 5.0
+        assert csr.nnz == 1
+
+    def test_cancelled_duplicates_dropped(self):
+        csr = CooMatrix((2, 2), [0, 0], [1, 1], [2.0, -2.0]).to_csr()
+        assert csr.nnz == 0
+
+    def test_threshold(self, dense):
+        coo = CooMatrix.from_dense(dense, threshold=0.5)
+        assert np.all(np.abs(coo.values) > 0.5)
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError, match="out of bounds"):
+            CooMatrix((2, 2), [2], [0], [1.0])
+        with pytest.raises(ValueError, match="out of bounds"):
+            CooMatrix((2, 2), [0], [5], [1.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            CooMatrix((2, 2), [0, 1], [0], [1.0])
+
+    def test_empty_to_csr(self):
+        csr = CooMatrix((3, 4), [], [], []).to_csr()
+        assert csr.nnz == 0
+        np.testing.assert_array_equal(csr.to_dense(), np.zeros((3, 4)))
+
+
+class TestCsr:
+    def test_roundtrip(self, dense):
+        csr = dense_to_sparse(dense)
+        np.testing.assert_array_equal(csr.to_dense(), dense)
+
+    def test_matvec(self, dense, rng):
+        csr = dense_to_sparse(dense)
+        x = rng.standard_normal(8)
+        np.testing.assert_allclose(csr.matvec(x), dense @ x, atol=1e-12)
+
+    def test_matvec_length_check(self, dense):
+        csr = dense_to_sparse(dense)
+        with pytest.raises(ValueError, match="length"):
+            csr.matvec(np.ones(3))
+
+    def test_matmul_dense(self, dense, rng):
+        csr = dense_to_sparse(dense)
+        B = rng.standard_normal((8, 3))
+        np.testing.assert_allclose(csr.matmul_dense(B), dense @ B, atol=1e-12)
+
+    def test_rmatmul_dense(self, dense, rng):
+        csr = dense_to_sparse(dense)
+        B = rng.standard_normal((6, 4))
+        np.testing.assert_allclose(csr.rmatmul_dense(B), B.T @ dense, atol=1e-12)
+
+    def test_transpose(self, dense):
+        csr = dense_to_sparse(dense)
+        np.testing.assert_array_equal(csr.transpose().to_dense(), dense.T)
+
+    def test_squared_norm(self, dense):
+        csr = dense_to_sparse(dense)
+        assert csr.squared_norm() == pytest.approx(np.sum(dense**2))
+
+    def test_row_norms(self, dense):
+        csr = dense_to_sparse(dense)
+        np.testing.assert_allclose(
+            csr.row_norms_squared(), np.sum(dense**2, axis=1), atol=1e-12
+        )
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(ValueError, match="indptr"):
+            CsrMatrix((2, 2), [0, 1], [0], [1.0])  # wrong indptr length
+
+    def test_decreasing_indptr_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CsrMatrix((2, 2), [0, 2, 1], [0], [1.0])
+
+    def test_density(self, dense):
+        csr = dense_to_sparse(dense)
+        assert csr.density == pytest.approx(csr.nnz / dense.size)
+
+
+class TestOps:
+    def test_sparsity_dense_array(self):
+        A = np.array([[0.0, 1.0], [0.0, 0.0]])
+        assert sparsity(A) == 0.75
+
+    def test_sparsity_csr(self):
+        csr = dense_to_sparse(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        assert sparsity(csr) == 0.75
+
+    def test_sparsity_empty(self):
+        assert sparsity(np.empty((0, 0))) == 0.0
+
+    def test_random_sparse_density(self):
+        csr = random_sparse((50, 40), 0.1, random_state=0)
+        assert csr.nnz == round(0.1 * 50 * 40)
+
+    def test_random_sparse_zero_density(self):
+        csr = random_sparse((5, 5), 0.0, random_state=0)
+        assert csr.nnz == 0
+
+    def test_random_sparse_bad_density(self):
+        with pytest.raises(ValueError, match="density"):
+            random_sparse((5, 5), 1.5)
+
+    def test_random_sparse_no_duplicates(self):
+        csr = random_sparse((10, 10), 0.5, random_state=1)
+        dense = csr.to_dense()
+        assert csr.nnz == np.count_nonzero(dense)

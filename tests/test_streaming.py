@@ -1,0 +1,147 @@
+"""Tests for the streaming DPar2 extension (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.decomposition.dpar2 import dpar2
+from repro.decomposition.streaming import StreamingDpar2
+from repro.tensor.irregular import IrregularTensor
+from repro.tensor.random import low_rank_irregular_tensor
+from repro.util.config import DecompositionConfig
+
+
+@pytest.fixture
+def stream_config():
+    return DecompositionConfig(rank=4, random_state=0)
+
+
+@pytest.fixture
+def stream_tensor():
+    return low_rank_irregular_tensor(
+        [40, 60, 35, 50, 45, 55], 24, rank=4, noise=0.02, random_state=1
+    )
+
+
+class TestAbsorb:
+    def test_slice_count_grows(self, stream_config, rng):
+        stream = StreamingDpar2(stream_config)
+        for k in range(3):
+            stream.absorb(rng.random((20, 10)), refresh=False)
+            assert stream.n_slices == k + 1
+
+    def test_column_mismatch_rejected(self, stream_config, rng):
+        stream = StreamingDpar2(stream_config)
+        stream.absorb(rng.random((20, 10)), refresh=False)
+        with pytest.raises(ValueError, match="columns"):
+            stream.absorb(rng.random((20, 12)), refresh=False)
+
+    def test_result_before_absorb_raises(self, stream_config):
+        with pytest.raises(RuntimeError, match="no slices"):
+            StreamingDpar2(stream_config).compressed()
+
+    def test_invalid_threshold(self, stream_config):
+        with pytest.raises(ValueError, match="residual_threshold"):
+            StreamingDpar2(stream_config, residual_threshold=1.5)
+
+    def test_invalid_refresh_iterations(self, stream_config):
+        with pytest.raises(ValueError, match="refresh_iterations"):
+            StreamingDpar2(stream_config, refresh_iterations=-1)
+
+
+class TestCompressedSnapshot:
+    def test_shapes(self, stream_config, stream_tensor):
+        stream = StreamingDpar2(stream_config)
+        for Xk in stream_tensor:
+            stream.absorb(Xk, refresh=False)
+        compressed = stream.compressed()
+        assert compressed.n_slices == stream_tensor.n_slices
+        assert compressed.D.shape == (stream_tensor.n_columns, 4)
+        assert compressed.E.shape == (4,)
+
+    def test_reconstruction_tracks_data(self, stream_config, stream_tensor):
+        """Per-slice error must sit near the rank-4 truncation floor (the
+        planted noise leaves ~28% of the norm outside the rank-4 model)."""
+        stream = StreamingDpar2(stream_config, residual_threshold=0.01)
+        for Xk in stream_tensor:
+            stream.absorb(Xk, refresh=False)
+        compressed = stream.compressed()
+        for k, Xk in enumerate(stream_tensor):
+            rel = np.linalg.norm(
+                compressed.reconstruct_slice(k) - Xk
+            ) / np.linalg.norm(Xk)
+            assert rel < 0.35
+
+    def test_D_orthonormal(self, stream_config, stream_tensor):
+        stream = StreamingDpar2(stream_config)
+        for Xk in stream_tensor:
+            stream.absorb(Xk, refresh=False)
+        D = stream.compressed().D
+        np.testing.assert_allclose(D.T @ D, np.eye(D.shape[1]), atol=1e-8)
+
+
+class TestModelQuality:
+    def test_matches_batch_fitness(self, stream_config, stream_tensor):
+        stream = StreamingDpar2(stream_config, refresh_iterations=8)
+        for Xk in stream_tensor:
+            stream.absorb(Xk, refresh=False)
+        streaming_fit = stream.fitness(stream_tensor)
+
+        batch = dpar2(
+            stream_tensor,
+            stream_config.with_(max_iterations=8),
+        )
+        batch_fit = batch.fitness(stream_tensor)
+        assert streaming_fit > batch_fit - 0.05
+
+    def test_incremental_refresh(self, stream_config, stream_tensor):
+        """Refreshing after every absorb must also produce a valid model."""
+        stream = StreamingDpar2(stream_config, refresh_iterations=3)
+        for Xk in stream_tensor:
+            stream.absorb(Xk)  # refresh=True default
+        result = stream.result()
+        assert result.n_slices == stream_tensor.n_slices
+        assert stream.fitness(stream_tensor) > 0.5
+
+    def test_result_cached_until_next_absorb(self, stream_config, rng):
+        stream = StreamingDpar2(stream_config)
+        stream.absorb(rng.random((20, 10)))
+        first = stream.result()
+        assert stream.result() is first
+        stream.absorb(rng.random((25, 10)))
+        assert stream.result() is not first
+
+    def test_basis_growth_on_novel_subspace(self, rng):
+        """A slice living in a new right-subspace must trigger basis growth
+        rather than being projected away.  Rank 8 so the grown basis can
+        cover both disjoint 4-dimensional subspaces."""
+        config = DecompositionConfig(rank=8, random_state=0)
+        stream = StreamingDpar2(config, residual_threshold=0.05)
+        J = 16
+        # The first slice lives in columns 0..3, the novel one in 8..11.
+        base = np.zeros((30, J))
+        base[:, :4] = rng.random((30, 4))
+        stream.absorb(base, refresh=False)
+        novel = np.zeros((30, J))
+        novel[:, 8:12] = rng.random((30, 4))
+        stream.absorb(novel, refresh=False)
+        compressed = stream.compressed()
+        rel = np.linalg.norm(
+            compressed.reconstruct_slice(1) - novel
+        ) / np.linalg.norm(novel)
+        assert rel < 0.1
+
+
+class TestStreamOrderRobustness:
+    def test_permuted_arrival_similar_quality(self, stream_config,
+                                              stream_tensor):
+        orders = [list(range(6)), [3, 0, 5, 1, 4, 2]]
+        fits = []
+        for order in orders:
+            stream = StreamingDpar2(stream_config, refresh_iterations=8)
+            for idx in order:
+                stream.absorb(stream_tensor[idx], refresh=False)
+            permuted = IrregularTensor(
+                [stream_tensor[idx] for idx in order]
+            )
+            fits.append(stream.fitness(permuted))
+        assert abs(fits[0] - fits[1]) < 0.1

@@ -1,0 +1,103 @@
+"""Tests for the IrregularTensor container."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.irregular import IrregularTensor
+
+
+@pytest.fixture
+def tensor(rng):
+    return IrregularTensor([rng.standard_normal((n, 6)) for n in (4, 7, 5)])
+
+
+class TestConstruction:
+    def test_basic_properties(self, tensor):
+        assert tensor.n_slices == 3
+        assert tensor.n_columns == 6
+        assert tensor.row_counts == [4, 7, 5]
+        assert tensor.max_rows == 7
+        assert tensor.n_entries == (4 + 7 + 5) * 6
+
+    def test_len_and_iter(self, tensor):
+        assert len(tensor) == 3
+        assert sum(1 for _ in tensor) == 3
+
+    def test_getitem(self, tensor):
+        assert tensor[1].shape == (7, 6)
+
+    def test_copies_by_default(self, rng):
+        source = rng.standard_normal((3, 4))
+        tensor = IrregularTensor([source])
+        source[0, 0] = 999.0
+        assert tensor[0][0, 0] != 999.0
+
+    def test_no_copy_option(self, rng):
+        source = np.ascontiguousarray(rng.standard_normal((3, 4)))
+        tensor = IrregularTensor([source], copy=False)
+        assert tensor[0] is source
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one slice"):
+            IrregularTensor([])
+
+    def test_column_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="columns"):
+            IrregularTensor(
+                [rng.standard_normal((3, 4)), rng.standard_normal((3, 5))]
+            )
+
+    def test_nan_rejected(self):
+        bad = np.ones((2, 2))
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            IrregularTensor([bad])
+
+    def test_accepts_generator(self, rng):
+        tensor = IrregularTensor(rng.standard_normal((3, 4)) for _ in range(2))
+        assert tensor.n_slices == 2
+
+    def test_repr(self, tensor):
+        text = repr(tensor)
+        assert "K=3" in text
+        assert "J=6" in text
+
+
+class TestNumerics:
+    def test_squared_norm(self, tensor):
+        expected = sum(np.sum(Xk**2) for Xk in tensor)
+        assert tensor.squared_norm() == pytest.approx(expected)
+
+    def test_norm_is_sqrt(self, tensor):
+        assert tensor.norm() == pytest.approx(np.sqrt(tensor.squared_norm()))
+
+    def test_scaled(self, tensor):
+        doubled = tensor.scaled(2.0)
+        assert doubled.squared_norm() == pytest.approx(4 * tensor.squared_norm())
+
+    def test_nbytes(self, tensor):
+        assert tensor.nbytes == tensor.n_entries * 8
+
+    def test_transpose_concatenation(self, tensor):
+        concat = tensor.transpose_concatenation()
+        assert concat.shape == (6, 16)
+        np.testing.assert_array_equal(concat[:, :4], tensor[0].T)
+
+    def test_subset(self, tensor):
+        sub = tensor.subset([2, 0])
+        assert sub.n_slices == 2
+        np.testing.assert_array_equal(sub[0], tensor[2])
+        np.testing.assert_array_equal(sub[1], tensor[0])
+
+
+class TestFromRegular:
+    def test_splits_frontal_slices(self, rng):
+        cube = rng.standard_normal((5, 4, 3))
+        tensor = IrregularTensor.from_regular(cube)
+        assert tensor.n_slices == 3
+        assert tensor.row_counts == [5, 5, 5]
+        np.testing.assert_array_equal(tensor[1], cube[:, :, 1])
+
+    def test_rejects_matrix(self, rng):
+        with pytest.raises(ValueError, match="3-order"):
+            IrregularTensor.from_regular(rng.standard_normal((4, 4)))

@@ -1,0 +1,80 @@
+"""Tests for mode-n unfolding/folding (Kolda & Bader convention)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.matricization import fold, unfold
+
+
+@pytest.fixture
+def cube():
+    # X[i, j, k] = 100*i + 10*j + k, shape (2, 3, 4): easy to verify indexing.
+    I, J, K = 2, 3, 4
+    X = np.zeros((I, J, K))
+    for i in range(I):
+        for j in range(J):
+            for k in range(K):
+                X[i, j, k] = 100 * i + 10 * j + k
+    return X
+
+
+class TestUnfoldShapes:
+    def test_mode_1(self, cube):
+        assert unfold(cube, 1).shape == (2, 12)
+
+    def test_mode_2(self, cube):
+        assert unfold(cube, 2).shape == (3, 8)
+
+    def test_mode_3(self, cube):
+        assert unfold(cube, 3).shape == (4, 6)
+
+
+class TestKoldaConvention:
+    """Column index must advance the *lower* mode fastest."""
+
+    def test_mode_1_ordering(self, cube):
+        M = unfold(cube, 1)
+        # column j + J*k holds X[:, j, k]
+        for j in range(3):
+            for k in range(4):
+                np.testing.assert_array_equal(M[:, j + 3 * k], cube[:, j, k])
+
+    def test_mode_2_ordering(self, cube):
+        M = unfold(cube, 2)
+        for i in range(2):
+            for k in range(4):
+                np.testing.assert_array_equal(M[:, i + 2 * k], cube[i, :, k])
+
+    def test_mode_3_ordering(self, cube):
+        M = unfold(cube, 3)
+        for i in range(2):
+            for j in range(3):
+                np.testing.assert_array_equal(M[:, i + 2 * j], cube[i, j, :])
+
+
+class TestFold:
+    @pytest.mark.parametrize("mode", [1, 2, 3])
+    def test_roundtrip(self, cube, mode):
+        M = unfold(cube, mode)
+        np.testing.assert_array_equal(fold(M, mode, cube.shape), cube)
+
+    def test_wrong_shape_rejected(self, cube):
+        M = unfold(cube, 1)
+        with pytest.raises(ValueError, match="inconsistent"):
+            fold(M, 2, cube.shape)
+
+    def test_vector_rejected(self):
+        with pytest.raises(ValueError, match="matrix"):
+            fold(np.ones(6), 1, (1, 2, 3))
+
+
+class TestValidation:
+    def test_bad_mode_rejected(self, cube):
+        with pytest.raises(ValueError, match="mode"):
+            unfold(cube, 0)
+        with pytest.raises(ValueError, match="mode"):
+            unfold(cube, 4)
+
+    def test_matrix_input_rejected(self):
+        with pytest.raises(ValueError, match="3-order"):
+            unfold(np.ones((3, 3)), 1)

@@ -1,0 +1,69 @@
+"""Tests for repro.util.config.DecompositionConfig."""
+
+import pytest
+
+from repro.util.config import DecompositionConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = DecompositionConfig()
+        assert config.rank == 10
+        assert config.max_iterations == 32
+        assert config.oversampling == 5
+        assert config.power_iterations == 1
+
+    def test_frozen(self):
+        config = DecompositionConfig()
+        with pytest.raises(AttributeError):
+            config.rank = 20
+
+
+class TestValidation:
+    def test_zero_rank_rejected(self):
+        with pytest.raises(ValueError, match="rank"):
+            DecompositionConfig(rank=0)
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError, match="max_iterations"):
+            DecompositionConfig(max_iterations=0)
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError, match="n_threads"):
+            DecompositionConfig(n_threads=0)
+
+    def test_negative_oversampling_rejected(self):
+        with pytest.raises(ValueError, match="oversampling"):
+            DecompositionConfig(oversampling=-1)
+
+    def test_negative_power_iterations_rejected(self):
+        with pytest.raises(ValueError, match="power_iterations"):
+            DecompositionConfig(power_iterations=-1)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            DecompositionConfig(tolerance=-1e-3)
+
+    def test_zero_tolerance_allowed(self):
+        assert DecompositionConfig(tolerance=0.0).tolerance == 0.0
+
+    def test_zero_oversampling_allowed(self):
+        assert DecompositionConfig(oversampling=0).oversampling == 0
+
+
+class TestWith:
+    def test_with_replaces_field(self):
+        config = DecompositionConfig(rank=10)
+        assert config.with_(rank=15).rank == 15
+
+    def test_with_keeps_other_fields(self):
+        config = DecompositionConfig(rank=10, n_threads=4)
+        assert config.with_(rank=15).n_threads == 4
+
+    def test_with_returns_new_object(self):
+        config = DecompositionConfig()
+        assert config.with_(rank=5) is not config
+
+    def test_with_validates(self):
+        with pytest.raises(ValueError):
+            DecompositionConfig().with_(rank=-1)

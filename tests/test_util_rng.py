@@ -1,0 +1,66 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_returns_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).random(5)
+        b = as_generator(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_numpy_integer_seed(self):
+        gen = as_generator(np.int64(3))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            as_generator(-1)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError, match="random_state"):
+            as_generator("seed")
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            as_generator(1.5)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        children = spawn_generators(0, 5)
+        assert len(children) == 5
+
+    def test_children_are_independent_generators(self):
+        children = spawn_generators(0, 3)
+        draws = [child.random(4) for child in children]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_deterministic_given_seed(self):
+        a = [g.random(3) for g in spawn_generators(9, 4)]
+        b = [g.random(3) for g in spawn_generators(9, 4)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_generators(0, -1)

@@ -1,0 +1,90 @@
+"""Tests for repro.util.timing."""
+
+import pytest
+
+from repro.util.timing import Stopwatch, format_seconds, time_call
+
+
+class TestStopwatch:
+    def test_context_manager_accumulates(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        assert watch.elapsed >= 0.0
+
+    def test_multiple_intervals_accumulate(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        first = watch.elapsed
+        with watch:
+            pass
+        assert watch.elapsed >= first
+
+    def test_double_start_raises(self):
+        watch = Stopwatch()
+        watch.start()
+        with pytest.raises(RuntimeError, match="already running"):
+            watch.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError, match="not running"):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        watch.reset()
+        assert watch.elapsed == 0.0
+        assert not watch.running
+
+    def test_running_flag(self):
+        watch = Stopwatch()
+        assert not watch.running
+        watch.start()
+        assert watch.running
+        watch.stop()
+        assert not watch.running
+
+
+class TestTimeCall:
+    def test_returns_value(self):
+        out = time_call(lambda x: x * 2, 21)
+        assert out.value == 42
+        assert out.seconds >= 0.0
+
+    def test_repeats_recorded(self):
+        out = time_call(lambda: None, repeats=3)
+        assert out.repeats == 3
+        assert len(out.per_repeat) == 3
+
+    def test_mean_of_repeats(self):
+        out = time_call(lambda: None, repeats=4)
+        assert out.seconds == pytest.approx(sum(out.per_repeat) / 4)
+
+    def test_kwargs_forwarded(self):
+        out = time_call(lambda a, b=0: a + b, 1, b=2)
+        assert out.value == 3
+
+    def test_zero_repeats_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            time_call(lambda: None, repeats=0)
+
+
+class TestFormatSeconds:
+    def test_microseconds(self):
+        assert format_seconds(5e-6) == "5.0us"
+
+    def test_milliseconds(self):
+        assert format_seconds(0.25) == "250.0ms"
+
+    def test_seconds(self):
+        assert format_seconds(3.14159) == "3.14s"
+
+    def test_minutes(self):
+        assert format_seconds(125.0) == "2m05.0s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            format_seconds(-1.0)

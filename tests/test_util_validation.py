@@ -1,0 +1,116 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_matrix,
+    check_positive_int,
+    check_probability,
+    check_rank,
+)
+
+
+class TestCheckMatrix:
+    def test_accepts_list_of_lists(self):
+        out = check_matrix([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+        assert out.shape == (2, 2)
+
+    def test_returns_contiguous(self):
+        fortran = np.asfortranarray(np.ones((3, 4)))
+        out = check_matrix(fortran)
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_matrix(np.ones(5))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_matrix(np.ones((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        bad = np.ones((2, 2))
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN or Inf"):
+            check_matrix(bad)
+
+    def test_rejects_inf(self):
+        bad = np.ones((2, 2))
+        bad[1, 1] = np.inf
+        with pytest.raises(ValueError, match="NaN or Inf"):
+            check_matrix(bad)
+
+    def test_rejects_empty_by_default(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_matrix(np.empty((0, 3)))
+
+    def test_allow_empty(self):
+        out = check_matrix(np.empty((0, 3)), allow_empty=True)
+        assert out.shape == (0, 3)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError, match="convertible"):
+            check_matrix([["a", "b"]])
+
+    def test_error_uses_name(self):
+        with pytest.raises(ValueError, match="myarg"):
+            check_matrix(np.ones(3), name="myarg")
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3) == 3
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int32(5)) == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="positive"):
+            check_positive_int(0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="positive"):
+            check_positive_int(-2)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError, match="int"):
+            check_positive_int(2.0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError, match="int"):
+            check_positive_int(True)
+
+
+class TestCheckRank:
+    def test_plain(self):
+        assert check_rank(5) == 5
+
+    def test_cap_respected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            check_rank(10, max_allowed=8)
+
+    def test_cap_boundary_ok(self):
+        assert check_rank(8, max_allowed=8) == 8
+
+
+class TestCheckProbability:
+    def test_bounds_inclusive(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+
+    def test_midpoint(self):
+        assert check_probability(0.5) == 0.5
+
+    def test_above_one_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_probability(1.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_probability(-0.1)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TypeError):
+            check_probability("half")
