@@ -19,7 +19,6 @@ from repro.util.config import DecompositionConfig
 
 def test_streaming_absorb(benchmark, structured_tensor):
     config = DecompositionConfig(rank=10, random_state=0)
-    rng = np.random.default_rng(0)
 
     def absorb_one():
         stream = StreamingDpar2(config)

@@ -32,6 +32,7 @@ from repro.decomposition import (
 from repro.tensor import (
     DenseTensor,
     IrregularTensor,
+    MmapSliceStore,
     random_dense_tensor,
     random_irregular_tensor,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "DecompositionConfig",
     "DenseTensor",
     "IrregularTensor",
+    "MmapSliceStore",
     "Parafac2Result",
     "SOLVERS",
     "StreamingDpar2",

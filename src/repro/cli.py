@@ -16,9 +16,13 @@ from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 
 from repro.data.registry import DATASETS, load_dataset
 from repro.decomposition.registry import DISPLAY_NAMES, SOLVERS, get_solver
+from repro.parallel.backends import BACKEND_NAMES
+from repro.tensor.irregular import IrregularTensor
+from repro.tensor.mmap_store import MmapSliceStore
 from repro.util.config import DecompositionConfig
 from repro.util.timing import format_seconds
 
@@ -58,6 +62,15 @@ def build_parser() -> argparse.ArgumentParser:
     decompose.add_argument("--rank", type=int, default=10)
     decompose.add_argument("--max-iterations", type=int, default=32)
     decompose.add_argument("--threads", type=int, default=1)
+    decompose.add_argument(
+        "--backend", default="thread", choices=list(BACKEND_NAMES),
+        help="execution backend for slice-parallel stages (default: thread)",
+    )
+    decompose.add_argument(
+        "--out-of-core", action="store_true",
+        help="stage the dataset into a temporary on-disk slice store and "
+        "decompose it memory-mapped (demonstrates the streaming path)",
+    )
     decompose.add_argument("--seed", type=int, default=0)
 
     experiment = sub.add_parser(
@@ -87,11 +100,23 @@ def cmd_decompose(args: argparse.Namespace) -> int:
         rank=args.rank,
         max_iterations=args.max_iterations,
         n_threads=args.threads,
+        backend=args.backend,
         random_state=args.seed,
     )
     solver = get_solver(args.method)
     print(f"dataset : {args.dataset} -> {tensor}")
-    print(f"solver  : {DISPLAY_NAMES[args.method]} (rank {config.rank})")
+    print(f"solver  : {DISPLAY_NAMES[args.method]} (rank {config.rank}, "
+          f"backend {config.backend} x{config.n_threads})")
+    if not args.out_of_core:
+        return _run_decompose(solver, tensor, config)
+    # The store must outlive the run: slices are read lazily during stage 1.
+    with tempfile.TemporaryDirectory(prefix="repro-ooc-") as staging:
+        store = MmapSliceStore.create(staging, tensor.slices)
+        print(f"staging : {store}")
+        return _run_decompose(solver, IrregularTensor.from_store(store), config)
+
+
+def _run_decompose(solver, tensor, config: DecompositionConfig) -> int:
     result = solver(tensor, config)
     print(f"fitness : {result.fitness(tensor):.4f}")
     print(f"time    : preprocess {format_seconds(result.preprocess_seconds)}"

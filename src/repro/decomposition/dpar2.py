@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -32,7 +33,7 @@ from repro.decomposition.initialization import initialize_factors
 from repro.decomposition.result import IterationRecord, Parafac2Result
 from repro.linalg.pinv import solve_gram
 from repro.linalg.randomized_svd import randomized_svd
-from repro.parallel.executor import map_partitioned, parallel_map
+from repro.parallel.backends import ExecutionBackend, get_backend
 from repro.tensor.irregular import IrregularTensor
 from repro.tensor.products import hadamard
 from repro.util.config import DecompositionConfig
@@ -102,6 +103,22 @@ class CompressedTensor:
         return tensor.nbytes / self.nbytes
 
 
+def _compress_slice_task(item, *, rank, oversampling, power_iterations):
+    """Stage-1 kernel: one randomized SVD per ``(slice, generator)`` pair.
+
+    Module-level (rather than a closure) so the process backend can pickle
+    it; the slice itself travels through shared memory, not the pickle.
+    """
+    Xk, rng = item
+    return randomized_svd(
+        Xk,
+        rank,
+        oversampling=oversampling,
+        power_iterations=power_iterations,
+        random_state=rng,
+    )
+
+
 def compress_tensor(
     tensor: IrregularTensor,
     rank: int,
@@ -111,41 +128,51 @@ def compress_tensor(
     n_threads: int = 1,
     random_state=None,
     use_greedy_partition: bool = True,
+    backend: "str | ExecutionBackend" = "thread",
 ) -> CompressedTensor:
     """Two-stage randomized-SVD compression (Algorithm 3, lines 2–6).
 
-    Stage 1 runs one randomized SVD per slice, distributed over threads by
-    Algorithm 4's greedy number partitioning keyed on row counts (set
-    ``use_greedy_partition=False`` for the naive allocation, used by the
-    partitioning ablation).  Stage 2 compresses the ``J×KR`` concatenation
-    of the ``Ck Bk`` products.
+    Stage 1 runs one randomized SVD per slice, distributed over workers of
+    the chosen ``backend`` by Algorithm 4's greedy number partitioning keyed
+    on row counts (set ``use_greedy_partition=False`` for the naive
+    allocation, used by the partitioning ablation).  Stage 2 compresses the
+    ``J×KR`` concatenation of the ``Ck Bk`` products.
+
+    Because stage 1 is the only place the raw slices are read, a tensor
+    backed by an on-disk :class:`~repro.tensor.mmap_store.MmapSliceStore`
+    streams through here one slice at a time — nothing requires the whole
+    tensor in RAM.  ``backend`` accepts a name (a backend is created and
+    closed around the call) or a live instance (reused, left open).
     """
     if not isinstance(tensor, IrregularTensor):
         tensor = IrregularTensor(tensor)
     R = min(rank, tensor.n_columns, min(tensor.row_counts))
     start = time.perf_counter()
 
-    # Stage 1: per-slice randomized SVD, one private RNG per slice so the
-    # result is independent of the thread schedule.
-    generators = spawn_generators(random_state, tensor.n_slices)
+    owned = not isinstance(backend, ExecutionBackend)
+    engine = get_backend(backend, n_threads)
 
-    def compress_slice(item):
-        Xk, rng = item
-        return randomized_svd(
-            Xk,
-            R,
-            oversampling=oversampling,
-            power_iterations=power_iterations,
-            random_state=rng,
-        )
+    # Stage 1: per-slice randomized SVD, one private RNG per slice so the
+    # result is independent of the worker schedule (and of the backend).
+    generators = spawn_generators(random_state, tensor.n_slices)
+    compress_slice = partial(
+        _compress_slice_task,
+        rank=R,
+        oversampling=oversampling,
+        power_iterations=power_iterations,
+    )
 
     items = list(zip(tensor.slices, generators))
-    if use_greedy_partition:
-        stage1 = map_partitioned(
-            compress_slice, items, weights=tensor.row_counts, n_threads=n_threads
-        )
-    else:
-        stage1 = parallel_map(compress_slice, items, n_threads=n_threads)
+    try:
+        if use_greedy_partition:
+            stage1 = engine.map_partitioned(
+                compress_slice, items, weights=tensor.row_counts
+            )
+        else:
+            stage1 = engine.map(compress_slice, items)
+    finally:
+        if owned:
+            engine.close()
 
     # Stage 2: M = ∥k (Ck Bk) ∈ R^{J x KR}, randomized SVD at rank R.
     M = np.concatenate(
@@ -170,29 +197,44 @@ def compress_tensor(
     )
 
 
-def _batched_polar(matrices: np.ndarray, n_threads: int) -> np.ndarray:
+def _polar_stack_task(stack: np.ndarray) -> np.ndarray:
+    """Polar factors ``Zk Pkᵀ`` for one chunk of stacked small matrices.
+
+    The thin SVD keeps this correct when the stack is rectangular
+    ``(m, Rc, R)`` with ``Rc > R`` — a precomputed compression of higher
+    rank than the target (its extra directions are simply truncated).
+    """
+    Z, _, Pt = np.linalg.svd(stack, full_matrices=False)
+    return Z @ Pt
+
+
+def _batched_polar(
+    matrices: np.ndarray,
+    n_threads: int,
+    backend: "str | ExecutionBackend" = "thread",
+) -> np.ndarray:
     """``Zk Pkᵀ`` and ``Tk``-precursor SVDs for a stack of ``R×R`` matrices.
 
-    Returns the stack ``Zk @ Pkᵀ`` (shape ``(K, R, R)``).  LAPACK's batched
-    small-SVD loop releases the GIL, so large stacks are chunked across
-    threads (the "uniform allocation" of Section III-F: the per-slice work
-    no longer depends on ``Ik``).
+    Returns the stack ``Zk @ Pkᵀ`` (shape ``(K, R, R)``).  Large stacks are
+    chunked evenly across the backend's workers (the "uniform allocation" of
+    Section III-F: the per-slice work no longer depends on ``Ik``); small
+    stacks go through one LAPACK batched-SVD call, whatever the backend,
+    because dispatch would cost more than the work.
     """
     K = matrices.shape[0]
-    if n_threads <= 1 or K < 4 * n_threads:
-        Z, _, Pt = np.linalg.svd(matrices)
-        return Z @ Pt
+    engine = get_backend(backend, n_threads)
+    owned = not isinstance(backend, ExecutionBackend)
+    if engine.n_workers <= 1 or K < 4 * engine.n_workers:
+        if owned:
+            engine.close()
+        return _polar_stack_task(matrices)
 
-    chunks = np.array_split(np.arange(K), n_threads)
-
-    def polar_chunk(indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        Z, _, Pt = np.linalg.svd(matrices[indices])
-        return indices, Z @ Pt
-
-    out = np.empty_like(matrices)
-    for indices, values in parallel_map(polar_chunk, chunks, n_threads):
-        out[indices] = values
-    return out
+    chunks = np.array_split(matrices, engine.n_workers)
+    try:
+        return np.concatenate(engine.map(_polar_stack_task, chunks))
+    finally:
+        if owned:
+            engine.close()
 
 
 def dpar2(
@@ -229,27 +271,66 @@ def dpar2(
         ``preprocess_seconds`` is the two-stage compression time,
         ``preprocessed_bytes`` the size of ``{Ak}, D, E, F`` (Fig. 9(a) and
         Fig. 10 inputs).
+
+    Notes
+    -----
+    **Execution backend.**  ``config.backend`` selects how slice-parallel
+    stages run: ``"serial"``, ``"thread"`` (default), or ``"process"``
+    (workers fed through ``multiprocessing.shared_memory``); ``config.n_threads``
+    sets the worker count.  One backend instance is shared by stage-1
+    compression and every sweep's batched polar SVDs, so a process pool is
+    forked once per call.  For a fixed ``random_state`` all backends return
+    identical factors — per-slice spawned RNGs make the result independent
+    of the schedule.
+
+    **Out of core.**  The raw slices are only read during stage-1
+    compression, so a tensor built with
+    :meth:`IrregularTensor.from_store <repro.tensor.irregular.IrregularTensor.from_store>`
+    over an on-disk :class:`~repro.tensor.mmap_store.MmapSliceStore` streams
+    from disk slice by slice; iterations then run purely on the compressed
+    representation.  (``exact_convergence=True`` re-reads raw slices every
+    sweep and defeats the purpose.)
+
+    **Zero sweeps.**  ``max_iterations=0`` is allowed and returns the
+    compressed tensor's subspaces with the random factor initialization —
+    useful for timing or warm-start experiments.
     """
     config = (config or DecompositionConfig()).with_(**overrides)
     if not isinstance(tensor, IrregularTensor):
         tensor = IrregularTensor(tensor)
     R = min(config.rank, tensor.n_columns, min(tensor.row_counts))
 
-    if compressed is None:
-        compressed = compress_tensor(
-            tensor,
-            R,
-            oversampling=config.oversampling,
-            power_iterations=config.power_iterations,
-            n_threads=config.n_threads,
-            random_state=config.random_state,
-            use_greedy_partition=use_greedy_partition,
-        )
-    elif compressed.rank < R:
-        raise ValueError(
-            f"precomputed compression has rank {compressed.rank} < target {R}"
+    # One backend instance serves compression and every sweep, so a process
+    # pool pays its fork cost once per dpar2() call.
+    with get_backend(config.backend, config.n_threads) as engine:
+        if compressed is None:
+            compressed = compress_tensor(
+                tensor,
+                R,
+                oversampling=config.oversampling,
+                power_iterations=config.power_iterations,
+                random_state=config.random_state,
+                use_greedy_partition=use_greedy_partition,
+                backend=engine,
+            )
+        elif compressed.rank < R:
+            raise ValueError(
+                f"precomputed compression has rank {compressed.rank} < target {R}"
+            )
+        return _iterate(
+            tensor, config, compressed, engine, R, exact_convergence
         )
 
+
+def _iterate(
+    tensor: IrregularTensor,
+    config: DecompositionConfig,
+    compressed: CompressedTensor,
+    engine: ExecutionBackend,
+    R: int,
+    exact_convergence: bool,
+) -> Parafac2Result:
+    """Compressed ALS sweeps (Alg. 3, lines 7–24) on a live backend."""
     D = compressed.D  # J x R
     E = compressed.E  # R
     F = compressed.F_blocks  # K x R x R
@@ -273,7 +354,9 @@ def dpar2(
     history: list[IterationRecord] = []
     converged = False
     iteration = 0
-    T = None
+    # ``polar`` must be bound even when the sweep loop never runs
+    # (``max_iterations=0``): the Qk materialization below reads it.
+    polar = None
 
     start = time.perf_counter()
     for iteration in range(1, config.max_iterations + 1):
@@ -283,7 +366,7 @@ def dpar2(
         EDtV = (D.T @ V) * E[:, None]  # R x R: E Dᵀ V
         # small_k = F(k) E Dᵀ V Sk Hᵀ, stacked over k
         small = np.einsum("kij,jr,kr,sr->kis", F, EDtV, W, H, optimize=True)
-        polar = _batched_polar(small, config.n_threads)  # Zk Pkᵀ
+        polar = _batched_polar(small, config.n_threads, backend=engine)  # Zk Pkᵀ
         # Tk = Pk Zkᵀ F(k) = (Zk Pkᵀ)ᵀ F(k)
         T = np.einsum("kji,kjs->kis", polar, F, optimize=True)
 
@@ -317,7 +400,13 @@ def dpar2(
     iterate_seconds = time.perf_counter() - start
 
     # Materialize Qk = Ak Zk Pkᵀ for the returned model (Alg. 3, line 25).
-    Z_Pt = polar if T is not None else np.tile(np.eye(R), (K, 1, 1))
+    # With zero sweeps there is no polar factor yet; Qk = Ak, truncated to
+    # the target rank when the compression has more (rectangular eye).
+    Z_Pt = (
+        polar
+        if polar is not None
+        else np.tile(np.eye(compressed.rank, R), (K, 1, 1))
+    )
     Q = [compressed.A[k] @ Z_Pt[k] for k in range(K)]
 
     return Parafac2Result(

@@ -127,6 +127,13 @@ def rd_als(
             break
     iterate_seconds = time.perf_counter() - start
 
+    if Q and Q[0] is None:
+        # Zero sweeps (``max_iterations=0``): factors from the initialization.
+        Q = [
+            update_orthogonal_factor(Gk, (V_tilde * W[k]) @ H.T)
+            for k, Gk in enumerate(projected)
+        ]
+
     return Parafac2Result(
         Q=Q,
         H=H,

@@ -23,7 +23,7 @@ from repro.decomposition.cp_als import normalize_columns, slice_mttkrp
 from repro.decomposition.initialization import initialize_factors
 from repro.decomposition.result import IterationRecord, Parafac2Result
 from repro.linalg.pinv import solve_gram
-from repro.parallel.executor import parallel_map
+from repro.parallel.backends import get_backend
 from repro.sparse.csr import CsrMatrix
 from repro.tensor.irregular import IrregularTensor
 from repro.tensor.products import hadamard
@@ -51,6 +51,19 @@ def _slice_squared_norm(Xk) -> float:
     return float(np.sum(Xk * Xk))
 
 
+def _slice_update_task(item) -> tuple[np.ndarray, np.ndarray]:
+    """``(Qk, Yk)`` for one slice — SPARTan's per-slice sweep stage.
+
+    Module-level so the process backend can pickle it.  Dense slices travel
+    through shared memory; :class:`CsrMatrix` slices fall back to pickle
+    (their payload is the compressed arrays, already small).
+    """
+    Xk, target = item
+    Z, _, Pt = np.linalg.svd(_slice_matmul(Xk, target), full_matrices=False)
+    Qk = Z @ Pt
+    return Qk, _slice_rmatmul(Xk, Qk)  # Yk = Qkᵀ Xk
+
+
 def spartan(
     tensor,
     config: DecompositionConfig | None = None,
@@ -64,8 +77,9 @@ def spartan(
         An :class:`IrregularTensor`, or a plain list of slices where each
         slice is a dense array or a :class:`CsrMatrix` (all sharing ``J``).
     config:
-        Shared hyper-parameters (``n_threads`` controls the slice-level
-        thread pool).
+        Shared hyper-parameters (``n_threads``/``backend`` control the
+        slice-level worker pool; slices are dealt uniformly, matching
+        SPARTan's own scheduling rather than DPar2's Algorithm 4).
     """
     config = (config or DecompositionConfig()).with_(**overrides)
     if isinstance(tensor, IrregularTensor):
@@ -105,48 +119,48 @@ def spartan(
     iteration = 0
     Q: list[np.ndarray] = [None] * K
 
-    def update_slice(k: int) -> np.ndarray:
-        """Qk update + projection for slice k (runs on a worker thread)."""
-        target = (V * W[k]) @ H.T
-        Z, _, Pt = np.linalg.svd(_slice_matmul(slices[k], target), full_matrices=False)
-        Qk = Z @ Pt
-        Q[k] = Qk
-        return _slice_rmatmul(slices[k], Qk)  # Yk = Qkᵀ Xk
-
     start = time.perf_counter()
-    for iteration in range(1, config.max_iterations + 1):
-        sweep_start = time.perf_counter()
-        Y_slices = parallel_map(update_slice, range(K), config.n_threads)
+    with get_backend(config.backend, config.n_threads) as engine:
+        for iteration in range(1, config.max_iterations + 1):
+            sweep_start = time.perf_counter()
+            items = [(slices[k], (V * W[k]) @ H.T) for k in range(K)]
+            pairs = engine.map(_slice_update_task, items)
+            Q = [Qk for Qk, _ in pairs]
+            Y_slices = [Yk for _, Yk in pairs]
 
-        # One CP sweep via slice-wise MTTKRP (no Y materialization).
-        H = solve_gram(
-            hadamard(W.T @ W, V.T @ V), slice_mttkrp(Y_slices, H, V, W, mode=1)
-        )
-        H, _ = normalize_columns(H)
-        V = solve_gram(
-            hadamard(W.T @ W, H.T @ H), slice_mttkrp(Y_slices, H, V, W, mode=2)
-        )
-        V, _ = normalize_columns(V)
-        W = solve_gram(
-            hadamard(V.T @ V, H.T @ H), slice_mttkrp(Y_slices, H, V, W, mode=3)
-        )
+            # One CP sweep via slice-wise MTTKRP (no Y materialization).
+            H = solve_gram(
+                hadamard(W.T @ W, V.T @ V), slice_mttkrp(Y_slices, H, V, W, mode=1)
+            )
+            H, _ = normalize_columns(H)
+            V = solve_gram(
+                hadamard(W.T @ W, H.T @ H), slice_mttkrp(Y_slices, H, V, W, mode=2)
+            )
+            V, _ = normalize_columns(V)
+            W = solve_gram(
+                hadamard(V.T @ V, H.T @ H), slice_mttkrp(Y_slices, H, V, W, mode=3)
+            )
 
-        VtV = V.T @ V
-        error_sq = 0.0
-        for k, Yk in enumerate(Y_slices):
-            M_left = H * W[k]
-            cross = float(np.sum((Yk @ V) * M_left))
-            model_sq = float(np.sum((M_left.T @ M_left) * VtV))
-            error_sq += float(slice_norms_sq[k]) - 2.0 * cross + model_sq
-        error_sq = max(error_sq, 0.0)
+            VtV = V.T @ V
+            error_sq = 0.0
+            for k, Yk in enumerate(Y_slices):
+                M_left = H * W[k]
+                cross = float(np.sum((Yk @ V) * M_left))
+                model_sq = float(np.sum((M_left.T @ M_left) * VtV))
+                error_sq += float(slice_norms_sq[k]) - 2.0 * cross + model_sq
+            error_sq = max(error_sq, 0.0)
 
-        history.append(
-            IterationRecord(iteration, error_sq, time.perf_counter() - sweep_start)
-        )
-        if monitor.update(error_sq):
-            converged = True
-            break
+            history.append(
+                IterationRecord(iteration, error_sq, time.perf_counter() - sweep_start)
+            )
+            if monitor.update(error_sq):
+                converged = True
+                break
     iterate_seconds = time.perf_counter() - start
+
+    if Q and Q[0] is None:
+        # Zero sweeps (``max_iterations=0``): factors from the initialization.
+        Q = [_slice_update_task((slices[k], (V * W[k]) @ H.T))[0] for k in range(K)]
 
     return Parafac2Result(
         Q=Q,

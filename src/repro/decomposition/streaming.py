@@ -22,15 +22,33 @@ streaming method needs.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
-from repro.decomposition.dpar2 import CompressedTensor, dpar2
+from repro.decomposition.dpar2 import CompressedTensor, _compress_slice_task, dpar2
 from repro.decomposition.result import Parafac2Result
 from repro.linalg.randomized_svd import randomized_svd
+from repro.parallel.backends import get_backend
 from repro.tensor.irregular import IrregularTensor
 from repro.util.config import DecompositionConfig
-from repro.util.rng import as_generator
+from repro.util.rng import as_generator, spawn_generators
 from repro.util.validation import check_matrix
+
+
+def _pad_columns(array: np.ndarray, width: int) -> np.ndarray:
+    """Zero-pad ``array`` on the right to ``width`` columns (no-op if wide).
+
+    A slice shorter than the model rank yields a stage-1 factorization of
+    lower rank; padding keeps every per-slice block the same width so the
+    shared-basis bookkeeping (and :meth:`StreamingDpar2.compressed`) stays
+    rectangular.  The padded directions carry zero energy, so the model is
+    unchanged.
+    """
+    missing = width - array.shape[1]
+    if missing <= 0:
+        return array
+    return np.pad(array, ((0, 0), (0, missing)))
 
 
 class StreamingDpar2:
@@ -127,8 +145,22 @@ class StreamingDpar2:
             power_iterations=self.config.power_iterations,
             random_state=self._rng,
         )
-        self._A.append(stage1.U)
-        CB = stage1.V * stage1.singular_values  # J x R
+        self._absorb_stage1(stage1)
+
+        self._last_result = None
+        if refresh:
+            self._refresh()
+
+    def _absorb_stage1(self, stage1) -> None:
+        """Fold one slice's stage-1 factors into the shared-basis state.
+
+        Blocks are padded to the stream-wide width so slices whose own rank
+        ran below the model rank (rows < R) keep the bookkeeping
+        rectangular.
+        """
+        width = min(self.config.rank, self._n_columns)
+        self._A.append(_pad_columns(stage1.U, width))
+        CB = _pad_columns(stage1.V * stage1.singular_values, width)  # J x width
 
         if self._D is None:
             # First slice seeds the basis directly.
@@ -137,6 +169,53 @@ class StreamingDpar2:
             self._G.append(coeff)
         else:
             self._absorb_right_factor(CB)
+
+    def absorb_many(self, slices, *, refresh: bool = True) -> None:
+        """Ingest a batch of slices, stage-1 compressing them in parallel.
+
+        The batch's randomized SVDs run over ``config.backend`` workers
+        (``config.n_threads`` of them) with Algorithm-4 load balancing; the
+        shared-basis update then absorbs the results in input order.  Each
+        slice gets a private spawned generator, so the model state is
+        independent of the worker schedule — though it differs from
+        absorbing the same slices one by one, which draws from the stream's
+        generator sequentially.
+
+        With ``refresh=False`` the factor refresh is skipped (call
+        :meth:`result` when done batching).
+        """
+        matrices = [
+            check_matrix(Xk, f"slices[{idx}]") for idx, Xk in enumerate(slices)
+        ]
+        if not matrices:
+            return
+        n_columns = (
+            self._n_columns if self._n_columns is not None else matrices[0].shape[1]
+        )
+        for idx, Xk in enumerate(matrices):
+            if Xk.shape[1] != n_columns:
+                raise ValueError(
+                    f"slices[{idx}] has {Xk.shape[1]} columns, "
+                    f"stream has {n_columns}"
+                )
+        self._n_columns = n_columns
+
+        generators = spawn_generators(self._rng, len(matrices))
+        task = partial(
+            _compress_slice_task,
+            rank=self.config.rank,
+            oversampling=self.config.oversampling,
+            power_iterations=self.config.power_iterations,
+        )
+        with get_backend(self.config.backend, self.config.n_threads) as engine:
+            stage1 = engine.map_partitioned(
+                task,
+                list(zip(matrices, generators)),
+                weights=[Xk.shape[0] for Xk in matrices],
+            )
+
+        for svd in stage1:
+            self._absorb_stage1(svd)
 
         self._last_result = None
         if refresh:

@@ -1,0 +1,280 @@
+"""Pluggable execution backends: serial, thread, and process workers.
+
+Every slice-parallel stage in the library dispatches through an
+:class:`ExecutionBackend`, selected by name (``DecompositionConfig.backend``
+or the CLI's ``--backend`` flag):
+
+``serial``
+    A plain loop — the baseline every equivalence test compares against,
+    and the fastest choice for small problems.
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  numpy's BLAS/LAPACK
+    kernels release the GIL, so threads speed up the SVD-heavy stages while
+    sharing slice memory for free.  This is the paper's own model (6-thread
+    OpenMP-style slice parallelism) and the default.
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` fed through
+    ``multiprocessing.shared_memory``: slice data is parked in named
+    segments (or referenced in place when it is already memory-mapped) and
+    workers operate on zero-copy views — no pickling of the bulk data.
+    Escapes the GIL entirely, for the Python-bound portions of the
+    pipeline, at the cost of worker startup and result transfer.
+
+All backends preserve input order, run the work single-shot when it cannot
+benefit from workers, and honour Algorithm 4's greedy partitioning through
+:meth:`ExecutionBackend.map_partitioned` — so results are identical (to the
+bit, given per-item RNGs) no matter the backend or worker count.
+
+Work submitted to the process backend must be *picklable*: module-level
+functions or :func:`functools.partial` of them, not closures.
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from multiprocessing import resource_tracker
+from typing import Callable, ClassVar, Sequence
+
+from repro.parallel.partition import greedy_partition
+from repro.parallel.shm import ArrayShipment, AttachedArrays
+from repro.util.validation import check_positive_int
+
+#: Registry names, in the order they should be offered to users.
+BACKEND_NAMES = ("serial", "thread", "process")
+
+
+def _contiguous_chunks(n_items: int, n_parts: int) -> list[list[int]]:
+    """Split ``range(n_items)`` into at most ``n_parts`` contiguous runs."""
+    n_parts = min(n_parts, n_items)
+    bounds = [round(part * n_items / n_parts) for part in range(n_parts + 1)]
+    return [list(range(lo, hi)) for lo, hi in zip(bounds[:-1], bounds[1:])]
+
+
+class ExecutionBackend(abc.ABC):
+    """Order-preserving map over work items, with pluggable workers.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker count ``T``.  Every backend degenerates to an inline loop
+        when ``n_workers == 1`` or there is at most one item, so the
+        single-worker timings carry no dispatch overhead (important for the
+        Fig. 11(c) baselines).
+    """
+
+    name: ClassVar[str]
+
+    def __init__(self, n_workers: int = 1) -> None:
+        self.n_workers = check_positive_int(n_workers, "n_workers")
+
+    # ------------------------------------------------------------------ #
+    # public mapping API
+    # ------------------------------------------------------------------ #
+
+    def map(self, func: Callable, items: Sequence) -> list:
+        """Apply ``func`` to every item, preserving order.
+
+        Items are dealt to workers in contiguous chunks (the "uniform
+        allocation" of Section III-F — right when per-item cost is even).
+        """
+        items = list(items)
+        if self._inline(len(items)):
+            return [func(item) for item in items]
+        return self._run_groups(func, items, _contiguous_chunks(len(items), self.n_workers))
+
+    def map_partitioned(self, func: Callable, items: Sequence, weights: Sequence[float]) -> list:
+        """Apply ``func`` with Algorithm-4 load balancing over ``weights``.
+
+        Items are grouped by :func:`greedy_partition`; each worker processes
+        its whole group sequentially (the paper's per-thread slice sets
+        ``Ti``).  Results come back in input order.
+        """
+        items = list(items)
+        if len(items) != len(weights):
+            raise ValueError(
+                f"items and weights must align: {len(items)} vs {len(weights)}"
+            )
+        if self._inline(len(items)):
+            return [func(item) for item in items]
+        groups = [g for g in greedy_partition(weights, self.n_workers) if g]
+        return self._run_groups(func, items, groups)
+
+    def _inline(self, n_items: int) -> bool:
+        return self.n_workers == 1 or n_items <= 1
+
+    @abc.abstractmethod
+    def _run_groups(self, func: Callable, items: list, groups: list[list[int]]) -> list:
+        """Run ``func`` over pre-grouped item indices; return in item order."""
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release worker resources (idempotent; no-op for pool-free backends)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_workers={self.n_workers})"
+
+
+class SerialBackend(ExecutionBackend):
+    """Everything on the calling thread, whatever ``n_workers`` says."""
+
+    name = "serial"
+
+    def _inline(self, n_items: int) -> bool:
+        return True
+
+    def _run_groups(self, func, items, groups):  # pragma: no cover - _inline
+        return [func(item) for item in items]
+
+
+class ThreadBackend(ExecutionBackend):
+    """GIL-sharing worker threads; zero-copy by construction."""
+
+    name = "thread"
+
+    def map(self, func, items):
+        items = list(items)
+        if self._inline(len(items)):
+            return [func(item) for item in items]
+        # Per-item scheduling: lets the pool balance uneven items even
+        # without cost estimates (chunking would pin them to one thread).
+        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+            return list(pool.map(func, items))
+
+    def _run_groups(self, func, items, groups):
+        results: list = [None] * len(items)
+
+        def run_group(indices: list[int]) -> None:
+            for index in indices:
+                results[index] = func(items[index])
+
+        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+            for future in [pool.submit(run_group, group) for group in groups]:
+                future.result()
+        return results
+
+
+def _process_group_worker(func: Callable, payload: list) -> list:
+    """Worker-side kernel: resolve shipped arrays, apply ``func`` per item.
+
+    ``payload`` is ``[(index, packed_item), ...]``; the return value carries
+    the indices back so the parent can restore input order regardless of
+    completion order.
+    """
+    holder = AttachedArrays()
+    try:
+        out = []
+        item = None
+        for index, packed in payload:
+            item = holder.resolve(packed)
+            out.append((index, func(item)))
+        # Results are pickled after this function returns — make sure none
+        # of them still view a segment we are about to unmap.
+        out = holder.copy_if_shared(out)
+        del item
+    finally:
+        holder.release()
+    return out
+
+
+class ProcessBackend(ExecutionBackend):
+    """Worker processes with shared-memory slice transfer.
+
+    The pool is created lazily on first use and reused across calls (DPar2
+    runs one ``map`` per compression plus one per ALS sweep), so the fork
+    cost is paid once per backend instance.  Call :meth:`close` — or use the
+    backend as a context manager — to reap the workers.
+    """
+
+    name = "process"
+
+    def __init__(self, n_workers: int = 1) -> None:
+        super().__init__(n_workers)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            # Start the shared-memory resource tracker *before* forking the
+            # workers.  Workers forked earlier would lazily spawn private
+            # trackers on their first attach, and those would try to clean
+            # up (and warn about) segments the parent already unlinked.
+            try:
+                resource_tracker.ensure_running()
+            except Exception:  # pragma: no cover - platform without tracker
+                pass
+            self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
+        return self._pool
+
+    def _run_groups(self, func, items, groups):
+        pool = self._ensure_pool()
+        results: list = [None] * len(items)
+        with ArrayShipment() as shipment:
+            futures = [
+                pool.submit(
+                    _process_group_worker,
+                    func,
+                    [(index, shipment.pack(items[index])) for index in group],
+                )
+                for group in groups
+            ]
+            # The shipment's segments must stay linked until every worker
+            # has read them, hence collection inside the ``with`` block.
+            for future in futures:
+                for index, value in future.result():
+                    results[index] = value
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - belt and braces
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+#: Name → backend class.  Extend by appending here (e.g. a future
+#: distributed backend) — ``DecompositionConfig`` validates against it.
+BACKENDS: dict[str, type[ExecutionBackend]] = {
+    SerialBackend.name: SerialBackend,
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def get_backend(backend: "str | ExecutionBackend", n_workers: int = 1) -> ExecutionBackend:
+    """Resolve a backend spec into a live :class:`ExecutionBackend`.
+
+    Parameters
+    ----------
+    backend:
+        A registry name (case-insensitive) or an existing instance, which
+        is returned unchanged — its own ``n_workers`` wins, and the caller
+        who constructed it stays responsible for closing it.
+    n_workers:
+        Worker count for a newly constructed backend.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if not isinstance(backend, str):
+        raise TypeError(
+            f"backend must be a name or ExecutionBackend, got {type(backend).__name__}"
+        )
+    key = backend.strip().lower()
+    if key not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; available: {', '.join(BACKEND_NAMES)}"
+        )
+    return BACKENDS[key](n_workers)

@@ -1,30 +1,59 @@
-"""Thread-pool execution helpers.
+"""Order-preserving map helpers over the pluggable execution backends.
 
-``parallel_map`` preserves input order and degenerates to a plain loop for a
-single thread (no pool overhead — important for fair single-thread timings
-in the Fig. 11(c) scalability study).
+``parallel_map`` and ``map_partitioned`` are the historical entry points
+(kept for every solver and test that grew around them); both now dispatch
+through :mod:`repro.parallel.backends`.  A ``backend`` argument accepts a
+registry name (``"serial"``, ``"thread"``, ``"process"``) — in which case a
+backend is constructed and torn down around the call — or a live
+:class:`~repro.parallel.backends.ExecutionBackend`, which is reused and left
+open (how DPar2 shares one process pool across compression and all sweeps).
+
+Both helpers degenerate to a plain loop for a single worker (no pool
+overhead — important for fair single-thread timings in the Fig. 11(c)
+scalability study).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
-from repro.parallel.partition import greedy_partition
+from repro.parallel.backends import ExecutionBackend, get_backend
 
 
-def parallel_map(func: Callable, items: Sequence, n_threads: int = 1) -> list:
-    """Apply ``func`` to every item, preserving order.
-
-    With ``n_threads == 1`` this is a list comprehension; otherwise a
-    ``ThreadPoolExecutor.map`` over the items.
-    """
+def _resolve(backend, n_threads: int) -> tuple[ExecutionBackend, bool]:
     if n_threads <= 0:
         raise ValueError(f"n_threads must be positive, got {n_threads}")
-    if n_threads == 1 or len(items) <= 1:
-        return [func(item) for item in items]
-    with ThreadPoolExecutor(max_workers=n_threads) as pool:
-        return list(pool.map(func, items))
+    owned = not isinstance(backend, ExecutionBackend)
+    return get_backend(backend, n_threads), owned
+
+
+def parallel_map(
+    func: Callable,
+    items: Sequence,
+    n_threads: int = 1,
+    backend: "str | ExecutionBackend" = "thread",
+) -> list:
+    """Apply ``func`` to every item, preserving order.
+
+    Parameters
+    ----------
+    func:
+        Callable applied to each item (must be picklable for the process
+        backend: a module-level function or a ``functools.partial`` of one).
+    items:
+        The work items (e.g. slice matrices).
+    n_threads:
+        Worker count when ``backend`` is given by name; ignored for a live
+        backend instance, whose own worker count wins.
+    backend:
+        Execution backend name or instance.
+    """
+    resolved, owned = _resolve(backend, n_threads)
+    try:
+        return resolved.map(func, items)
+    finally:
+        if owned:
+            resolved.close()
 
 
 def map_partitioned(
@@ -32,42 +61,35 @@ def map_partitioned(
     items: Sequence,
     weights: Sequence[float],
     n_threads: int = 1,
+    backend: "str | ExecutionBackend" = "thread",
 ) -> list:
     """Apply ``func`` to every item with Algorithm-4 load balancing.
 
-    Items are grouped by :func:`greedy_partition` over ``weights``; each
-    thread processes its whole group sequentially (mirroring the paper's
-    per-thread slice sets ``Ti``).  Results come back in input order.
+    Items are grouped by :func:`~repro.parallel.partition.greedy_partition`
+    over ``weights``; each worker processes its whole group sequentially
+    (mirroring the paper's per-thread slice sets ``Ti``).  Results come back
+    in input order.
 
     Parameters
     ----------
     func:
-        Callable applied to each item.
+        Callable applied to each item (picklable for the process backend).
     items:
         The work items (e.g. slice matrices).
     weights:
         Per-item cost estimates (e.g. row counts ``Ik``).
     n_threads:
-        Number of worker threads ``T``.
+        Worker count ``T`` when ``backend`` is given by name.
+    backend:
+        Execution backend name or instance.
     """
     if len(items) != len(weights):
         raise ValueError(
             f"items and weights must align: {len(items)} vs {len(weights)}"
         )
-    if n_threads <= 0:
-        raise ValueError(f"n_threads must be positive, got {n_threads}")
-    if n_threads == 1 or len(items) <= 1:
-        return [func(item) for item in items]
-
-    groups = greedy_partition(weights, n_threads)
-    results: list = [None] * len(items)
-
-    def run_group(indices: list[int]) -> None:
-        for idx in indices:
-            results[idx] = func(items[idx])
-
-    with ThreadPoolExecutor(max_workers=n_threads) as pool:
-        futures = [pool.submit(run_group, group) for group in groups if group]
-        for future in futures:
-            future.result()
-    return results
+    resolved, owned = _resolve(backend, n_threads)
+    try:
+        return resolved.map_partitioned(func, items, weights)
+    finally:
+        if owned:
+            resolved.close()

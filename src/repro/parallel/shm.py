@@ -1,0 +1,207 @@
+"""Zero-copy shipping of ndarray payloads to worker processes.
+
+The process backend must move slice matrices to its workers without paying
+pickle's serialize/deserialize copy for the bulk data.  Two transports:
+
+* **Shared memory** (:class:`ShmArrayRef`) — an in-RAM array is copied once
+  into a :class:`multiprocessing.shared_memory.SharedMemory` segment by the
+  parent; workers map the segment and operate on a zero-copy view.
+* **Memory map** (:class:`MmapArrayRef`) — an array that is already a
+  read-only ``np.memmap`` (e.g. a slice of an out-of-core
+  :class:`~repro.tensor.mmap_store.MmapSliceStore` tensor) is shipped as a
+  tiny *(path, dtype, shape, offset)* descriptor; workers re-open the map
+  themselves and the data never leaves the page cache.
+
+Only the arrays are intercepted: the surrounding structure (tuples, lists,
+dicts, RNGs, …) still travels by pickle, which is cheap because it is small.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ShmArrayRef:
+    """Descriptor of an array parked in a named shared-memory segment."""
+
+    name: str
+    shape: tuple
+    dtype: str
+
+
+@dataclass(frozen=True)
+class MmapArrayRef:
+    """Descriptor of an array backed by a file on disk (``.npy`` payload)."""
+
+    path: str
+    shape: tuple
+    dtype: str
+    offset: int
+
+
+def _is_shippable_memmap(array: np.ndarray) -> bool:
+    """True when ``array`` is a whole, C-contiguous file-backed memmap.
+
+    Views carved out of a memmap keep the parent's ``offset`` attribute, so
+    only arrays that directly wrap the file (``base`` is not another ndarray)
+    can be reconstructed from the descriptor alone.
+    """
+    return (
+        isinstance(array, np.memmap)
+        and getattr(array, "filename", None) is not None
+        and not isinstance(array.base, np.ndarray)
+        and array.flags["C_CONTIGUOUS"]
+    )
+
+
+class ArrayShipment:
+    """Parent-side packer: swaps ndarrays for refs, owns the shm segments.
+
+    Call :meth:`pack` on each payload before submitting it to a worker, and
+    :meth:`cleanup` once every worker result has been collected — the
+    segments must outlive the workers' reads.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+
+    def pack(self, obj):
+        """Deep-copy ``obj`` with every ndarray replaced by a ref."""
+        if isinstance(obj, np.ndarray):
+            return self._pack_array(obj)
+        if isinstance(obj, tuple):
+            return tuple(self.pack(value) for value in obj)
+        if isinstance(obj, list):
+            return [self.pack(value) for value in obj]
+        if isinstance(obj, dict):
+            return {key: self.pack(value) for key, value in obj.items()}
+        return obj
+
+    def _pack_array(self, array: np.ndarray):
+        if array.dtype == object or array.nbytes == 0:
+            return array  # tiny or unshippable: plain pickle is fine
+        if _is_shippable_memmap(array):
+            return MmapArrayRef(
+                path=str(array.filename),
+                shape=array.shape,
+                dtype=array.dtype.str,
+                offset=int(array.offset),
+            )
+        segment = shared_memory.SharedMemory(create=True, size=array.nbytes)
+        self._segments.append(segment)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        return ShmArrayRef(name=segment.name, shape=array.shape, dtype=array.dtype.str)
+
+    def cleanup(self) -> None:
+        """Close and unlink every segment created by :meth:`pack`."""
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # already gone (crashed worker cleanup)
+                pass
+        self._segments.clear()
+
+    def __enter__(self) -> "ArrayShipment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.cleanup()
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without taking ownership of it.
+
+    The parent that created the segment owns cleanup.  On Python 3.13+ the
+    ``track=False`` parameter expresses that directly.  Before 3.13 merely
+    attaching re-registers the name with the resource tracker; workers share
+    the parent's tracker (the fd is inherited under both fork and spawn), so
+    the duplicate registration is an idempotent set-add that the parent's
+    ``unlink()`` clears — no action needed, and crucially no ``unregister``,
+    which would strip the parent's own registration from the shared set.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+class AttachedArrays:
+    """Worker-side registry of mapped segments and the views into them.
+
+    The views must all be dropped before the segments can be closed, so the
+    holder keeps both and :meth:`release` tears them down in order.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        self.views: list[np.ndarray] = []
+
+    def resolve(self, obj):
+        """Deep-copy ``obj`` with every ref replaced by a live array view."""
+        if isinstance(obj, ShmArrayRef):
+            segment = _attach_segment(obj.name)
+            self._segments.append(segment)
+            view = np.ndarray(obj.shape, dtype=np.dtype(obj.dtype), buffer=segment.buf)
+            self.views.append(view)
+            return view
+        if isinstance(obj, MmapArrayRef):
+            view = np.memmap(
+                obj.path,
+                dtype=np.dtype(obj.dtype),
+                mode="r",
+                offset=obj.offset,
+                shape=obj.shape,
+                order="C",
+            )
+            self.views.append(view)
+            return view
+        if isinstance(obj, tuple):
+            return tuple(self.resolve(value) for value in obj)
+        if isinstance(obj, list):
+            return [self.resolve(value) for value in obj]
+        if isinstance(obj, dict):
+            return {key: self.resolve(value) for key, value in obj.items()}
+        return obj
+
+    def copy_if_shared(self, obj):
+        """Deep-copy ``obj`` so no ndarray in it aliases a mapped segment.
+
+        Results are pickled back to the parent *after* the worker function
+        returns; any result still viewing a segment we are about to close
+        would be read from unmapped memory.  ``may_share_memory`` is a cheap
+        bounds check — false positives just cost a copy.
+        """
+        if isinstance(obj, np.ndarray):
+            if any(np.may_share_memory(obj, view) for view in self.views):
+                return np.array(obj)
+            return obj
+        if isinstance(obj, tuple):
+            return tuple(self.copy_if_shared(value) for value in obj)
+        if isinstance(obj, list):
+            return [self.copy_if_shared(value) for value in obj]
+        if isinstance(obj, dict):
+            return {key: self.copy_if_shared(value) for key, value in obj.items()}
+        if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            changes = {
+                field.name: self.copy_if_shared(getattr(obj, field.name))
+                for field in dataclasses.fields(obj)
+            }
+            return dataclasses.replace(obj, **changes)
+        return obj
+
+    def release(self) -> None:
+        """Drop all views, then close the mapped segments."""
+        self.views.clear()
+        for segment in self._segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - a view escaped; leak it
+                pass
+        self._segments.clear()

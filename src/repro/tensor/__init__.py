@@ -12,6 +12,7 @@
 from repro.tensor.dense import DenseTensor
 from repro.tensor.irregular import IrregularTensor
 from repro.tensor.matricization import fold, unfold
+from repro.tensor.mmap_store import MmapSliceStore
 from repro.tensor.norms import frobenius_norm, relative_error
 from repro.tensor.products import hadamard, khatri_rao, kronecker
 from repro.tensor.random import random_dense_tensor, random_irregular_tensor
@@ -25,6 +26,7 @@ from repro.tensor.windows import (
 __all__ = [
     "DenseTensor",
     "IrregularTensor",
+    "MmapSliceStore",
     "WindowedTensor",
     "fold",
     "frobenius_norm",

@@ -131,6 +131,40 @@ class IrregularTensor:
         picked = [self._slices[i] for i in indices]
         return IrregularTensor(picked)
 
+    # ------------------------------------------------------------------ #
+    # out-of-core interop
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_store(cls, store) -> "IrregularTensor":
+        """Wrap an on-disk slice store without copying anything into RAM.
+
+        ``store`` is a :class:`~repro.tensor.mmap_store.MmapSliceStore` (or
+        anything with its ``load_slice``/``n_columns`` surface).  The
+        resulting tensor's slices are read-only ``np.memmap`` views: methods
+        stream through the OS page cache, and the process execution backend
+        ships them to workers as file descriptors rather than copies.
+        Validation is skipped — the store validated each slice when it was
+        written.
+
+        The store's files must outlive the returned tensor.
+        """
+        if len(store) == 0:
+            raise ValueError("an irregular tensor needs at least one slice")
+        tensor = cls.__new__(cls)
+        tensor._slices = [store.load_slice(index) for index in range(len(store))]
+        tensor._J = store.n_columns
+        return tensor
+
+    def to_store(self, directory, *, overwrite: bool = False):
+        """Persist this tensor as an on-disk store (the out-of-core format).
+
+        Returns the new :class:`~repro.tensor.mmap_store.MmapSliceStore`.
+        """
+        from repro.tensor.mmap_store import MmapSliceStore
+
+        return MmapSliceStore.create(directory, self._slices, overwrite=overwrite)
+
     @classmethod
     def from_regular(cls, tensor: np.ndarray) -> "IrregularTensor":
         """Split a regular ``I×J×K`` array into K frontal slices.

@@ -1,0 +1,232 @@
+"""Out-of-core slice storage: an irregular tensor as ``.npy`` files on disk.
+
+DPar2 only reads the raw slices during stage-1 compression; every later
+sweep runs on the compressed representation (``{Ak}, D, E, F``), which is
+orders of magnitude smaller (Fig. 10).  That makes the method a natural fit
+for tensors bigger than RAM — *if* the slices can be streamed.  This module
+provides the streaming substrate:
+
+* :class:`MmapSliceStore` — a directory holding one ``.npy`` file per slice
+  plus a small JSON manifest with the shape metadata.  Slices are loaded as
+  read-only ``np.memmap`` views, so touching one pulls only the pages the
+  computation actually reads, and the OS page cache evicts them under
+  pressure.
+* ``IrregularTensor.from_store(store)`` wraps those views in the standard
+  container without copying, so every solver accepts an out-of-core tensor
+  unchanged.
+
+The process execution backend recognises store-backed slices and ships them
+to workers as *(path, dtype, shape, offset)* descriptors instead of copying
+them through shared memory — the data goes disk → page cache → worker, and
+never transits the parent.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.tensor.irregular import IrregularTensor
+from repro.util.validation import check_matrix
+
+MANIFEST_NAME = "manifest.json"
+_FORMAT = "repro-mmap-slice-store"
+_VERSION = 1
+
+
+def _slice_filename(index: int) -> str:
+    return f"slice_{index:06d}.npy"
+
+
+class MmapSliceStore:
+    """A directory of memory-mappable slice files with a JSON manifest.
+
+    Build one with :meth:`create` (optionally from an iterable, so slices
+    can be generated or read one at a time and never coexist in RAM), grow
+    it with :meth:`append`, and reopen it later with :meth:`open`.
+
+    Example
+    -------
+    >>> import numpy as np, tempfile
+    >>> rng = np.random.default_rng(0)
+    >>> tmp = tempfile.mkdtemp()
+    >>> store = MmapSliceStore.create(tmp, (rng.random((n, 8)) for n in (30, 50)))
+    >>> store.row_counts
+    [30, 50]
+    >>> tensor = store.as_tensor()          # zero-copy, memmap-backed
+    >>> float(tensor.squared_norm()) > 0
+    True
+    """
+
+    def __init__(self, directory, manifest: dict) -> None:
+        self._directory = Path(directory)
+        self._manifest = manifest
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def create(
+        cls,
+        directory,
+        slices: Iterable[np.ndarray] = (),
+        *,
+        overwrite: bool = False,
+    ) -> "MmapSliceStore":
+        """Materialize a new store at ``directory`` from ``slices``.
+
+        ``slices`` is consumed lazily — pass a generator to build a store
+        larger than RAM.  Pass ``overwrite=True`` to replace an existing
+        store (its old slice files are removed first).
+        """
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        if manifest_path.exists():
+            if not overwrite:
+                raise FileExistsError(
+                    f"{manifest_path} already exists; pass overwrite=True to replace"
+                )
+            # Remove the old store's slice files.  The manifest may be
+            # corrupt (crashed writer) or from another version — replacing
+            # such a store is precisely what overwrite=True is for, so fall
+            # back to the file naming convention when it cannot be read.
+            try:
+                stale_files = list(cls.open(directory)._manifest["files"])
+            except Exception:
+                stale_files = [p.name for p in directory.glob("slice_*.npy")]
+            for filename in stale_files:
+                (directory / filename).unlink(missing_ok=True)
+            manifest_path.unlink()
+        directory.mkdir(parents=True, exist_ok=True)
+
+        store = cls(
+            directory,
+            {
+                "format": _FORMAT,
+                "version": _VERSION,
+                "n_columns": None,
+                "row_counts": [],
+                "files": [],
+            },
+        )
+        for Xk in slices:
+            store.append(Xk, flush=False)
+        store._write_manifest()
+        return store
+
+    @classmethod
+    def open(cls, directory) -> "MmapSliceStore":
+        """Open an existing store (manifest + slice files) read-write."""
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise FileNotFoundError(f"no slice store at {directory} ({MANIFEST_NAME} missing)")
+        manifest = json.loads(manifest_path.read_text())
+        if manifest.get("format") != _FORMAT:
+            raise ValueError(f"{manifest_path} is not a {_FORMAT} manifest")
+        if manifest.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported store version {manifest.get('version')!r} "
+                f"(this build reads version {_VERSION})"
+            )
+        return cls(directory, manifest)
+
+    def append(self, slice_matrix, *, flush: bool = True) -> int:
+        """Validate and persist one slice; returns its index.
+
+        The slice is written C-contiguous ``float64`` (the layout the rest
+        of the library canonicalizes to), so reopening it memory-mapped
+        needs no conversion pass.  ``flush=False`` skips the per-append
+        manifest rewrite (an O(K) file) — used by :meth:`create` to keep
+        bulk construction linear in K; call :meth:`flush` when done.
+        """
+        Xk = check_matrix(slice_matrix, "slice_matrix")
+        J = self._manifest["n_columns"]
+        if J is not None and Xk.shape[1] != J:
+            raise ValueError(
+                f"slice has {Xk.shape[1]} columns; store has {J} "
+                "(all slices must share the column dimension J)"
+            )
+        index = len(self._manifest["files"])
+        filename = _slice_filename(index)
+        np.save(self._directory / filename, Xk)
+        if J is None:
+            self._manifest["n_columns"] = int(Xk.shape[1])
+        self._manifest["row_counts"].append(int(Xk.shape[0]))
+        self._manifest["files"].append(filename)
+        if flush:
+            self._write_manifest()
+        return index
+
+    def flush(self) -> None:
+        """Persist the manifest (only needed after ``append(flush=False)``)."""
+        self._write_manifest()
+
+    def _write_manifest(self) -> None:
+        path = self._directory / MANIFEST_NAME
+        path.write_text(json.dumps(self._manifest, indent=1))
+
+    # ------------------------------------------------------------------ #
+    # metadata (manifest only — no slice data touched)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def __len__(self) -> int:
+        return len(self._manifest["files"])
+
+    @property
+    def n_slices(self) -> int:
+        return len(self)
+
+    @property
+    def n_columns(self) -> int:
+        J = self._manifest["n_columns"]
+        if J is None:
+            raise ValueError("store is empty; column count is undefined")
+        return int(J)
+
+    @property
+    def row_counts(self) -> list[int]:
+        return [int(rows) for rows in self._manifest["row_counts"]]
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the stored slice data (float64 entries) in bytes."""
+        return sum(self.row_counts) * self.n_columns * 8
+
+    def slice_path(self, index: int) -> Path:
+        return self._directory / self._manifest["files"][index]
+
+    def __repr__(self) -> str:
+        if len(self) == 0:
+            return f"MmapSliceStore({str(self._directory)!r}, empty)"
+        return (
+            f"MmapSliceStore({str(self._directory)!r}, K={self.n_slices}, "
+            f"J={self.n_columns}, {self.nbytes} bytes on disk)"
+        )
+
+    # ------------------------------------------------------------------ #
+    # data access
+    # ------------------------------------------------------------------ #
+
+    def load_slice(self, index: int, *, mmap: bool = True) -> np.ndarray:
+        """One slice, as a read-only memmap (default) or an in-RAM array."""
+        path = self.slice_path(index)
+        if mmap:
+            return np.load(path, mmap_mode="r")
+        return np.load(path)
+
+    def iter_slices(self, *, mmap: bool = True) -> Iterator[np.ndarray]:
+        for index in range(len(self)):
+            yield self.load_slice(index, mmap=mmap)
+
+    def as_tensor(self) -> IrregularTensor:
+        """The store as a zero-copy, memmap-backed :class:`IrregularTensor`."""
+        return IrregularTensor.from_store(self)

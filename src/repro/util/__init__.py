@@ -10,6 +10,7 @@ from repro.util.rng import as_generator, spawn_generators
 from repro.util.timing import Stopwatch, format_seconds, time_call
 from repro.util.validation import (
     check_matrix,
+    check_non_negative_int,
     check_positive_int,
     check_probability,
     check_rank,
@@ -20,6 +21,7 @@ __all__ = [
     "Stopwatch",
     "as_generator",
     "check_matrix",
+    "check_non_negative_int",
     "check_positive_int",
     "check_probability",
     "check_rank",

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.util.validation import check_positive_int
+from repro.parallel.backends import BACKEND_NAMES
+from repro.util.validation import check_non_negative_int, check_positive_int
 
 
 @dataclass(frozen=True)
@@ -22,12 +23,18 @@ class DecompositionConfig:
     rank:
         Target rank ``R`` of the decomposition.
     max_iterations:
-        Hard cap on ALS sweeps; the paper uses 32.
+        Hard cap on ALS sweeps; the paper uses 32.  Zero is allowed and
+        means "preprocess and initialize only" (no sweeps).
     tolerance:
         Relative change of the convergence criterion below which iteration
         stops ("the error ceases to decrease").
     n_threads:
-        Worker threads for slice-parallel stages; the paper defaults to 6.
+        Worker count for slice-parallel stages; the paper defaults to 6.
+    backend:
+        Execution backend for those stages: ``"serial"``, ``"thread"``
+        (default — BLAS releases the GIL), or ``"process"`` (worker
+        processes fed via shared memory).  Validated here, at construction
+        time, so a typo fails immediately rather than deep inside a solver.
     oversampling:
         Extra columns ``s`` in the randomized-SVD sketch (Algorithm 1).
     power_iterations:
@@ -41,14 +48,26 @@ class DecompositionConfig:
     max_iterations: int = 32
     tolerance: float = 1e-4
     n_threads: int = 1
+    backend: str = "thread"
     oversampling: int = 5
     power_iterations: int = 1
     random_state: object = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.rank, "rank")
-        check_positive_int(self.max_iterations, "max_iterations")
+        check_non_negative_int(self.max_iterations, "max_iterations")
         check_positive_int(self.n_threads, "n_threads")
+        if not isinstance(self.backend, str):
+            raise TypeError(
+                f"backend must be a string, got {type(self.backend).__name__}"
+            )
+        normalized = self.backend.strip().lower()
+        if normalized not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be one of {', '.join(BACKEND_NAMES)}; "
+                f"got {self.backend!r}"
+            )
+        object.__setattr__(self, "backend", normalized)
         if self.oversampling < 0:
             raise ValueError(f"oversampling must be >= 0, got {self.oversampling}")
         if self.power_iterations < 0:

@@ -44,6 +44,15 @@ def check_positive_int(value, name: str = "value") -> int:
     return int(value)
 
 
+def check_non_negative_int(value, name: str = "value") -> int:
+    """Validate an integer parameter that may be zero (e.g. iteration caps)."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return int(value)
+
+
 def check_rank(rank, *, max_allowed: int | None = None, name: str = "rank") -> int:
     """Validate a decomposition target rank, optionally capped by a dimension."""
     rank = check_positive_int(rank, name)

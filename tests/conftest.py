@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.tensor.irregular import IrregularTensor
 from repro.tensor.random import low_rank_irregular_tensor, random_irregular_tensor
 from repro.util.config import DecompositionConfig
 

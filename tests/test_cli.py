@@ -24,6 +24,21 @@ class TestParser:
         assert args.method == "spartan"
         assert args.rank == 5
         assert args.seed == 9
+        assert args.backend == "thread"
+        assert args.out_of_core is False
+
+    def test_decompose_backend_options(self):
+        args = build_parser().parse_args(
+            ["decompose", "traffic", "--backend", "process", "--out-of-core"]
+        )
+        assert args.backend == "process"
+        assert args.out_of_core is True
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["decompose", "traffic", "--backend", "quantum"]
+            )
 
     def test_unknown_dataset_rejected(self):
         with pytest.raises(SystemExit):
@@ -68,6 +83,24 @@ class TestCommands:
         )
         assert code == 0
         assert "PARAFAC2-ALS" in capsys.readouterr().out
+
+    def test_decompose_serial_backend_runs(self, capsys):
+        code = main(
+            ["decompose", "traffic", "--rank", "3", "--max-iterations", "2",
+             "--backend", "serial"]
+        )
+        assert code == 0
+        assert "backend serial" in capsys.readouterr().out
+
+    def test_decompose_out_of_core_runs(self, capsys):
+        code = main(
+            ["decompose", "traffic", "--rank", "3", "--max-iterations", "2",
+             "--out-of-core"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "staging" in out
+        assert "fitness" in out
 
     def test_bench_info(self, capsys):
         assert main(["bench-info"]) == 0

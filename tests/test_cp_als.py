@@ -10,7 +10,6 @@ from repro.decomposition.cp_als import (
     slice_mttkrp,
 )
 from repro.tensor.dense import DenseTensor
-from repro.tensor.matricization import unfold
 from repro.tensor.products import khatri_rao
 
 

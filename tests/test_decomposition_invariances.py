@@ -13,7 +13,6 @@ seed):
   ``Ok`` absorbs into ``Qk``.
 """
 
-import numpy as np
 import pytest
 
 from repro.decomposition import dpar2, parafac2_als

@@ -167,3 +167,68 @@ class TestDpar2:
                                      tolerance=1e-6, random_state=0)
         result = dpar2(noiseless_tensor, config)
         assert result.converged
+
+
+class TestZeroIterations:
+    """Regression: ``max_iterations=0`` must not hit an unbound ``polar``.
+
+    The sweep loop never runs, so the solver has to materialize
+    ``Qk = Ak`` (identity polar factor) instead of reading a name only the
+    loop body binds.
+    """
+
+    def test_dpar2_zero_sweeps(self, structured_tensor):
+        result = dpar2(
+            structured_tensor,
+            DecompositionConfig(rank=4, max_iterations=0, random_state=0),
+        )
+        assert result.n_iterations == 0
+        assert result.converged is False
+        assert result.history == []
+        assert_valid_parafac2_result(result, structured_tensor)
+
+    def test_dpar2_zero_sweeps_q_equals_compression_subspace(
+        self, structured_tensor
+    ):
+        compressed = compress_tensor(structured_tensor, 4, random_state=0)
+        result = dpar2(
+            structured_tensor,
+            DecompositionConfig(rank=4, max_iterations=0, random_state=0),
+            compressed=compressed,
+        )
+        for Qk, Ak in zip(result.Q, compressed.A):
+            np.testing.assert_array_equal(Qk, Ak)
+
+    def test_all_solvers_survive_zero_sweeps(self, structured_tensor):
+        from repro.decomposition.registry import SOLVERS
+
+        config = DecompositionConfig(rank=3, max_iterations=0, random_state=1)
+        for name, solver in SOLVERS.items():
+            result = solver(structured_tensor, config)
+            assert result.n_iterations == 0, name
+            assert_valid_parafac2_result(result, structured_tensor)
+
+
+class TestHigherRankCompressionReuse:
+    """A precomputed compression may have more rank than the target; its
+    extra directions must be truncated, not crash the polar SVDs."""
+
+    def test_higher_rank_compressed_accepted(self, structured_tensor):
+        compressed = compress_tensor(structured_tensor, 6, random_state=0)
+        result = dpar2(
+            structured_tensor,
+            DecompositionConfig(rank=3, max_iterations=4, random_state=0),
+            compressed=compressed,
+        )
+        assert_valid_parafac2_result(result, structured_tensor)
+        assert result.rank == 3
+
+    def test_higher_rank_compressed_zero_sweeps(self, structured_tensor):
+        compressed = compress_tensor(structured_tensor, 6, random_state=0)
+        result = dpar2(
+            structured_tensor,
+            DecompositionConfig(rank=3, max_iterations=0, random_state=0),
+            compressed=compressed,
+        )
+        for Qk, Ak in zip(result.Q, compressed.A):
+            np.testing.assert_array_equal(Qk, Ak[:, :3])

@@ -145,3 +145,78 @@ class TestStreamOrderRobustness:
             )
             fits.append(stream.fitness(permuted))
         assert abs(fits[0] - fits[1]) < 0.1
+
+
+class TestAbsorbMany:
+    def test_batch_matches_slice_count(self, stream_config, rng):
+        stream = StreamingDpar2(stream_config)
+        stream.absorb_many([rng.random((20, 10)) for _ in range(4)])
+        assert stream.n_slices == 4
+
+    def test_empty_batch_is_noop(self, stream_config):
+        stream = StreamingDpar2(stream_config)
+        stream.absorb_many([])
+        assert stream.n_slices == 0
+
+    def test_column_mismatch_rejected(self, stream_config, rng):
+        stream = StreamingDpar2(stream_config)
+        with pytest.raises(ValueError, match="columns"):
+            stream.absorb_many([rng.random((20, 10)), rng.random((20, 12))])
+
+    def test_backends_agree_bitwise(self, stream_tensor):
+        """Batch ingestion is schedule-independent: every backend yields the
+        same model state for the same seed."""
+        states = {}
+        for backend in ("serial", "thread", "process"):
+            config = DecompositionConfig(
+                rank=4, n_threads=2, backend=backend, random_state=0
+            )
+            stream = StreamingDpar2(config)
+            stream.absorb_many(list(stream_tensor.slices), refresh=False)
+            states[backend] = stream.compressed()
+        for backend in ("thread", "process"):
+            np.testing.assert_array_equal(
+                states["serial"].D, states[backend].D
+            )
+            np.testing.assert_array_equal(
+                states["serial"].F_blocks, states[backend].F_blocks
+            )
+
+    def test_quality_comparable_to_sequential(self, stream_config, stream_tensor):
+        batched = StreamingDpar2(stream_config)
+        batched.absorb_many(list(stream_tensor.slices))
+        assert batched.fitness(stream_tensor) > 0.8
+
+
+class TestShortSlices:
+    """Slices with fewer rows than the model rank must not corrupt state.
+
+    Regression: a short slice yields a lower-rank stage-1 factorization;
+    without padding, the shared-basis coefficient blocks end up with mixed
+    widths and ``compressed()`` crashes on ``np.stack``.
+    """
+
+    def test_absorb_short_slice(self, rng):
+        stream = StreamingDpar2(DecompositionConfig(rank=4, random_state=0))
+        stream.absorb(rng.random((20, 10)), refresh=False)
+        stream.absorb(rng.random((3, 10)), refresh=False)
+        compressed = stream.compressed()
+        assert compressed.n_slices == 2
+        assert compressed.F_blocks.shape == (2, 4, 4)
+
+    def test_absorb_many_short_slice(self, rng):
+        stream = StreamingDpar2(DecompositionConfig(rank=4, random_state=0))
+        stream.absorb_many([rng.random((20, 10)), rng.random((3, 10))])
+        assert stream.n_slices == 2
+        # The 3-row slice caps the refreshed PARAFAC2 model at rank 3
+        # (Qk cannot have 4 orthonormal columns in 3 rows); the compressed
+        # stream state itself stays at the full rank 4.
+        result = stream.result()
+        assert result.V.shape == (10, 3)
+        assert stream.compressed().rank == 4
+
+    def test_short_first_slice(self, rng):
+        stream = StreamingDpar2(DecompositionConfig(rank=4, random_state=0))
+        stream.absorb(rng.random((2, 10)), refresh=False)
+        stream.absorb(rng.random((30, 10)), refresh=False)
+        assert stream.compressed().n_slices == 2

@@ -24,9 +24,13 @@ class TestValidation:
         with pytest.raises(ValueError, match="rank"):
             DecompositionConfig(rank=0)
 
-    def test_zero_iterations_rejected(self):
+    def test_zero_iterations_allowed(self):
+        # "Preprocess only" runs are legal; solvers skip the sweep loop.
+        assert DecompositionConfig(max_iterations=0).max_iterations == 0
+
+    def test_negative_iterations_rejected(self):
         with pytest.raises(ValueError, match="max_iterations"):
-            DecompositionConfig(max_iterations=0)
+            DecompositionConfig(max_iterations=-1)
 
     def test_zero_threads_rejected(self):
         with pytest.raises(ValueError, match="n_threads"):
@@ -49,6 +53,32 @@ class TestValidation:
 
     def test_zero_oversampling_allowed(self):
         assert DecompositionConfig(oversampling=0).oversampling == 0
+
+
+class TestBackendValidation:
+    """Backend typos must fail at construction, not deep inside a solver."""
+
+    def test_default_is_thread(self):
+        assert DecompositionConfig().backend == "thread"
+
+    def test_known_backends_accepted(self):
+        for name in ("serial", "thread", "process"):
+            assert DecompositionConfig(backend=name).backend == name
+
+    def test_backend_normalized(self):
+        assert DecompositionConfig(backend="  Process ").backend == "process"
+
+    def test_unknown_backend_rejected_with_options(self):
+        with pytest.raises(ValueError, match="serial, thread, process"):
+            DecompositionConfig(backend="gpu")
+
+    def test_non_string_backend_rejected(self):
+        with pytest.raises(TypeError, match="backend"):
+            DecompositionConfig(backend=7)
+
+    def test_with_validates_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            DecompositionConfig().with_(backend="cluster")
 
 
 class TestWith:
