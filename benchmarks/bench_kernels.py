@@ -6,7 +6,24 @@
   kernel (and the naive cost PARAFAC2-ALS pays);
 * the batched R×R SVDs of DPar2's iteration are trivia next to slice-sized
   work.
+
+Run as a script for the perf-regression tracker::
+
+    python benchmarks/bench_kernels.py --json BENCH_kernels.json \
+        --check benchmarks/baselines/bench_kernels_baseline.json
+
+The script times the two DPar2 hot paths on a many-small-slices synthetic
+(K >= 200): stage-1 compression per-slice vs batched, and the compressed
+ALS sweeps, at float64 and float32.  ``--json`` records the measurements;
+``--check`` exits non-zero when iterate seconds regress more than
+``--max-regression`` (default 2x) against a checked-in baseline.
 """
+
+import argparse
+import json
+import platform
+import sys
+import time
 
 import numpy as np
 import pytest
@@ -85,3 +102,178 @@ def test_batched_small_svd(benchmark):
 
     out = benchmark(batched)
     assert out.shape == stack.shape
+
+
+# --------------------------------------------------------------------- #
+# script mode: BENCH_kernels.json trajectory + CI regression gate
+# --------------------------------------------------------------------- #
+
+
+def _best_of(repeats, fn):
+    """Best (minimum) wall-clock of ``repeats`` runs — noise-robust."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def run_kernel_bench(
+    *,
+    n_slices: int = 240,
+    n_columns: int = 30,
+    rank: int = 8,
+    sweeps: int = 8,
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict:
+    """Time the two hot paths on a many-small-slices synthetic tensor.
+
+    Returns the record written to ``BENCH_kernels.json``: stage-1 seconds
+    per dispatch strategy, preprocess/iterate seconds and bytes for a full
+    ``dpar2`` run, and the float32 pipeline's timings for comparison.
+    """
+    from repro.data.synthetic import irregular_scalability_tensor
+    from repro.decomposition.dpar2 import compress_tensor, dpar2
+    from repro.util.config import DecompositionConfig
+
+    tensor = irregular_scalability_tensor(
+        48, n_columns, n_slices, min_rows=16, random_state=seed
+    )
+
+    per_slice_seconds, _ = _best_of(
+        repeats,
+        lambda: compress_tensor(
+            tensor, rank, random_state=seed,
+            backend="serial", stage1_batching="per-slice",
+        ),
+    )
+    batched_seconds, _ = _best_of(
+        repeats,
+        lambda: compress_tensor(
+            tensor, rank, random_state=seed,
+            backend="serial", stage1_batching="batched",
+        ),
+    )
+
+    record = {
+        "platform": platform.platform(),
+        "n_slices": tensor.n_slices,
+        "n_columns": tensor.n_columns,
+        "rank": rank,
+        "sweeps": sweeps,
+        "repeats": repeats,
+        "input_bytes": tensor.nbytes,
+        "stage1_per_slice_seconds": per_slice_seconds,
+        "stage1_batched_seconds": batched_seconds,
+        "stage1_batched_speedup": per_slice_seconds / batched_seconds,
+    }
+    for dtype in ("float64", "float32"):
+        config = DecompositionConfig(
+            rank=rank, max_iterations=sweeps, tolerance=0.0,
+            random_state=seed, backend="serial", dtype=dtype,
+        )
+        # Best-of-N on each phase independently: the CI gate compares these
+        # numbers across machines, so a single noisy sample must not decide.
+        results = [dpar2(tensor, config) for _ in range(repeats)]
+        key = "" if dtype == "float64" else "_float32"
+        record[f"preprocess_seconds{key}"] = min(
+            r.preprocess_seconds for r in results
+        )
+        record[f"iterate_seconds{key}"] = min(r.iterate_seconds for r in results)
+        record[f"preprocessed_bytes{key}"] = results[0].preprocessed_bytes
+    return record
+
+
+def check_against_baseline(
+    record: dict, baseline: dict, max_regression: float
+) -> list[str]:
+    """Return failure messages for metrics regressing beyond the factor."""
+    failures = []
+    for key in ("n_slices", "n_columns", "rank", "sweeps"):
+        if baseline.get(key) is not None and baseline[key] != record[key]:
+            failures.append(
+                f"workload mismatch on {key}: ran {record[key]} but baseline "
+                f"recorded {baseline[key]} — timings are not comparable"
+            )
+    if failures:
+        return failures
+    for metric in ("iterate_seconds", "iterate_seconds_float32"):
+        base = baseline.get(metric)
+        if base is None or base <= 0:
+            continue
+        current = record[metric]
+        if current > base * max_regression:
+            failures.append(
+                f"{metric} regressed {current / base:.2f}x "
+                f"({current:.4f}s vs baseline {base:.4f}s, "
+                f"allowed {max_regression:.1f}x)"
+            )
+    # Machine-independent guard: absolute seconds vary with the runner, but
+    # batched stage 1 dropping below the per-slice path on the same machine
+    # is a genuine kernel regression wherever it happens.
+    speedup = record.get("stage1_batched_speedup")
+    if speedup is not None and speedup < 0.9:
+        failures.append(
+            f"batched stage 1 slower than per-slice dispatch "
+            f"(speedup {speedup:.2f}x < 0.9x)"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="DPar2 hot-path benchmark: batched stage-1 + sweeps"
+    )
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the measurement record to this file")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="baseline JSON to compare iterate seconds against")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="failure threshold as a factor over the baseline "
+                        "(default: 2.0)")
+    parser.add_argument("--slices", type=int, default=240)
+    parser.add_argument("--columns", type=int, default=30)
+    parser.add_argument("--rank", type=int, default=8)
+    parser.add_argument("--sweeps", type=int, default=8)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    record = run_kernel_bench(
+        n_slices=args.slices, n_columns=args.columns, rank=args.rank,
+        sweeps=args.sweeps, repeats=args.repeats,
+    )
+    print(f"stage 1 (K={record['n_slices']} small slices):"
+          f" per-slice {record['stage1_per_slice_seconds']:.4f}s"
+          f" batched {record['stage1_batched_seconds']:.4f}s"
+          f" -> {record['stage1_batched_speedup']:.2f}x")
+    print(f"dpar2   : preprocess {record['preprocess_seconds']:.4f}s"
+          f" iterate {record['iterate_seconds']:.4f}s"
+          f" ({record['sweeps']} sweeps,"
+          f" {record['preprocessed_bytes']} bytes compressed)")
+    print(f"float32 : preprocess {record['preprocess_seconds_float32']:.4f}s"
+          f" iterate {record['iterate_seconds_float32']:.4f}s"
+          f" ({record['preprocessed_bytes_float32']} bytes compressed)")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(record, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    if args.check:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        failures = check_against_baseline(record, baseline, args.max_regression)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"regression gate ok (<= {args.max_regression:.1f}x baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -67,6 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend for slice-parallel stages (default: thread)",
     )
     decompose.add_argument(
+        "--dtype", default="float64", choices=["float64", "float32"],
+        help="working precision of the pipeline (float32 halves memory "
+        "traffic and speeds up compression; default: float64)",
+    )
+    decompose.add_argument(
         "--out-of-core", action="store_true",
         help="stage the dataset into a temporary on-disk slice store and "
         "decompose it memory-mapped (demonstrates the streaming path)",
@@ -102,16 +107,21 @@ def cmd_decompose(args: argparse.Namespace) -> int:
         n_threads=args.threads,
         backend=args.backend,
         random_state=args.seed,
+        dtype=args.dtype,
     )
     solver = get_solver(args.method)
     print(f"dataset : {args.dataset} -> {tensor}")
     print(f"solver  : {DISPLAY_NAMES[args.method]} (rank {config.rank}, "
-          f"backend {config.backend} x{config.n_threads})")
+          f"backend {config.backend} x{config.n_threads}, {config.dtype})")
     if not args.out_of_core:
         return _run_decompose(solver, tensor, config)
     # The store must outlive the run: slices are read lazily during stage 1.
+    # Staging in the target dtype means the decomposition streams the store
+    # without a conversion copy.
     with tempfile.TemporaryDirectory(prefix="repro-ooc-") as staging:
-        store = MmapSliceStore.create(staging, tensor.slices)
+        store = MmapSliceStore.create(
+            staging, tensor.slices, dtype=config.numpy_dtype
+        )
         print(f"staging : {store}")
         return _run_decompose(solver, IrregularTensor.from_store(store), config)
 

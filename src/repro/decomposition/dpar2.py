@@ -31,13 +31,24 @@ from repro.decomposition.convergence import ConvergenceMonitor
 from repro.decomposition.cp_als import normalize_columns
 from repro.decomposition.initialization import initialize_factors
 from repro.decomposition.result import IterationRecord, Parafac2Result
+from repro.linalg.kernels import (
+    acquire_sweep_workspace,
+    batched_randomized_svd,
+    batched_stacked_matmul,
+    release_sweep_workspace,
+)
 from repro.linalg.pinv import solve_gram
 from repro.linalg.randomized_svd import randomized_svd
 from repro.parallel.backends import ExecutionBackend, get_backend
 from repro.tensor.irregular import IrregularTensor
-from repro.tensor.products import hadamard
 from repro.util.config import DecompositionConfig
 from repro.util.rng import as_generator, spawn_generators
+
+#: Above this slice height the per-slice (thread-parallel) stage-1 path
+#: beats single-stream batching when multiple workers are available: the
+#: LAPACK calls are then large enough that dispatch overhead no longer
+#: dominates, while worker threads still share the slices zero-copy.
+_BATCH_MAX_ROWS = 256
 
 
 @dataclass
@@ -119,6 +130,40 @@ def _compress_slice_task(item, *, rank, oversampling, power_iterations):
     )
 
 
+def _use_batched_stage1(
+    stage1_batching: str,
+    engine: ExecutionBackend,
+    tensor: IrregularTensor,
+    use_greedy_partition: bool,
+) -> bool:
+    """Decide between the stacked-kernel and per-slice stage-1 paths.
+
+    ``"auto"`` batches when it cannot lose: the backend runs in-process
+    (stacking in the parent is free), the slices are in RAM (stacking a
+    memory-mapped store would defeat out-of-core streaming), and either
+    there is a single worker or the slices sit in the many-small regime
+    where Python/LAPACK dispatch — not FLOPs — dominates.  Explicitly
+    disabling greedy partitioning (the Algorithm-4 ablation) keeps the
+    per-slice path so the ablation still measures what it claims to.
+    Either path produces bitwise-identical results; this is purely a
+    performance routing decision.
+    """
+    if stage1_batching == "per-slice":
+        return False
+    if stage1_batching == "batched":
+        return True
+    if stage1_batching != "auto":
+        raise ValueError(
+            "stage1_batching must be 'auto', 'batched', or 'per-slice'; "
+            f"got {stage1_batching!r}"
+        )
+    if not engine.in_process or not use_greedy_partition:
+        return False
+    if any(isinstance(Xk, np.memmap) for Xk in tensor.slices):
+        return False
+    return engine.n_workers == 1 or tensor.max_rows <= _BATCH_MAX_ROWS
+
+
 def compress_tensor(
     tensor: IrregularTensor,
     rank: int,
@@ -129,20 +174,32 @@ def compress_tensor(
     random_state=None,
     use_greedy_partition: bool = True,
     backend: "str | ExecutionBackend" = "thread",
+    stage1_batching: str = "auto",
+    stage1_pad_ratio: float = 0.0,
 ) -> CompressedTensor:
     """Two-stage randomized-SVD compression (Algorithm 3, lines 2–6).
 
-    Stage 1 runs one randomized SVD per slice, distributed over workers of
-    the chosen ``backend`` by Algorithm 4's greedy number partitioning keyed
-    on row counts (set ``use_greedy_partition=False`` for the naive
-    allocation, used by the partitioning ablation).  Stage 2 compresses the
-    ``J×KR`` concatenation of the ``Ck Bk`` products.
+    Stage 1 runs one randomized SVD per slice.  For in-RAM tensors on an
+    in-process backend the slices are grouped into equal-row-count buckets
+    and the whole Algorithm-1 pipeline runs as stacked 3-D LAPACK calls
+    (:func:`~repro.linalg.kernels.batched_randomized_svd`) — identical
+    results, no per-slice Python dispatch.  Otherwise (process backend,
+    memory-mapped slices, or ``stage1_batching="per-slice"``) each slice is
+    dispatched over the ``backend``'s workers with Algorithm 4's greedy
+    number partitioning keyed on row counts (``use_greedy_partition=False``
+    selects the naive allocation, used by the partitioning ablation).
+    ``stage1_pad_ratio > 0`` lets the batched path zero-pad nearly-equal
+    row counts into shared buckets (value-identical, not bitwise).  Stage 2
+    compresses the ``J×KR`` concatenation of the ``Ck Bk`` products.
 
     Because stage 1 is the only place the raw slices are read, a tensor
     backed by an on-disk :class:`~repro.tensor.mmap_store.MmapSliceStore`
     streams through here one slice at a time — nothing requires the whole
     tensor in RAM.  ``backend`` accepts a name (a backend is created and
     closed around the call) or a live instance (reused, left open).
+
+    The compression runs in the tensor's dtype: float32 slices yield a
+    float32 :class:`CompressedTensor` at half the memory traffic.
     """
     if not isinstance(tensor, IrregularTensor):
         tensor = IrregularTensor(tensor)
@@ -153,31 +210,43 @@ def compress_tensor(
     engine = get_backend(backend, n_threads)
 
     # Stage 1: per-slice randomized SVD, one private RNG per slice so the
-    # result is independent of the worker schedule (and of the backend).
+    # result is independent of the worker schedule (and of the backend,
+    # and of whether slices were dispatched stacked or one by one).
     generators = spawn_generators(random_state, tensor.n_slices)
-    compress_slice = partial(
-        _compress_slice_task,
-        rank=R,
-        oversampling=oversampling,
-        power_iterations=power_iterations,
-    )
-
-    items = list(zip(tensor.slices, generators))
     try:
-        if use_greedy_partition:
-            stage1 = engine.map_partitioned(
-                compress_slice, items, weights=tensor.row_counts
+        if _use_batched_stage1(stage1_batching, engine, tensor, use_greedy_partition):
+            stage1 = batched_randomized_svd(
+                tensor.slices,
+                R,
+                oversampling=oversampling,
+                power_iterations=power_iterations,
+                generators=generators,
+                max_pad_ratio=stage1_pad_ratio,
             )
         else:
-            stage1 = engine.map(compress_slice, items)
+            compress_slice = partial(
+                _compress_slice_task,
+                rank=R,
+                oversampling=oversampling,
+                power_iterations=power_iterations,
+            )
+            items = list(zip(tensor.slices, generators))
+            if use_greedy_partition:
+                stage1 = engine.map_partitioned(
+                    compress_slice, items, weights=tensor.row_counts
+                )
+            else:
+                stage1 = engine.map(compress_slice, items)
     finally:
         if owned:
             engine.close()
 
-    # Stage 2: M = ∥k (Ck Bk) ∈ R^{J x KR}, randomized SVD at rank R.
-    M = np.concatenate(
-        [svd.V * svd.singular_values for svd in stage1], axis=1
-    )
+    # Stage 2: M = ∥k (Ck Bk) ∈ R^{J x KR}, randomized SVD at rank R.  The
+    # K products are written straight into one preallocated array instead
+    # of concatenating K temporaries.
+    M = np.empty((tensor.n_columns, tensor.n_slices * R), dtype=tensor.dtype)
+    for k, svd in enumerate(stage1):
+        np.multiply(svd.V, svd.singular_values, out=M[:, k * R : (k + 1) * R])
     stage2 = randomized_svd(
         M,
         R,
@@ -294,10 +363,20 @@ def dpar2(
     **Zero sweeps.**  ``max_iterations=0`` is allowed and returns the
     compressed tensor's subspaces with the random factor initialization —
     useful for timing or warm-start experiments.
+
+    **Precision.**  ``config.dtype`` selects the pipeline's working
+    precision (float64 default).  A float32 run halves memory traffic and
+    roughly doubles BLAS throughput during compression; the convergence
+    criterion still accumulates in float64.  A tensor whose dtype differs
+    from the config is converted up front (an in-RAM copy — build a
+    float32 store for out-of-core float32 runs).  When ``compressed`` is
+    supplied its dtype wins for the sweeps.
     """
     config = (config or DecompositionConfig()).with_(**overrides)
     if not isinstance(tensor, IrregularTensor):
-        tensor = IrregularTensor(tensor)
+        tensor = IrregularTensor(tensor, dtype=config.numpy_dtype)
+    elif tensor.dtype != config.numpy_dtype:
+        tensor = tensor.astype(config.numpy_dtype)
     R = min(config.rank, tensor.n_columns, min(tensor.row_counts))
 
     # One backend instance serves compression and every sweep, so a process
@@ -330,25 +409,51 @@ def _iterate(
     R: int,
     exact_convergence: bool,
 ) -> Parafac2Result:
-    """Compressed ALS sweeps (Alg. 3, lines 7–24) on a live backend."""
-    D = compressed.D  # J x R
-    E = compressed.E  # R
-    F = compressed.F_blocks  # K x R x R
+    """Compressed ALS sweeps (Alg. 3, lines 7–24) on a live backend.
+
+    All per-sweep temporaries live in a cached
+    :class:`~repro.linalg.kernels.SweepWorkspace`: contraction paths are
+    resolved once per problem shape, every buffer is preallocated, and the
+    Gram matrices ``WᵀW`` / ``VᵀV`` / ``HᵀH`` are each computed once per
+    sweep and shared across the Lemma 1–3 updates and the convergence
+    criterion (``VᵀV`` carries over to the next sweep's Lemma 1, since
+    ``V`` only changes in Lemma 2).
+    """
+    D = compressed.D  # J x Rc
+    E = compressed.E  # Rc
+    F = compressed.F_blocks  # K x Rc x Rc
     K = compressed.n_slices
+    dtype = D.dtype
 
     init = initialize_factors(tensor.n_columns, K, R, config.random_state)
-    H, V, W = init.H, init.V, init.W
+    H = init.H.astype(dtype, copy=False)
+    V = init.V.astype(dtype, copy=False)
+    W = init.W.astype(dtype, copy=False)
 
-    # ‖Tk E‖² is needed by the compressed criterion; Tk = Pk Zkᵀ F(k) has
-    # orthonormal-factor left part, so ‖Tk E‖ = ‖F(k) E‖ — constant across
-    # iterations and precomputable.
-    FE = F * E  # K x R x R, each F(k) @ diag(E)
-    data_term = float(np.sum(FE * FE))
-    slice_norms_sq = (
-        np.array([float(np.sum(Xk * Xk)) for Xk in tensor])
-        if exact_convergence
-        else None
+    ws = acquire_sweep_workspace(
+        K, tensor.n_columns, R, compressed.rank, dtype
     )
+    ws.bind(D, E, F)
+
+    # Hoisted constants for the exact-error ablation: Akᵀ Xk never changes
+    # across sweeps (Qkᵀ Xk = (Zk Pkᵀ)ᵀ (Akᵀ Xk)), so the raw slices are
+    # read once per call instead of once per sweep.  The hoist is only
+    # valid when the K×Rc×J stack actually fits: memmap-backed tensors are
+    # out of core precisely because the data exceeds RAM, and for short
+    # slices (Ik ≈ Rc) the stack is as large as the data itself — both
+    # keep the per-sweep streaming evaluation instead.
+    slice_norms_sq = None
+    AtX = None
+    if exact_convergence:
+        slice_norms_sq = np.array(
+            [float(np.sum(Xk * Xk, dtype=np.float64)) for Xk in tensor]
+        )
+        in_ram = not any(isinstance(Xk, np.memmap) for Xk in tensor.slices)
+        stack_bytes = K * compressed.rank * tensor.n_columns * dtype.itemsize
+        if in_ram and stack_bytes <= tensor.nbytes:
+            AtX = np.stack(
+                [compressed.A[k].T @ Xk for k, Xk in enumerate(tensor)]
+            )  # K x Rc x J
 
     monitor = ConvergenceMonitor(config.tolerance)
     history: list[IterationRecord] = []
@@ -358,56 +463,79 @@ def _iterate(
     # (``max_iterations=0``): the Qk materialization below reads it.
     polar = None
 
-    start = time.perf_counter()
-    for iteration in range(1, config.max_iterations + 1):
-        sweep_start = time.perf_counter()
+    try:
+        # VᵀV for the first sweep's Lemma 1 (updated after each Lemma 2).
+        ws.gram_V(V)
 
-        # --- per-slice R x R SVDs (Alg. 3, lines 8-10) ------------------ #
-        EDtV = (D.T @ V) * E[:, None]  # R x R: E Dᵀ V
-        # small_k = F(k) E Dᵀ V Sk Hᵀ, stacked over k
-        small = np.einsum("kij,jr,kr,sr->kis", F, EDtV, W, H, optimize=True)
-        polar = _batched_polar(small, config.n_threads, backend=engine)  # Zk Pkᵀ
-        # Tk = Pk Zkᵀ F(k) = (Zk Pkᵀ)ᵀ F(k)
-        T = np.einsum("kji,kjs->kis", polar, F, optimize=True)
+        start = time.perf_counter()
+        for iteration in range(1, config.max_iterations + 1):
+            sweep_start = time.perf_counter()
 
-        # --- Lemma 1: update H ------------------------------------------ #
-        G1 = np.einsum("kr,kij,jr->ir", W, T, EDtV, optimize=True)
-        H = solve_gram(hadamard(W.T @ W, V.T @ V), G1)
-        H, _ = normalize_columns(H)
+            # --- per-slice R x R SVDs (Alg. 3, lines 8-10) -------------- #
+            ws.update_EDtV(V)  # Rc x R: E Dᵀ V
+            small = ws.compute_small(W, H)  # F(k) E Dᵀ V Sk Hᵀ over k
+            polar = _batched_polar(small, config.n_threads, backend=engine)
+            T = ws.compute_T(polar)  # Tk = Pk Zkᵀ F(k)
 
-        # --- Lemma 2: update V ------------------------------------------ #
-        inner = np.einsum("kr,kji,jr->ir", W, T, H, optimize=True)
-        G2 = (D * E) @ inner
-        V = solve_gram(hadamard(W.T @ W, H.T @ H), G2)
-        V, _ = normalize_columns(V)
+            # --- Lemma 1: update H -------------------------------------- #
+            # The three Lemma solves intentionally run in float64 even on
+            # the float32 pipeline (solve_gram promotes its inputs): the
+            # Hadamard-of-Grams normal matrix squares the factor condition
+            # numbers, and a float32 Cholesky there fails noticeably more
+            # often.  The cost is O(J R + R²) casts per solve — noise next
+            # to the O(K R² Rc) contractions that stay in float32.
+            G1 = ws.mttkrp_H(W)
+            ws.gram_W(W)
+            H = solve_gram(ws.hadamard_gram(ws.WtW, ws.VtV), G1)
+            H, _ = normalize_columns(H)
+            H = H.astype(dtype, copy=False)
 
-        # --- Lemma 3: update W ------------------------------------------ #
-        EDtV = (D.T @ V) * E[:, None]  # recompute with the new V
-        G3 = np.einsum("ir,kij,jr->kr", H, T, EDtV, optimize=True)
-        W = solve_gram(hadamard(V.T @ V, H.T @ H), G3)
+            # --- Lemma 2: update V -------------------------------------- #
+            ws.gram_H(H)
+            G2 = ws.mttkrp_V(W, H)
+            V = solve_gram(ws.hadamard_gram(ws.WtW, ws.HtH), G2)
+            V, _ = normalize_columns(V)
+            V = V.astype(dtype, copy=False)
 
-        # --- convergence criterion -------------------------------------- #
-        if exact_convergence:
-            error_sq = _exact_error(tensor, slice_norms_sq, compressed, polar, H, V, W)
-        else:
-            error_sq = _compressed_error(T, E, data_term, D, H, V, W)
-        history.append(
-            IterationRecord(iteration, error_sq, time.perf_counter() - sweep_start)
-        )
-        if monitor.update(error_sq):
-            converged = True
-            break
-    iterate_seconds = time.perf_counter() - start
+            # --- Lemma 3: update W -------------------------------------- #
+            ws.gram_V(V)  # new V; also serves the criterion + next Lemma 1
+            ws.update_EDtV(V)  # recompute with the new V
+            G3 = ws.mttkrp_W(H)
+            W = solve_gram(ws.hadamard_gram(ws.VtV, ws.HtH), G3)
+            W = W.astype(dtype, copy=False)
 
-    # Materialize Qk = Ak Zk Pkᵀ for the returned model (Alg. 3, line 25).
-    # With zero sweeps there is no polar factor yet; Qk = Ak, truncated to
-    # the target rank when the compression has more (rectangular eye).
+            # --- convergence criterion ---------------------------------- #
+            if exact_convergence:
+                if AtX is not None:
+                    error_sq = _exact_error(
+                        slice_norms_sq, AtX, polar, ws.VtV, H, V, W
+                    )
+                else:
+                    error_sq = _exact_error_streaming(
+                        tensor, slice_norms_sq, compressed, polar, ws.VtV, H, V, W
+                    )
+            else:
+                error_sq = ws.compressed_error(H, V, W)
+            history.append(
+                IterationRecord(iteration, error_sq, time.perf_counter() - sweep_start)
+            )
+            if monitor.update(error_sq):
+                converged = True
+                break
+        iterate_seconds = time.perf_counter() - start
+    finally:
+        release_sweep_workspace(ws)
+
+    # Materialize Qk = Ak Zk Pkᵀ for the returned model (Alg. 3, line 25),
+    # one stacked matmul per row-count bucket.  With zero sweeps there is
+    # no polar factor yet; Qk = Ak, truncated to the target rank when the
+    # compression has more (rectangular eye).
     Z_Pt = (
         polar
         if polar is not None
-        else np.tile(np.eye(compressed.rank, R), (K, 1, 1))
+        else np.tile(np.eye(compressed.rank, R, dtype=dtype), (K, 1, 1))
     )
-    Q = [compressed.A[k] @ Z_Pt[k] for k in range(K)]
+    Q = batched_stacked_matmul(compressed.A, Z_Pt, max_stack_rows=_BATCH_MAX_ROWS)
 
     return Parafac2Result(
         Q=Q,
@@ -435,13 +563,14 @@ def _compressed_error(
 ) -> float:
     """``Σk ‖Tk E Dᵀ − H Sk Vᵀ‖²`` via the Gram trick (O(JR² + KR³)).
 
-    ``‖Tk E Dᵀ‖² = ‖F(k) E‖²`` (precomputed ``data_term``),
-    ``⟨Tk E Dᵀ, H Sk Vᵀ⟩ = Σ (Tk E) ∗ ((H Sk)(Vᵀ D))``, and
-    ``‖H Sk Vᵀ‖² = Σ ((H Sk)ᵀ(H Sk)) ∗ VᵀV``.
+    Standalone variant used by solvers without a sweep workspace (e.g.
+    :mod:`repro.decomposition.constrained`); the DPar2 loop itself uses
+    :meth:`SweepWorkspace.compressed_error`, which reuses the sweep's Gram
+    matrices and buffers.
     """
-    VtD = V.T @ D  # R x R, O(J R^2), shared across slices
+    VtD = V.T @ D  # R x Rc, O(J R Rc), shared across slices
     VtV = V.T @ V
-    TE = T * E  # K x R x R
+    TE = T * E  # K x R x Rc
     # cross_k = sum( (Tk E) * ((H * W[k]) @ VtD) )
     HS = H[None, :, :] * W[:, None, :]  # K x R x R
     cross = float(np.einsum("kij,kil,lj->", TE, HS, VtD, optimize=True))
@@ -452,21 +581,57 @@ def _compressed_error(
 
 
 def _exact_error(
-    tensor: IrregularTensor,
     slice_norms_sq: np.ndarray,
-    compressed: CompressedTensor,
+    AtX: np.ndarray,
     polar: np.ndarray,
+    VtV: np.ndarray,
     H: np.ndarray,
     V: np.ndarray,
     W: np.ndarray,
 ) -> float:
-    """True ``Σk ‖Xk − Qk H Sk Vᵀ‖²`` (ablation path; touches raw slices)."""
-    VtV = V.T @ V
+    """True ``Σk ‖Xk − Qk H Sk Vᵀ‖²`` (ablation path).
+
+    Uses the hoisted per-slice constants: ``‖Xk‖²`` and ``Akᵀ Xk`` (so
+    ``Qkᵀ Xk = (Zk Pkᵀ)ᵀ (Akᵀ Xk)`` without re-materializing ``Qk`` or
+    re-reading the raw slices), with all K cross terms evaluated as batched
+    matmuls.  Like the compressed criterion, the reductions accumulate in
+    float64: the cross term is ``‖X‖²``-scale, and float32 rounding there
+    would swamp the per-sweep change the stopping rule watches.
+    """
+    proj = np.swapaxes(polar, 1, 2) @ AtX @ V  # K x R x R: Qkᵀ Xk V
+    HS = H[None, :, :] * W[:, None, :]  # K x R x R
+    if proj.dtype != np.float64:
+        proj = proj.astype(np.float64)
+        HS = HS.astype(np.float64)
+        VtV = VtV.astype(np.float64)
+    cross = float(np.einsum("kij,kij->", proj, HS, optimize=True))
+    model = float(np.einsum("kli,klj,ij->", HS, HS, VtV, optimize=True))
+    return max(float(slice_norms_sq.sum()) - 2.0 * cross + model, 0.0)
+
+
+def _exact_error_streaming(
+    tensor: IrregularTensor,
+    slice_norms_sq: np.ndarray,
+    compressed: CompressedTensor,
+    polar: np.ndarray,
+    VtV: np.ndarray,
+    H: np.ndarray,
+    V: np.ndarray,
+    W: np.ndarray,
+) -> float:
+    """:func:`_exact_error` with O(max Ik · J) working memory.
+
+    Used when the hoisted ``Akᵀ Xk`` stack would not fit (memmap-backed
+    slices, or ``Ik ≈ Rc`` where the stack rivals the data): slices are
+    re-read one at a time each sweep, exactly like the pre-hoist code.
+    """
+    VtV64 = VtV.astype(np.float64, copy=False)
     total = 0.0
     for k, Xk in enumerate(tensor):
-        Qk = compressed.A[k] @ polar[k]
-        M_left = H * W[k]
-        cross = float(np.sum(((Qk.T @ Xk) @ V) * M_left))
-        model_sq = float(np.sum((M_left.T @ M_left) * VtV))
+        AtXk = compressed.A[k].T @ Xk
+        M_left = (H * W[k]).astype(np.float64, copy=False)
+        proj = ((polar[k].T @ AtXk) @ V).astype(np.float64, copy=False)
+        cross = float(np.sum(proj * M_left))
+        model_sq = float(np.sum((M_left.T @ M_left) * VtV64))
         total += float(slice_norms_sq[k]) - 2.0 * cross + model_sq
     return max(total, 0.0)

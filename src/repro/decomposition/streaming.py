@@ -26,8 +26,14 @@ from functools import partial
 
 import numpy as np
 
-from repro.decomposition.dpar2 import CompressedTensor, _compress_slice_task, dpar2
+from repro.decomposition.dpar2 import (
+    _BATCH_MAX_ROWS,
+    CompressedTensor,
+    _compress_slice_task,
+    dpar2,
+)
 from repro.decomposition.result import Parafac2Result
+from repro.linalg.kernels import batched_randomized_svd
 from repro.linalg.randomized_svd import randomized_svd
 from repro.parallel.backends import get_backend
 from repro.tensor.irregular import IrregularTensor
@@ -99,6 +105,7 @@ class StreamingDpar2:
         self.residual_threshold = residual_threshold
         self.refresh_iterations = refresh_iterations
         self._rng = as_generator(self.config.random_state)
+        self._dtype = self.config.numpy_dtype
 
         # Compressed state: Ak per slice, shared D (J x R), and the
         # coefficient matrix G = [G1; ...; GK] with Gk = coefficients of
@@ -129,7 +136,7 @@ class StreamingDpar2:
         current span.  With ``refresh=False`` the factor refresh is skipped
         (batch several absorbs, then call :meth:`result`).
         """
-        Xk = check_matrix(slice_matrix, "slice_matrix")
+        Xk = check_matrix(slice_matrix, "slice_matrix", dtype=self._dtype)
         if self._n_columns is None:
             self._n_columns = Xk.shape[1]
         elif Xk.shape[1] != self._n_columns:
@@ -173,19 +180,23 @@ class StreamingDpar2:
     def absorb_many(self, slices, *, refresh: bool = True) -> None:
         """Ingest a batch of slices, stage-1 compressing them in parallel.
 
-        The batch's randomized SVDs run over ``config.backend`` workers
-        (``config.n_threads`` of them) with Algorithm-4 load balancing; the
-        shared-basis update then absorbs the results in input order.  Each
+        On an in-process backend (serial/thread) the batch is stage-1
+        compressed through the stacked kernels of
+        :func:`~repro.linalg.kernels.batched_randomized_svd` — one batched
+        LAPACK pipeline per equal-row-count bucket.  On the process backend
+        the per-slice randomized SVDs are distributed over
+        ``config.n_threads`` workers with Algorithm-4 load balancing.  Each
         slice gets a private spawned generator, so the model state is
-        independent of the worker schedule — though it differs from
-        absorbing the same slices one by one, which draws from the stream's
-        generator sequentially.
+        identical either way and independent of the worker schedule —
+        though it differs from absorbing the same slices one by one, which
+        draws from the stream's generator sequentially.
 
         With ``refresh=False`` the factor refresh is skipped (call
         :meth:`result` when done batching).
         """
         matrices = [
-            check_matrix(Xk, f"slices[{idx}]") for idx, Xk in enumerate(slices)
+            check_matrix(Xk, f"slices[{idx}]", dtype=self._dtype)
+            for idx, Xk in enumerate(slices)
         ]
         if not matrices:
             return
@@ -201,18 +212,36 @@ class StreamingDpar2:
         self._n_columns = n_columns
 
         generators = spawn_generators(self._rng, len(matrices))
-        task = partial(
-            _compress_slice_task,
-            rank=self.config.rank,
-            oversampling=self.config.oversampling,
-            power_iterations=self.config.power_iterations,
-        )
         with get_backend(self.config.backend, self.config.n_threads) as engine:
-            stage1 = engine.map_partitioned(
-                task,
-                list(zip(matrices, generators)),
-                weights=[Xk.shape[0] for Xk in matrices],
+            # Same routing rule as compress_tensor: stacked dispatch only
+            # when it cannot lose — single worker, or slices small enough
+            # that Python/LAPACK dispatch (not FLOPs) dominates.  Tall
+            # slices on a multi-worker thread backend keep the per-slice
+            # partitioned path and its parallel speedup.
+            batch = engine.in_process and (
+                engine.n_workers == 1
+                or max(Xk.shape[0] for Xk in matrices) <= _BATCH_MAX_ROWS
             )
+            if batch:
+                stage1 = batched_randomized_svd(
+                    matrices,
+                    self.config.rank,
+                    oversampling=self.config.oversampling,
+                    power_iterations=self.config.power_iterations,
+                    generators=generators,
+                )
+            else:
+                task = partial(
+                    _compress_slice_task,
+                    rank=self.config.rank,
+                    oversampling=self.config.oversampling,
+                    power_iterations=self.config.power_iterations,
+                )
+                stage1 = engine.map_partitioned(
+                    task,
+                    list(zip(matrices, generators)),
+                    weights=[Xk.shape[0] for Xk in matrices],
+                )
 
         for svd in stage1:
             self._absorb_stage1(svd)
@@ -244,7 +273,7 @@ class StreamingDpar2:
         # Old coefficients padded with zero rows; the new slice's coefficients.
         extra = Q_new.shape[1]
         padded = [
-            np.concatenate([Gk, np.zeros((extra, Gk.shape[1]))], axis=0)
+            np.concatenate([Gk, np.zeros((extra, Gk.shape[1]), dtype=Gk.dtype)], axis=0)
             for Gk in self._G
         ]
         new_coeff = np.concatenate([coeff, Q_new.T @ CB], axis=0)
@@ -303,6 +332,7 @@ class StreamingDpar2:
         tensor = IrregularTensor(
             [compressed.reconstruct_slice(k) for k in range(self.n_slices)],
             copy=False,
+            dtype=self._dtype,
         )
         config = self.config.with_(
             max_iterations=max(self.refresh_iterations, 1)

@@ -10,9 +10,21 @@ dense BLAS/LAPACK kernels numpy exposes:
   ``J×J`` Gram matrix; used by RD-ALS preprocessing where the concatenated
   matrix has ``sum(Ik)`` rows but few columns.
 * :func:`orthonormal_columns` / :func:`pseudoinverse` — shared helpers.
+* :mod:`repro.linalg.kernels` — batched/stacked kernels for the DPar2 hot
+  paths: :func:`batched_randomized_svd` (bucketed stage-1 compression),
+  :func:`batched_stacked_matmul`, and the allocation-free
+  :class:`SweepWorkspace`.
 """
 
 from repro.linalg.gram import gram_svd
+from repro.linalg.kernels import (
+    SweepWorkspace,
+    acquire_sweep_workspace,
+    batched_randomized_svd,
+    batched_stacked_matmul,
+    bucket_by_rows,
+    release_sweep_workspace,
+)
 from repro.linalg.pinv import pseudoinverse, solve_gram
 from repro.linalg.qr import orthonormal_columns
 from repro.linalg.randomized_svd import RandomizedSVDResult, randomized_svd
@@ -20,10 +32,16 @@ from repro.linalg.truncated_svd import truncated_svd
 
 __all__ = [
     "RandomizedSVDResult",
+    "SweepWorkspace",
+    "acquire_sweep_workspace",
+    "batched_randomized_svd",
+    "batched_stacked_matmul",
+    "bucket_by_rows",
     "gram_svd",
     "orthonormal_columns",
     "pseudoinverse",
     "randomized_svd",
+    "release_sweep_workspace",
     "solve_gram",
     "truncated_svd",
 ]

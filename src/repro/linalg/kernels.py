@@ -1,0 +1,499 @@
+"""Batched compute kernels for the two DPar2 hot paths.
+
+DPar2's speed claim rests on (a) the stage-1 compression being one cheap
+randomized SVD per slice and (b) the compressed ALS sweep touching only
+``R``-sized quantities.  Both paths were previously dominated by Python-level
+dispatch in the many-small-slices regime: K separate ``randomized_svd`` calls
+(each a chain of tiny LAPACK invocations) and per-sweep ``np.einsum`` path
+resolution plus temporary reallocation.  This module makes them
+hardware-bound:
+
+* :func:`batched_randomized_svd` groups slices into equal-row-count buckets,
+  stacks each bucket into a ``(b, Ik, J)`` array, and runs the whole
+  Algorithm-1 pipeline — Gaussian sketch, power iterations, QR, small SVD —
+  as batched 3-D ``matmul`` / ``np.linalg.qr`` / ``np.linalg.svd`` calls.
+  numpy's stacked linalg gufuncs invoke the very same LAPACK routine per
+  sub-matrix, so for unpadded buckets the results are **bitwise identical**
+  to the per-slice loop (given the same per-slice generators).  Optional
+  pad-to-bucket merging trades that bitwise guarantee for fewer, larger
+  batches on ragged row counts (still exact in infinite precision: appended
+  zero rows stay exactly zero through QR).
+
+* :func:`batched_stacked_matmul` applies one ``(b, Ik, R) @ (b, R, R)``
+  matmul per row-count bucket — the final ``Qk = Ak Zk Pkᵀ``
+  materialization.
+
+* :class:`SweepWorkspace` owns every per-sweep temporary of the compressed
+  ALS iteration (``small``, ``T``, ``TE``, ``HS``, Gram and MTTKRP buffers)
+  and the ``np.einsum`` contraction paths, computed once per
+  ``(K, J, R, Rc, dtype)`` shape.  Steady-state sweeps write into the
+  preallocated buffers with ``out=`` and re-use Gram matrices across the
+  Lemma 1–3 updates, so the Python-visible allocation per sweep is near
+  zero.  Workspaces are recycled through a small module cache
+  (:func:`acquire_sweep_workspace` / :func:`release_sweep_workspace`) so
+  consecutive ``dpar2`` calls on same-shaped problems pay the setup once.
+
+Accumulation dtype: workspace buffers follow the pipeline dtype (float32 or
+float64), but the convergence-criterion terms (``TE``, ``HS``, ``VtD`` and
+the scalar reductions) are always held/accumulated in float64 — a float32
+run halves memory traffic on the big contractions without destabilising the
+stopping rule.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.linalg.randomized_svd import RandomizedSVDResult, randomized_svd
+
+__all__ = [
+    "SweepWorkspace",
+    "acquire_sweep_workspace",
+    "batched_randomized_svd",
+    "batched_stacked_matmul",
+    "bucket_by_rows",
+    "release_sweep_workspace",
+]
+
+
+# --------------------------------------------------------------------- #
+# stage 1: batched randomized SVD
+# --------------------------------------------------------------------- #
+
+
+def bucket_by_rows(
+    row_counts,
+    *,
+    n_columns: int | None = None,
+    rank: int | None = None,
+    oversampling: int = 0,
+    max_pad_ratio: float = 0.0,
+) -> list[tuple[int, list[int]]]:
+    """Group slice indices into row-count buckets for stacked dispatch.
+
+    Returns ``[(stack_height, indices), ...]`` with buckets ordered by
+    height and indices in input order.  With ``max_pad_ratio == 0`` every
+    bucket holds exactly-equal row counts (the bitwise-safe default).  A
+    positive ratio greedily merges, from the tallest height down, any height
+    ``h`` with ``h >= tallest / (1 + max_pad_ratio)`` — those slices are
+    zero-padded up to the bucket height.  Merged buckets must share the
+    sketch geometry, so a height only joins when ``min(h, n_columns) >=
+    rank + oversampling`` (its effective rank and sketch width are then
+    determined by ``rank`` alone); heights failing that stay exact.
+    """
+    if max_pad_ratio < 0:
+        raise ValueError(f"max_pad_ratio must be >= 0, got {max_pad_ratio}")
+    by_height: dict[int, list[int]] = {}
+    for index, rows in enumerate(row_counts):
+        by_height.setdefault(int(rows), []).append(index)
+    heights = sorted(by_height)
+    if max_pad_ratio == 0.0 or len(heights) < 2:
+        return [(h, by_height[h]) for h in heights]
+
+    if n_columns is None or rank is None:
+        raise ValueError("padded bucketing needs n_columns and rank")
+    sketch_floor = rank + oversampling
+
+    def mergeable(height: int) -> bool:
+        return min(height, n_columns) >= sketch_floor
+
+    buckets: list[tuple[int, list[int]]] = []
+    pending = list(heights)
+    while pending:
+        anchor = pending.pop()  # tallest remaining
+        group = [anchor]
+        if mergeable(anchor):
+            floor = anchor / (1.0 + max_pad_ratio)
+            while pending and pending[-1] >= floor and mergeable(pending[-1]):
+                group.append(pending.pop())
+        indices = sorted(i for h in group for i in by_height[h])
+        buckets.append((anchor, indices))
+    buckets.reverse()
+    return buckets
+
+
+def _stacked_rsvd(
+    stack: np.ndarray,
+    effective_rank: int,
+    power_iterations: int,
+    omegas: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Algorithm 1 on a ``(b, m, J)`` stack — all steps batched 3-D calls.
+
+    Each step maps to the same LAPACK/BLAS routine the per-slice code calls
+    on the corresponding 2-D sub-array, so unpadded stacks reproduce the
+    per-slice results bit for bit.
+    """
+    Y = stack @ omegas
+    Q, _ = np.linalg.qr(Y)
+    for _ in range(power_iterations):
+        Z, _ = np.linalg.qr(np.swapaxes(stack, 1, 2) @ Q)
+        Q, _ = np.linalg.qr(stack @ Z)
+    B = np.swapaxes(Q, 1, 2) @ stack
+    U_small, sigma, Vt = np.linalg.svd(B, full_matrices=False)
+    U = Q @ U_small[:, :, :effective_rank]
+    return U, sigma[:, :effective_rank], Vt[:, :effective_rank, :]
+
+
+def batched_randomized_svd(
+    matrices,
+    rank: int,
+    *,
+    oversampling: int = 5,
+    power_iterations: int = 1,
+    generators,
+    max_pad_ratio: float = 0.0,
+) -> list[RandomizedSVDResult]:
+    """Per-slice randomized SVDs via stacked/batched LAPACK dispatch.
+
+    Drop-in replacement for ``[randomized_svd(Xk, rank, random_state=g)
+    for Xk, g in zip(matrices, generators)]`` — each slice keeps its own
+    generator and draws its Gaussian sketch in the same shape, so the
+    results are independent of the bucket schedule and (for unpadded
+    buckets) bitwise identical to the per-slice loop.  Singleton buckets
+    route straight through :func:`randomized_svd`: stacking a single slice
+    would only add a copy.
+
+    ``max_pad_ratio > 0`` additionally merges nearby row counts by
+    zero-padding (see :func:`bucket_by_rows`); padded results are exact in
+    infinite precision and agree with the per-slice path to roundoff.
+    """
+    mats = [np.asarray(Xk) for Xk in matrices]
+    generators = list(generators)
+    if len(mats) != len(generators):
+        raise ValueError(
+            f"matrices and generators must align: {len(mats)} vs {len(generators)}"
+        )
+    if not mats:
+        return []
+    J = mats[0].shape[1]
+    buckets = bucket_by_rows(
+        [Xk.shape[0] for Xk in mats],
+        n_columns=J,
+        rank=rank,
+        oversampling=oversampling,
+        max_pad_ratio=max_pad_ratio,
+    )
+
+    results: list[RandomizedSVDResult | None] = [None] * len(mats)
+    for height, indices in buckets:
+        if len(indices) == 1:
+            k = indices[0]
+            results[k] = randomized_svd(
+                mats[k],
+                rank,
+                oversampling=oversampling,
+                power_iterations=power_iterations,
+                random_state=generators[k],
+            )
+            continue
+
+        min_rows = min(mats[k].shape[0] for k in indices)
+        effective_rank = min(rank, min_rows, J)
+        sketch_size = min(effective_rank + oversampling, min(min_rows, J))
+        dtype = mats[indices[0]].dtype
+
+        stack = np.zeros((len(indices), height, J), dtype=dtype)
+        omegas = np.empty((len(indices), J, sketch_size), dtype=dtype)
+        for pos, k in enumerate(indices):
+            Xk = mats[k]
+            stack[pos, : Xk.shape[0]] = Xk
+            # Draw in float64 first (as the per-slice path does), then cast:
+            # the float32 pipeline sees the same sketch to within rounding.
+            omega = generators[k].standard_normal((J, sketch_size))
+            omegas[pos] = omega if dtype == np.float64 else omega.astype(dtype)
+
+        U, sigma, Vt = _stacked_rsvd(stack, effective_rank, power_iterations, omegas)
+        for pos, k in enumerate(indices):
+            rows = mats[k].shape[0]
+            results[k] = RandomizedSVDResult(
+                U=np.ascontiguousarray(U[pos, :rows]),
+                singular_values=sigma[pos].copy(),
+                V=np.ascontiguousarray(Vt[pos].T),
+            )
+    return results  # type: ignore[return-value]
+
+
+def batched_stacked_matmul(lefts, rights, *, max_stack_rows: int | None = None) -> list[np.ndarray]:
+    """``[lefts[k] @ rights[k]]`` with one stacked matmul per row bucket.
+
+    ``lefts`` is a list of ``(Ik, a)`` matrices, ``rights`` a ``(K, a, b)``
+    stack.  Equal-row groups are stacked so the K Python-level dispatches
+    collapse into one 3-D matmul per bucket (bitwise identical per pair);
+    singleton buckets use a plain 2-D matmul.  ``max_stack_rows`` bounds
+    the stacking: buckets of taller matrices fall back to the per-item
+    loop — stacking copies the bucket's whole left operand, which buys
+    nothing once each matmul is BLAS-bound, and would transiently double
+    the memory of a large equal-height factor.
+    """
+    rights = np.asarray(rights)
+    if len(lefts) != rights.shape[0]:
+        raise ValueError(
+            f"lefts and rights must align: {len(lefts)} vs {rights.shape[0]}"
+        )
+    out: list[np.ndarray | None] = [None] * len(lefts)
+    for height, indices in bucket_by_rows([A.shape[0] for A in lefts]):
+        if len(indices) == 1 or (
+            max_stack_rows is not None and height > max_stack_rows
+        ):
+            for k in indices:
+                out[k] = lefts[k] @ rights[k]
+            continue
+        stacked = np.stack([lefts[k] for k in indices]) @ rights[indices]
+        for pos, k in enumerate(indices):
+            out[k] = stacked[pos]
+    return out  # type: ignore[return-value]
+
+
+# --------------------------------------------------------------------- #
+# sweep workspace: precompiled contractions + preallocated temporaries
+# --------------------------------------------------------------------- #
+
+#: einsum subscripts of the five sweep contractions and the two
+#: convergence-criterion reductions (Section III-C/III-E kernels).
+_SMALL = "kij,jr,kr,sr->kis"
+_T = "kji,kjs->kis"
+_G1 = "kr,kij,jr->ir"
+_INNER = "kr,kji,jr->ir"
+_G3 = "ir,kij,jr->kr"
+_CROSS = "kij,kil,lj->"
+_MODEL = "kli,klj,ij->"
+
+
+class SweepWorkspace:
+    """Preallocated buffers and contraction paths for one sweep geometry.
+
+    A geometry is ``(K, J, R, Rc, dtype)``: ``K`` slices, ``J`` columns,
+    target rank ``R``, and compression rank ``Rc >= R`` (``Rc > R`` when a
+    higher-rank precomputed compression is reused).  The workspace is bound
+    to a concrete compression with :meth:`bind` before sweeping; buffers are
+    overwritten freely, so a workspace must serve one ``dpar2`` call at a
+    time — use :func:`acquire_sweep_workspace` to check instances out of the
+    shared cache.
+
+    Contraction paths are resolved once with ``np.einsum_path`` (the same
+    greedy optimizer ``optimize=True`` uses at call time), so sweeps skip
+    per-call path search while contracting in the identical order — float64
+    results stay bitwise-identical to un-cached ``np.einsum`` calls.
+    """
+
+    def __init__(self, K: int, J: int, R: int, Rc: int | None = None, dtype=np.float64) -> None:
+        Rc = R if Rc is None else Rc
+        if Rc < R:
+            raise ValueError(f"compression rank {Rc} below target rank {R}")
+        dt = np.dtype(dtype)
+        if dt not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(f"dtype must be float32 or float64, got {dt}")
+        self.K, self.J, self.R, self.Rc = K, J, R, Rc
+        self.dtype = dt
+        self.key = (K, J, R, Rc, dt.str)
+
+        # Working-dtype sweep buffers.
+        self.EDtV = np.empty((Rc, R), dt)  # E Dᵀ V
+        self.small = np.empty((K, Rc, R), dt)  # F(k) E Dᵀ V Sk Hᵀ
+        self.T = np.empty((K, R, Rc), dt)  # Pk Zkᵀ F(k)
+        self.WtW = np.empty((R, R), dt)
+        self.VtV = np.empty((R, R), dt)
+        self.HtH = np.empty((R, R), dt)
+        self.gram = np.empty((R, R), dt)  # Hadamard product fed to solve_gram
+        self.G1 = np.empty((R, R), dt)
+        self.inner = np.empty((Rc, R), dt)
+        self.G2 = np.empty((J, R), dt)
+        self.G3 = np.empty((K, R), dt)
+        self.DE = np.empty((J, Rc), dt)  # D diag(E), constant per bind
+
+        # Convergence criterion accumulates in float64 regardless of dtype.
+        self.TE = np.empty((K, R, Rc), np.float64)
+        self.HS = np.empty((K, R, R), np.float64)
+        self.VtD = np.empty((R, Rc), np.float64)
+
+        F = np.empty((K, Rc, Rc), dt)  # shape proxy for path search only
+        self.path_small = np.einsum_path(
+            _SMALL, F, self.EDtV, self.G3, self.gram, optimize=True
+        )[0]
+        self.path_T = np.einsum_path(_T, self.small, F, optimize=True)[0]
+        self.path_G1 = np.einsum_path(
+            _G1, self.G3, self.T, self.EDtV, optimize=True
+        )[0]
+        self.path_inner = np.einsum_path(
+            _INNER, self.G3, self.T, self.gram, optimize=True
+        )[0]
+        self.path_G3 = np.einsum_path(
+            _G3, self.gram, self.T, self.EDtV, optimize=True
+        )[0]
+        self.path_cross = np.einsum_path(
+            _CROSS, self.TE, self.HS, self.VtD, optimize=True
+        )[0]
+        self.path_model = np.einsum_path(
+            _MODEL, self.HS, self.HS, self.VtD[:, : self.R], optimize=True
+        )[0]
+
+        # Bound per call, not per geometry.
+        self.D: np.ndarray | None = None
+        self.E: np.ndarray | None = None
+        self.F: np.ndarray | None = None
+        self.data_term: float = 0.0
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the preallocated buffers (cache accounting)."""
+        return sum(
+            buf.nbytes
+            for buf in vars(self).values()
+            if isinstance(buf, np.ndarray)
+        )
+
+    # ------------------------------------------------------------------ #
+    # binding to a concrete compression
+    # ------------------------------------------------------------------ #
+
+    def bind(self, D: np.ndarray, E: np.ndarray, F: np.ndarray) -> "SweepWorkspace":
+        """Attach the compressed factors ``D, E, {F(k)}`` for this call.
+
+        Precomputes the per-call constants: ``D diag(E)`` (the left factor
+        of every Lemma-2 MTTKRP) and the criterion's constant data term
+        ``Σk ‖F(k) E‖²`` (accumulated in float64).
+        """
+        self.D, self.E, self.F = D, E, F
+        np.multiply(D, E, out=self.DE)
+        if F.dtype == np.float64:
+            FE = F * E
+            self.data_term = float(np.sum(FE * FE))
+        else:
+            FE = F.astype(np.float64) * E.astype(np.float64)
+            self.data_term = float(np.sum(FE * FE))
+        return self
+
+    def unbind(self) -> None:
+        """Drop references to the bound compression (cache hygiene)."""
+        self.D = self.E = self.F = None
+        self.data_term = 0.0
+
+    # ------------------------------------------------------------------ #
+    # sweep kernels (Section III-C, Lemmas 1-3)
+    # ------------------------------------------------------------------ #
+
+    def update_EDtV(self, V: np.ndarray) -> np.ndarray:
+        """``E Dᵀ V`` into the persistent buffer."""
+        np.matmul(self.D.T, V, out=self.EDtV)
+        np.multiply(self.EDtV, self.E[:, None], out=self.EDtV)
+        return self.EDtV
+
+    def compute_small(self, W: np.ndarray, H: np.ndarray) -> np.ndarray:
+        """``small_k = F(k) (E Dᵀ V) Sk Hᵀ`` stacked over ``k``."""
+        return np.einsum(
+            _SMALL, self.F, self.EDtV, W, H, optimize=self.path_small, out=self.small
+        )
+
+    def compute_T(self, polar: np.ndarray) -> np.ndarray:
+        """``Tk = (Zk Pkᵀ)ᵀ F(k)`` stacked over ``k``."""
+        return np.einsum(_T, polar, self.F, optimize=self.path_T, out=self.T)
+
+    def gram_W(self, W: np.ndarray) -> np.ndarray:
+        return np.matmul(W.T, W, out=self.WtW)
+
+    def gram_V(self, V: np.ndarray) -> np.ndarray:
+        return np.matmul(V.T, V, out=self.VtV)
+
+    def gram_H(self, H: np.ndarray) -> np.ndarray:
+        return np.matmul(H.T, H, out=self.HtH)
+
+    def hadamard_gram(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """``left ∗ right`` into the shared normal-matrix buffer."""
+        return np.multiply(left, right, out=self.gram)
+
+    def mttkrp_H(self, W: np.ndarray) -> np.ndarray:
+        """Lemma 1's ``G1 = Σk Tk (E Dᵀ V) diag(Sk)`` (transposed layout)."""
+        return np.einsum(
+            _G1, W, self.T, self.EDtV, optimize=self.path_G1, out=self.G1
+        )
+
+    def mttkrp_V(self, W: np.ndarray, H: np.ndarray) -> np.ndarray:
+        """Lemma 2's ``G2 = D E (Σk Tkᵀ H diag(Sk))``."""
+        np.einsum(_INNER, W, self.T, H, optimize=self.path_inner, out=self.inner)
+        return np.matmul(self.DE, self.inner, out=self.G2)
+
+    def mttkrp_W(self, H: np.ndarray) -> np.ndarray:
+        """Lemma 3's ``G3`` with rows ``diag(Hᵀ Tk E Dᵀ V)``."""
+        return np.einsum(
+            _G3, H, self.T, self.EDtV, optimize=self.path_G3, out=self.G3
+        )
+
+    # ------------------------------------------------------------------ #
+    # compressed convergence criterion (Section III-E)
+    # ------------------------------------------------------------------ #
+
+    def compressed_error(self, H: np.ndarray, V: np.ndarray, W: np.ndarray) -> float:
+        """``Σk ‖Tk E Dᵀ − H Sk Vᵀ‖²`` via the Gram trick, in float64.
+
+        Reads the current ``Tk`` buffer and the ``VᵀV`` Gram already
+        computed by the Lemma-3 update (same ``V``), sharing it instead of
+        recomputing.  ``TE``/``HS``/``VtD`` live in float64 buffers, so a
+        float32 pipeline still accumulates the criterion in float64 (numpy
+        upcasts the mixed-dtype contraction operands).
+        """
+        np.matmul(V.T, self.D, out=self.VtD)
+        np.multiply(self.T, self.E, out=self.TE)
+        np.multiply(H[None, :, :], W[:, None, :], out=self.HS)
+        cross = float(
+            np.einsum(_CROSS, self.TE, self.HS, self.VtD, optimize=self.path_cross)
+        )
+        model = float(
+            np.einsum(_MODEL, self.HS, self.HS, self.VtV, optimize=self.path_model)
+        )
+        return max(self.data_term - 2.0 * cross + model, 0.0)
+
+
+# --------------------------------------------------------------------- #
+# workspace cache
+# --------------------------------------------------------------------- #
+
+_CACHE_CAPACITY = 8
+#: Workspaces bigger than this are never cached, and the cache as a whole
+#: evicts oldest-first past it — buffers scale with K, and parking a
+#: 100k-slice geometry's buffers for the process lifetime is not a cache,
+#: it is a leak.
+_CACHE_MAX_BYTES = 64 * 2**20
+_workspace_cache: "OrderedDict[tuple, SweepWorkspace]" = OrderedDict()
+_cache_lock = threading.Lock()
+
+
+def acquire_sweep_workspace(
+    K: int, J: int, R: int, Rc: int | None = None, dtype=np.float64
+) -> SweepWorkspace:
+    """Check a workspace for this geometry out of the module cache.
+
+    The instance is *removed* from the cache while in use, so concurrent
+    ``dpar2`` calls on the same geometry each get a private workspace.
+    Return it with :func:`release_sweep_workspace` when the call finishes.
+    """
+    key = (K, J, R, R if Rc is None else Rc, np.dtype(dtype).str)
+    with _cache_lock:
+        ws = _workspace_cache.pop(key, None)
+    return ws if ws is not None else SweepWorkspace(K, J, R, Rc, dtype)
+
+
+def release_sweep_workspace(ws: SweepWorkspace) -> None:
+    """Return a workspace to the cache.
+
+    Oldest geometries are evicted past the entry cap, and the cache is
+    bounded in total bytes — a workspace too large to fit is simply
+    dropped (its next acquisition pays the allocation again rather than
+    the process pinning K-scaled buffers forever).
+    """
+    ws.unbind()
+    size = ws.nbytes
+    if size > _CACHE_MAX_BYTES:
+        return
+    with _cache_lock:
+        _workspace_cache[ws.key] = ws
+        _workspace_cache.move_to_end(ws.key)
+        while len(_workspace_cache) > _CACHE_CAPACITY:
+            _workspace_cache.popitem(last=False)
+        total = sum(cached.nbytes for cached in _workspace_cache.values())
+        while total > _CACHE_MAX_BYTES and len(_workspace_cache) > 1:
+            _, evicted = _workspace_cache.popitem(last=False)
+            total -= evicted.nbytes

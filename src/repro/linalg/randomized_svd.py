@@ -77,9 +77,17 @@ def randomized_svd(
     Returns
     -------
     RandomizedSVDResult
-        With exactly ``min(rank, I, J)`` components.
+        With exactly ``min(rank, I, J)`` components, in ``matrix``'s float
+        dtype (float32 inputs stay float32; everything else runs float64).
+
+    Notes
+    -----
+    The Gaussian sketch is always *drawn* in float64 and then cast, so a
+    float32 run consumes the identical generator stream and sees the same
+    sketch to within rounding — float32/float64 results are comparable for
+    a fixed seed.
     """
-    A = check_matrix(matrix, "matrix")
+    A = check_matrix(matrix, "matrix", dtype=None)
     I, J = A.shape
     effective_rank = min(check_rank(rank), I, J)
     if oversampling < 0:
@@ -90,6 +98,8 @@ def randomized_svd(
 
     sketch_size = min(effective_rank + oversampling, min(I, J))
     omega = rng.standard_normal((J, sketch_size))
+    if A.dtype != np.float64:
+        omega = omega.astype(A.dtype)
 
     Y = A @ omega
     Q, _ = np.linalg.qr(Y)

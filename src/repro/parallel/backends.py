@@ -64,6 +64,13 @@ class ExecutionBackend(abc.ABC):
     """
 
     name: ClassVar[str]
+    #: True when work runs in the calling process (serial/thread) — such
+    #: backends can hand whole stages to batched in-process kernels (e.g.
+    #: stacked stage-1 randomized SVDs) without shipping data anywhere.
+    #: Process-style backends keep the per-item path so slices can travel
+    #: through shared memory / file descriptors instead of being stacked in
+    #: the parent.
+    in_process: ClassVar[bool] = True
 
     def __init__(self, n_workers: int = 1) -> None:
         self.n_workers = check_positive_int(n_workers, "n_workers")
@@ -196,6 +203,7 @@ class ProcessBackend(ExecutionBackend):
     """
 
     name = "process"
+    in_process = False
 
     def __init__(self, n_workers: int = 1) -> None:
         super().__init__(n_workers)

@@ -23,19 +23,34 @@ class IrregularTensor:
         Sequence of 2-D arrays, each ``(Ik, J)`` with the same ``J``.
     copy:
         Whether to copy the slice data (default) or hold references.
+    dtype:
+        Storage precision: ``float64`` (default) or ``float32``.  The
+        float32 pipeline halves slice memory and roughly doubles BLAS
+        throughput in DPar2's compression stage.
 
     Notes
     -----
-    Slices are stored as C-contiguous ``float64`` arrays.  The container is
-    immutable by convention: methods never mutate slice data in place.
+    Slices are stored as C-contiguous arrays of the chosen dtype.  The
+    container is immutable by convention: methods never mutate slice data
+    in place.
     """
 
-    def __init__(self, slices: Iterable[np.ndarray], *, copy: bool = True) -> None:
+    def __init__(
+        self,
+        slices: Iterable[np.ndarray],
+        *,
+        copy: bool = True,
+        dtype=np.float64,
+    ) -> None:
         materialized = list(slices)
         if not materialized:
             raise ValueError("an irregular tensor needs at least one slice")
+        self._dtype = np.dtype(dtype)
+        if self._dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(f"dtype must be float32 or float64, got {dtype!r}")
         checked = [
-            check_matrix(Xk, f"slices[{idx}]") for idx, Xk in enumerate(materialized)
+            check_matrix(Xk, f"slices[{idx}]", dtype=self._dtype)
+            for idx, Xk in enumerate(materialized)
         ]
         J = checked[0].shape[1]
         for idx, Xk in enumerate(checked):
@@ -87,6 +102,11 @@ class IrregularTensor:
         return self._J
 
     @property
+    def dtype(self) -> np.dtype:
+        """Storage precision of the slices (float64 or float32)."""
+        return self._dtype
+
+    @property
     def row_counts(self) -> list[int]:
         """``[I1, …, IK]``: per-slice row counts — the irregularity profile."""
         return [Xk.shape[0] for Xk in self._slices]
@@ -111,8 +131,14 @@ class IrregularTensor:
     # ------------------------------------------------------------------ #
 
     def squared_norm(self) -> float:
-        """``Σk ‖Xk‖_F²`` — the denominator of the paper's fitness metric."""
-        return float(sum(np.sum(Xk * Xk) for Xk in self._slices))
+        """``Σk ‖Xk‖_F²`` — the denominator of the paper's fitness metric.
+
+        Accumulated in float64 even for float32 slices, so the fitness
+        denominator keeps full precision at either pipeline dtype.
+        """
+        return float(
+            sum(np.sum(Xk * Xk, dtype=np.float64) for Xk in self._slices)
+        )
 
     def norm(self) -> float:
         """Global Frobenius norm ``sqrt(Σk ‖Xk‖_F²)``."""
@@ -120,7 +146,18 @@ class IrregularTensor:
 
     def scaled(self, factor: float) -> "IrregularTensor":
         """Return a copy with every slice multiplied by ``factor``."""
-        return IrregularTensor([Xk * factor for Xk in self._slices], copy=False)
+        return IrregularTensor(
+            [Xk * self._dtype.type(factor) for Xk in self._slices],
+            copy=False,
+            dtype=self._dtype,
+        )
+
+    def astype(self, dtype) -> "IrregularTensor":
+        """This tensor at another precision (self when dtype already matches)."""
+        dtype = np.dtype(dtype)
+        if dtype == self._dtype:
+            return self
+        return IrregularTensor(self._slices, copy=False, dtype=dtype)
 
     def transpose_concatenation(self) -> np.ndarray:
         """``∥k Xkᵀ`` — the ``J × (Σ Ik)`` matrix RD-ALS preprocesses."""
@@ -129,7 +166,7 @@ class IrregularTensor:
     def subset(self, indices: Sequence[int]) -> "IrregularTensor":
         """A new tensor holding the selected slices (analysis time-windows)."""
         picked = [self._slices[i] for i in indices]
-        return IrregularTensor(picked)
+        return IrregularTensor(picked, dtype=self._dtype)
 
     # ------------------------------------------------------------------ #
     # out-of-core interop
@@ -154,6 +191,7 @@ class IrregularTensor:
         tensor = cls.__new__(cls)
         tensor._slices = [store.load_slice(index) for index in range(len(store))]
         tensor._J = store.n_columns
+        tensor._dtype = np.dtype(getattr(store, "dtype", np.float64))
         return tensor
 
     def to_store(self, directory, *, overwrite: bool = False):
@@ -163,16 +201,18 @@ class IrregularTensor:
         """
         from repro.tensor.mmap_store import MmapSliceStore
 
-        return MmapSliceStore.create(directory, self._slices, overwrite=overwrite)
+        return MmapSliceStore.create(
+            directory, self._slices, overwrite=overwrite, dtype=self._dtype
+        )
 
     @classmethod
-    def from_regular(cls, tensor: np.ndarray) -> "IrregularTensor":
+    def from_regular(cls, tensor: np.ndarray, *, dtype=np.float64) -> "IrregularTensor":
         """Split a regular ``I×J×K`` array into K frontal slices.
 
         This is how the paper feeds the regular Traffic / PEMS-SF tensors and
         the ``tenrand`` scalability tensors to PARAFAC2 solvers.
         """
-        array = np.asarray(tensor, dtype=np.float64)
+        array = np.asarray(tensor, dtype=dtype)
         if array.ndim != 3:
             raise ValueError(f"expected a 3-order tensor, got shape {array.shape}")
-        return cls([array[:, :, k] for k in range(array.shape[2])])
+        return cls([array[:, :, k] for k in range(array.shape[2])], dtype=dtype)

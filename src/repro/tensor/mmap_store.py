@@ -76,12 +76,16 @@ class MmapSliceStore:
         slices: Iterable[np.ndarray] = (),
         *,
         overwrite: bool = False,
+        dtype=np.float64,
     ) -> "MmapSliceStore":
         """Materialize a new store at ``directory`` from ``slices``.
 
         ``slices`` is consumed lazily — pass a generator to build a store
         larger than RAM.  Pass ``overwrite=True`` to replace an existing
-        store (its old slice files are removed first).
+        store (its old slice files are removed first).  ``dtype`` selects
+        the on-disk precision (``float64`` default, ``float32`` halves the
+        footprint and feeds the float32 pipeline without a conversion
+        pass).
         """
         directory = Path(directory)
         manifest_path = directory / MANIFEST_NAME
@@ -103,11 +107,15 @@ class MmapSliceStore:
             manifest_path.unlink()
         directory.mkdir(parents=True, exist_ok=True)
 
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(f"dtype must be float32 or float64, got {dtype!r}")
         store = cls(
             directory,
             {
                 "format": _FORMAT,
                 "version": _VERSION,
+                "dtype": dtype.name,
                 "n_columns": None,
                 "row_counts": [],
                 "files": [],
@@ -138,13 +146,13 @@ class MmapSliceStore:
     def append(self, slice_matrix, *, flush: bool = True) -> int:
         """Validate and persist one slice; returns its index.
 
-        The slice is written C-contiguous ``float64`` (the layout the rest
-        of the library canonicalizes to), so reopening it memory-mapped
-        needs no conversion pass.  ``flush=False`` skips the per-append
-        manifest rewrite (an O(K) file) — used by :meth:`create` to keep
-        bulk construction linear in K; call :meth:`flush` when done.
+        The slice is written C-contiguous in the store's dtype (the layout
+        the rest of the library canonicalizes to), so reopening it
+        memory-mapped needs no conversion pass.  ``flush=False`` skips the
+        per-append manifest rewrite (an O(K) file) — used by :meth:`create`
+        to keep bulk construction linear in K; call :meth:`flush` when done.
         """
-        Xk = check_matrix(slice_matrix, "slice_matrix")
+        Xk = check_matrix(slice_matrix, "slice_matrix", dtype=self.dtype)
         J = self._manifest["n_columns"]
         if J is not None and Xk.shape[1] != J:
             raise ValueError(
@@ -197,9 +205,14 @@ class MmapSliceStore:
         return [int(rows) for rows in self._manifest["row_counts"]]
 
     @property
+    def dtype(self) -> np.dtype:
+        """On-disk precision (manifests predating the key are float64)."""
+        return np.dtype(self._manifest.get("dtype", "float64"))
+
+    @property
     def nbytes(self) -> int:
-        """Size of the stored slice data (float64 entries) in bytes."""
-        return sum(self.row_counts) * self.n_columns * 8
+        """Size of the stored slice data in bytes."""
+        return sum(self.row_counts) * self.n_columns * self.dtype.itemsize
 
     def slice_path(self, index: int) -> Path:
         return self._directory / self._manifest["files"][index]

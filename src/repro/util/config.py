@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from repro.parallel.backends import BACKEND_NAMES
 from repro.util.validation import check_non_negative_int, check_positive_int
 
@@ -42,6 +44,12 @@ class DecompositionConfig:
         sharpen the sketch for slowly decaying spectra.
     random_state:
         Seed or generator for every stochastic stage.
+    dtype:
+        Working precision of the DPar2 pipeline: ``"float64"`` (default) or
+        ``"float32"``.  float32 roughly halves memory traffic and doubles
+        BLAS throughput on the compression stage; the convergence criterion
+        still accumulates in float64.  Accepts a name or a numpy dtype and
+        is normalized to the canonical name.
     """
 
     rank: int = 10
@@ -52,6 +60,7 @@ class DecompositionConfig:
     oversampling: int = 5
     power_iterations: int = 1
     random_state: object = None
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         check_positive_int(self.rank, "rank")
@@ -68,6 +77,15 @@ class DecompositionConfig:
                 f"got {self.backend!r}"
             )
         object.__setattr__(self, "backend", normalized)
+        try:
+            dtype = np.dtype(self.dtype)
+        except TypeError as exc:
+            raise TypeError(f"dtype must name a numpy dtype, got {self.dtype!r}") from exc
+        if dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(
+                f"dtype must be float64 or float32, got {self.dtype!r}"
+            )
+        object.__setattr__(self, "dtype", dtype.name)
         if self.oversampling < 0:
             raise ValueError(f"oversampling must be >= 0, got {self.oversampling}")
         if self.power_iterations < 0:
@@ -80,3 +98,8 @@ class DecompositionConfig:
     def with_(self, **changes) -> "DecompositionConfig":
         """Return a copy with the given fields replaced (sweep helper)."""
         return replace(self, **changes)
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The working precision as a :class:`numpy.dtype`."""
+        return np.dtype(self.dtype)

@@ -9,10 +9,15 @@ from __future__ import annotations
 import numpy as np
 
 
-def check_matrix(array, name: str = "array", *, allow_empty: bool = False) -> np.ndarray:
+def check_matrix(
+    array, name: str = "array", *, allow_empty: bool = False, dtype=np.float64
+) -> np.ndarray:
     """Validate and canonicalize a 2-D float array.
 
-    Returns a C-contiguous ``float64`` view/copy of ``array``.
+    Returns a C-contiguous float view/copy of ``array``.  ``dtype`` selects
+    the target precision (``float64`` by default); pass ``dtype=None`` to
+    preserve an existing float32/float64 dtype (anything else is promoted to
+    float64) — used by the dtype-configurable DPar2 pipeline.
 
     Raises
     ------
@@ -22,8 +27,15 @@ def check_matrix(array, name: str = "array", *, allow_empty: bool = False) -> np
         If it is not 2-D, contains NaN/Inf, or is empty while
         ``allow_empty`` is false.
     """
+    if dtype is None:
+        dtype = (
+            array.dtype
+            if isinstance(array, np.ndarray)
+            and array.dtype in (np.dtype(np.float32), np.dtype(np.float64))
+            else np.float64
+        )
     try:
-        matrix = np.asarray(array, dtype=np.float64)
+        matrix = np.asarray(array, dtype=dtype)
     except (TypeError, ValueError) as exc:
         raise TypeError(f"{name} must be convertible to a float array") from exc
     if matrix.ndim != 2:
