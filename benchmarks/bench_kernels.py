@@ -15,8 +15,12 @@ Run as a script for the perf-regression tracker::
 The script times the two DPar2 hot paths on a many-small-slices synthetic
 (K >= 200): stage-1 compression per-slice vs batched, and the compressed
 ALS sweeps, at float64 and float32.  ``--json`` records the measurements;
-``--check`` exits non-zero when iterate seconds regress more than
-``--max-regression`` (default 2x) against a checked-in baseline.
+``--check`` exits non-zero when iterate *or preprocess* seconds regress
+more than ``--max-regression`` (default 2x) against a checked-in baseline.
+``--backend`` selects the compute backend (numpy/torch/torch-cuda/cupy) —
+the record carries a ``compute_backend`` field so baselines from different
+backends are never compared against each other (schema v2; v1 baselines
+without the field still check cleanly).
 """
 
 import argparse
@@ -128,12 +132,17 @@ def run_kernel_bench(
     sweeps: int = 8,
     repeats: int = 3,
     seed: int = 0,
+    compute_backend: str = "numpy",
 ) -> dict:
     """Time the two hot paths on a many-small-slices synthetic tensor.
 
     Returns the record written to ``BENCH_kernels.json``: stage-1 seconds
     per dispatch strategy, preprocess/iterate seconds and bytes for a full
     ``dpar2`` run, and the float32 pipeline's timings for comparison.
+    ``compute_backend`` re-runs the whole matrix through the ``xp`` layer
+    (the per-slice reference dispatch is host-only, so on a non-numpy
+    backend the stage-1 comparison is host-per-slice vs device-batched —
+    exactly the routing a real run would take).
     """
     from repro.data.synthetic import irregular_scalability_tensor
     from repro.decomposition.dpar2 import compress_tensor, dpar2
@@ -155,10 +164,13 @@ def run_kernel_bench(
         lambda: compress_tensor(
             tensor, rank, random_state=seed,
             backend="serial", stage1_batching="batched",
+            compute_backend=compute_backend,
         ),
     )
 
     record = {
+        "schema_version": 2,
+        "compute_backend": compute_backend,
         "platform": platform.platform(),
         "n_slices": tensor.n_slices,
         "n_columns": tensor.n_columns,
@@ -174,6 +186,7 @@ def run_kernel_bench(
         config = DecompositionConfig(
             rank=rank, max_iterations=sweeps, tolerance=0.0,
             random_state=seed, backend="serial", dtype=dtype,
+            compute_backend=compute_backend,
         )
         # Best-of-N on each phase independently: the CI gate compares these
         # numbers across machines, so a single noisy sample must not decide.
@@ -190,17 +203,31 @@ def run_kernel_bench(
 def check_against_baseline(
     record: dict, baseline: dict, max_regression: float
 ) -> list[str]:
-    """Return failure messages for metrics regressing beyond the factor."""
+    """Return failure messages for metrics regressing beyond the factor.
+
+    Schema-tolerant both ways: a v1 baseline (no ``compute_backend`` /
+    preprocess history) simply skips the checks it has no data for, and a
+    baseline recorded on a different compute backend refuses the
+    comparison outright rather than misreading a backend change as a
+    regression.
+    """
     failures = []
-    for key in ("n_slices", "n_columns", "rank", "sweeps"):
-        if baseline.get(key) is not None and baseline[key] != record[key]:
+    # v1 baselines predate the backend axis; they were all numpy records.
+    for key in ("n_slices", "n_columns", "rank", "sweeps", "compute_backend"):
+        base = baseline.get(key, "numpy" if key == "compute_backend" else None)
+        if base is not None and base != record[key]:
             failures.append(
                 f"workload mismatch on {key}: ran {record[key]} but baseline "
-                f"recorded {baseline[key]} — timings are not comparable"
+                f"recorded {base} — timings are not comparable"
             )
     if failures:
         return failures
-    for metric in ("iterate_seconds", "iterate_seconds_float32"):
+    for metric in (
+        "iterate_seconds",
+        "iterate_seconds_float32",
+        "preprocess_seconds",
+        "preprocess_seconds_float32",
+    ):
         base = baseline.get(metric)
         if base is None or base <= 0:
             continue
@@ -239,13 +266,18 @@ def main(argv=None) -> int:
     parser.add_argument("--rank", type=int, default=8)
     parser.add_argument("--sweeps", type=int, default=8)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--backend", default="numpy", metavar="COMPUTE",
+                        help="compute backend for the batched kernels: "
+                        "numpy (default), torch, torch-cuda, or cupy")
     args = parser.parse_args(argv)
 
     record = run_kernel_bench(
         n_slices=args.slices, n_columns=args.columns, rank=args.rank,
         sweeps=args.sweeps, repeats=args.repeats,
+        compute_backend=args.backend,
     )
-    print(f"stage 1 (K={record['n_slices']} small slices):"
+    print(f"stage 1 (K={record['n_slices']} small slices,"
+          f" {record['compute_backend']}):"
           f" per-slice {record['stage1_per_slice_seconds']:.4f}s"
           f" batched {record['stage1_batched_seconds']:.4f}s"
           f" -> {record['stage1_batched_speedup']:.2f}x")

@@ -20,6 +20,7 @@ import tempfile
 
 from repro.data.registry import DATASETS, load_dataset
 from repro.decomposition.registry import DISPLAY_NAMES, SOLVERS, get_solver
+from repro.linalg.array_module import COMPUTE_BACKEND_NAMES
 from repro.parallel.backends import BACKEND_NAMES
 from repro.tensor.irregular import IrregularTensor
 from repro.tensor.mmap_store import MmapSliceStore
@@ -72,6 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
         "traffic and speeds up compression; default: float64)",
     )
     decompose.add_argument(
+        "--compute-backend", default="numpy",
+        choices=list(COMPUTE_BACKEND_NAMES),
+        help="array library for the DPar2 kernels: numpy (default), torch "
+        "(CPU), torch-cuda, or cupy; device backends keep the batched "
+        "compression and sweeps resident on the GPU",
+    )
+    decompose.add_argument(
         "--out-of-core", action="store_true",
         help="stage the dataset into a temporary on-disk slice store and "
         "decompose it memory-mapped (demonstrates the streaming path)",
@@ -100,19 +108,43 @@ def cmd_datasets() -> int:
 
 
 def cmd_decompose(args: argparse.Namespace) -> int:
+    if args.out_of_core and args.compute_backend != "numpy":
+        print(
+            f"error: --out-of-core cannot be combined with --compute-backend "
+            f"{args.compute_backend}: streaming slices from disk and keeping "
+            "them device-resident are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.compute_backend != "numpy" and args.method != "dpar2":
+        # Only the DPar2 pipeline dispatches through the xp layer; running a
+        # baseline solver on CPU while the header claims a device would make
+        # every timing comparison a lie.
+        print(
+            f"error: --compute-backend {args.compute_backend} is only "
+            f"supported by --method dpar2; {args.method} runs on numpy",
+            file=sys.stderr,
+        )
+        return 2
     tensor = load_dataset(args.dataset, random_state=args.seed)
-    config = DecompositionConfig(
-        rank=args.rank,
-        max_iterations=args.max_iterations,
-        n_threads=args.threads,
-        backend=args.backend,
-        random_state=args.seed,
-        dtype=args.dtype,
-    )
+    try:
+        config = DecompositionConfig(
+            rank=args.rank,
+            max_iterations=args.max_iterations,
+            n_threads=args.threads,
+            backend=args.backend,
+            random_state=args.seed,
+            dtype=args.dtype,
+            compute_backend=args.compute_backend,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     solver = get_solver(args.method)
     print(f"dataset : {args.dataset} -> {tensor}")
     print(f"solver  : {DISPLAY_NAMES[args.method]} (rank {config.rank}, "
-          f"backend {config.backend} x{config.n_threads}, {config.dtype})")
+          f"backend {config.backend} x{config.n_threads}, {config.dtype}, "
+          f"compute {config.compute_backend})")
     if not args.out_of_core:
         return _run_decompose(solver, tensor, config)
     # The store must outlive the run: slices are read lazily during stage 1.
@@ -127,7 +159,13 @@ def cmd_decompose(args: argparse.Namespace) -> int:
 
 
 def _run_decompose(solver, tensor, config: DecompositionConfig) -> int:
-    result = solver(tensor, config)
+    from repro.linalg.array_module import BackendUnavailableError
+
+    try:
+        result = solver(tensor, config)
+    except BackendUnavailableError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"fitness : {result.fitness(tensor):.4f}")
     print(f"time    : preprocess {format_seconds(result.preprocess_seconds)}"
           f" + iterate {format_seconds(result.iterate_seconds)}"

@@ -31,6 +31,7 @@ from repro.decomposition.convergence import ConvergenceMonitor
 from repro.decomposition.cp_als import normalize_columns
 from repro.decomposition.initialization import initialize_factors
 from repro.decomposition.result import IterationRecord, Parafac2Result
+from repro.linalg.array_module import ArrayModule, get_xp
 from repro.linalg.kernels import (
     acquire_sweep_workspace,
     batched_randomized_svd,
@@ -39,7 +40,7 @@ from repro.linalg.kernels import (
 )
 from repro.linalg.pinv import solve_gram
 from repro.linalg.randomized_svd import randomized_svd
-from repro.parallel.backends import ExecutionBackend, get_backend
+from repro.parallel.backends import ExecutionBackend, get_backend, in_process_backend
 from repro.tensor.irregular import IrregularTensor
 from repro.util.config import DecompositionConfig
 from repro.util.rng import as_generator, spawn_generators
@@ -135,6 +136,7 @@ def _use_batched_stage1(
     engine: ExecutionBackend,
     tensor: IrregularTensor,
     use_greedy_partition: bool,
+    xp: ArrayModule,
 ) -> bool:
     """Decide between the stacked-kernel and per-slice stage-1 paths.
 
@@ -147,7 +149,19 @@ def _use_batched_stage1(
     per-slice path so the ablation still measures what it claims to.
     Either path produces bitwise-identical results; this is purely a
     performance routing decision.
+
+    A non-numpy ``xp`` always batches: device throughput comes from big
+    stacked launches, and worker dispatch of per-slice device calls would
+    only serialize on the stream anyway.
     """
+    if not xp.is_numpy:
+        if stage1_batching == "per-slice":
+            raise ValueError(
+                "stage1_batching='per-slice' is a host-dispatch ablation and "
+                f"cannot run on compute backend {xp.name!r}; "
+                "use compute_backend='numpy' for that measurement"
+            )
+        return True
     if stage1_batching == "per-slice":
         return False
     if stage1_batching == "batched":
@@ -176,6 +190,7 @@ def compress_tensor(
     backend: "str | ExecutionBackend" = "thread",
     stage1_batching: str = "auto",
     stage1_pad_ratio: float = 0.0,
+    compute_backend: "str | ArrayModule" = "numpy",
 ) -> CompressedTensor:
     """Two-stage randomized-SVD compression (Algorithm 3, lines 2–6).
 
@@ -200,21 +215,42 @@ def compress_tensor(
 
     The compression runs in the tensor's dtype: float32 slices yield a
     float32 :class:`CompressedTensor` at half the memory traffic.
+
+    ``compute_backend`` selects the array library the randomized-SVD
+    kernels run on (``"numpy"`` default — bitwise-stable; ``"torch"`` /
+    ``"torch-cuda"`` / ``"cupy"``).  Device backends stack each row bucket
+    on-device once (slices move through
+    :meth:`IrregularTensor.to_backend`'s per-backend cache), force the
+    batched in-process stage-1 path, and refuse memory-mapped tensors —
+    out-of-core streaming and device residency are mutually exclusive.
     """
     if not isinstance(tensor, IrregularTensor):
         tensor = IrregularTensor(tensor)
+    xp = get_xp(compute_backend)
+    if not xp.is_numpy and any(
+        isinstance(Xk, np.memmap) for Xk in tensor.slices
+    ):
+        raise ValueError(
+            "out-of-core (memory-mapped) tensors cannot be compressed on "
+            f"compute backend {xp.name!r}: paging the store through the "
+            "device defeats streaming; use compute_backend='numpy'"
+        )
     R = min(rank, tensor.n_columns, min(tensor.row_counts))
     start = time.perf_counter()
 
     owned = not isinstance(backend, ExecutionBackend)
     engine = get_backend(backend, n_threads)
+    if not xp.is_numpy:
+        engine = in_process_backend(engine)
 
     # Stage 1: per-slice randomized SVD, one private RNG per slice so the
     # result is independent of the worker schedule (and of the backend,
     # and of whether slices were dispatched stacked or one by one).
     generators = spawn_generators(random_state, tensor.n_slices)
     try:
-        if _use_batched_stage1(stage1_batching, engine, tensor, use_greedy_partition):
+        if _use_batched_stage1(
+            stage1_batching, engine, tensor, use_greedy_partition, xp
+        ):
             stage1 = batched_randomized_svd(
                 tensor.slices,
                 R,
@@ -222,6 +258,8 @@ def compress_tensor(
                 power_iterations=power_iterations,
                 generators=generators,
                 max_pad_ratio=stage1_pad_ratio,
+                xp=xp,
+                native_slices=None if xp.is_numpy else tensor.to_backend(xp),
             )
         else:
             compress_slice = partial(
@@ -253,6 +291,7 @@ def compress_tensor(
         oversampling=oversampling,
         power_iterations=power_iterations,
         random_state=as_generator(random_state),
+        xp=xp,
     )
     # F is KR x R; its k-th vertical block (R x R) satisfies Bk Ckᵀ ≈ F(k) E Dᵀ.
     F_blocks = stage2.V.reshape(tensor.n_slices, R, stage2.V.shape[1])
@@ -278,9 +317,10 @@ def _polar_stack_task(stack: np.ndarray) -> np.ndarray:
 
 
 def _batched_polar(
-    matrices: np.ndarray,
+    matrices,
     n_threads: int,
     backend: "str | ExecutionBackend" = "thread",
+    xp: "ArrayModule | None" = None,
 ) -> np.ndarray:
     """``Zk Pkᵀ`` and ``Tk``-precursor SVDs for a stack of ``R×R`` matrices.
 
@@ -289,7 +329,14 @@ def _batched_polar(
     Section III-F: the per-slice work no longer depends on ``Ik``); small
     stacks go through one LAPACK batched-SVD call, whatever the backend,
     because dispatch would cost more than the work.
+
+    On a device ``xp`` the input stack is already resident (it comes out of
+    the device sweep workspace) and the whole thing is one batched SVD
+    launch — host worker chunking would only fragment it.
     """
+    if xp is not None and not xp.is_numpy:
+        Z, _, Pt = xp.svd(matrices, full_matrices=False)
+        return xp.matmul(Z, Pt)
     K = matrices.shape[0]
     engine = get_backend(backend, n_threads)
     owned = not isinstance(backend, ExecutionBackend)
@@ -371,12 +418,31 @@ def dpar2(
     from the config is converted up front (an in-RAM copy — build a
     float32 store for out-of-core float32 runs).  When ``compressed`` is
     supplied its dtype wins for the sweeps.
+
+    **Compute backend.**  ``config.compute_backend`` selects the array
+    library the batched kernels run on: ``"numpy"`` (default,
+    bitwise-stable against earlier releases), ``"torch"`` (CPU),
+    ``"torch-cuda"``, or ``"cupy"``.  Device backends keep the stage-1
+    bucket stacks, the sweep contractions, and the polar SVDs resident on
+    the device; factors and results are always returned as host arrays.
+    Device backends are incompatible with out-of-core (memory-mapped)
+    tensors and with the ``"process"`` execution backend — both rejected
+    with explicit errors before any work starts.
     """
     config = (config or DecompositionConfig()).with_(**overrides)
+    xp = config.array_module
     if not isinstance(tensor, IrregularTensor):
         tensor = IrregularTensor(tensor, dtype=config.numpy_dtype)
     elif tensor.dtype != config.numpy_dtype:
         tensor = tensor.astype(config.numpy_dtype)
+    if not xp.is_numpy and any(
+        isinstance(Xk, np.memmap) for Xk in tensor.slices
+    ):
+        raise ValueError(
+            "out-of-core (memory-mapped) tensors cannot run on compute "
+            f"backend {xp.name!r}: streaming from disk and device residency "
+            "are mutually exclusive; use compute_backend='numpy'"
+        )
     R = min(config.rank, tensor.n_columns, min(tensor.row_counts))
 
     # One backend instance serves compression and every sweep, so a process
@@ -391,13 +457,14 @@ def dpar2(
                 random_state=config.random_state,
                 use_greedy_partition=use_greedy_partition,
                 backend=engine,
+                compute_backend=xp,
             )
         elif compressed.rank < R:
             raise ValueError(
                 f"precomputed compression has rank {compressed.rank} < target {R}"
             )
         return _iterate(
-            tensor, config, compressed, engine, R, exact_convergence
+            tensor, config, compressed, engine, R, exact_convergence, xp
         )
 
 
@@ -408,6 +475,7 @@ def _iterate(
     engine: ExecutionBackend,
     R: int,
     exact_convergence: bool,
+    xp: "ArrayModule | None" = None,
 ) -> Parafac2Result:
     """Compressed ALS sweeps (Alg. 3, lines 7–24) on a live backend.
 
@@ -418,7 +486,16 @@ def _iterate(
     sweep and shared across the Lemma 1–3 updates and the convergence
     criterion (``VᵀV`` carries over to the next sweep's Lemma 1, since
     ``V`` only changes in Lemma 2).
+
+    With a device ``xp`` the workspace is a
+    :class:`~repro.linalg.kernels.DeviceSweepWorkspace`: ``D, E, F`` move
+    to the device once at bind, the ``O(K R² Rc)`` contractions and the
+    polar SVDs stay resident across sweeps, and only the small ``R×R``
+    normal systems cross back for the float64 Lemma solves (``ws.host`` /
+    ``ws.dev`` are identity functions on the numpy workspace, so this is
+    one code path, not two).
     """
+    xp = get_xp(xp)
     D = compressed.D  # J x Rc
     E = compressed.E  # Rc
     F = compressed.F_blocks  # K x Rc x Rc
@@ -431,7 +508,7 @@ def _iterate(
     W = init.W.astype(dtype, copy=False)
 
     ws = acquire_sweep_workspace(
-        K, tensor.n_columns, R, compressed.rank, dtype
+        K, tensor.n_columns, R, compressed.rank, dtype, xp=xp
     )
     ws.bind(D, E, F)
 
@@ -474,7 +551,7 @@ def _iterate(
             # --- per-slice R x R SVDs (Alg. 3, lines 8-10) -------------- #
             ws.update_EDtV(V)  # Rc x R: E Dᵀ V
             small = ws.compute_small(W, H)  # F(k) E Dᵀ V Sk Hᵀ over k
-            polar = _batched_polar(small, config.n_threads, backend=engine)
+            polar = _batched_polar(small, config.n_threads, backend=engine, xp=xp)
             T = ws.compute_T(polar)  # Tk = Pk Zkᵀ F(k)
 
             # --- Lemma 1: update H -------------------------------------- #
@@ -486,14 +563,14 @@ def _iterate(
             # to the O(K R² Rc) contractions that stay in float32.
             G1 = ws.mttkrp_H(W)
             ws.gram_W(W)
-            H = solve_gram(ws.hadamard_gram(ws.WtW, ws.VtV), G1)
+            H = solve_gram(ws.host(ws.hadamard_gram(ws.WtW, ws.VtV)), ws.host(G1))
             H, _ = normalize_columns(H)
             H = H.astype(dtype, copy=False)
 
             # --- Lemma 2: update V -------------------------------------- #
             ws.gram_H(H)
             G2 = ws.mttkrp_V(W, H)
-            V = solve_gram(ws.hadamard_gram(ws.WtW, ws.HtH), G2)
+            V = solve_gram(ws.host(ws.hadamard_gram(ws.WtW, ws.HtH)), ws.host(G2))
             V, _ = normalize_columns(V)
             V = V.astype(dtype, copy=False)
 
@@ -501,18 +578,21 @@ def _iterate(
             ws.gram_V(V)  # new V; also serves the criterion + next Lemma 1
             ws.update_EDtV(V)  # recompute with the new V
             G3 = ws.mttkrp_W(H)
-            W = solve_gram(ws.hadamard_gram(ws.VtV, ws.HtH), G3)
+            W = solve_gram(ws.host(ws.hadamard_gram(ws.VtV, ws.HtH)), ws.host(G3))
             W = W.astype(dtype, copy=False)
 
             # --- convergence criterion ---------------------------------- #
             if exact_convergence:
+                polar_host = ws.host(polar)
+                VtV_host = ws.host(ws.VtV)
                 if AtX is not None:
                     error_sq = _exact_error(
-                        slice_norms_sq, AtX, polar, ws.VtV, H, V, W
+                        slice_norms_sq, AtX, polar_host, VtV_host, H, V, W
                     )
                 else:
                     error_sq = _exact_error_streaming(
-                        tensor, slice_norms_sq, compressed, polar, ws.VtV, H, V, W
+                        tensor, slice_norms_sq, compressed, polar_host,
+                        VtV_host, H, V, W,
                     )
             else:
                 error_sq = ws.compressed_error(H, V, W)
@@ -531,11 +611,13 @@ def _iterate(
     # no polar factor yet; Qk = Ak, truncated to the target rank when the
     # compression has more (rectangular eye).
     Z_Pt = (
-        polar
+        xp.to_numpy(polar)
         if polar is not None
         else np.tile(np.eye(compressed.rank, R, dtype=dtype), (K, 1, 1))
     )
-    Q = batched_stacked_matmul(compressed.A, Z_Pt, max_stack_rows=_BATCH_MAX_ROWS)
+    Q = batched_stacked_matmul(
+        compressed.A, Z_Pt, max_stack_rows=_BATCH_MAX_ROWS, xp=xp
+    )
 
     return Parafac2Result(
         Q=Q,

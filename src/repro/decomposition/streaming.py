@@ -33,9 +33,10 @@ from repro.decomposition.dpar2 import (
     dpar2,
 )
 from repro.decomposition.result import Parafac2Result
+from repro.linalg.array_module import get_xp
 from repro.linalg.kernels import batched_randomized_svd
 from repro.linalg.randomized_svd import randomized_svd
-from repro.parallel.backends import get_backend
+from repro.parallel.backends import get_backend, in_process_backend
 from repro.tensor.irregular import IrregularTensor
 from repro.util.config import DecompositionConfig
 from repro.util.rng import as_generator, spawn_generators
@@ -151,6 +152,7 @@ class StreamingDpar2:
             oversampling=self.config.oversampling,
             power_iterations=self.config.power_iterations,
             random_state=self._rng,
+            xp=self.config.compute_backend,
         )
         self._absorb_stage1(stage1)
 
@@ -212,15 +214,23 @@ class StreamingDpar2:
         self._n_columns = n_columns
 
         generators = spawn_generators(self._rng, len(matrices))
+        xp = get_xp(self.config.compute_backend)
         with get_backend(self.config.backend, self.config.n_threads) as engine:
+            if not xp.is_numpy:
+                engine = in_process_backend(engine)
             # Same routing rule as compress_tensor: stacked dispatch only
-            # when it cannot lose — single worker, or slices small enough
-            # that Python/LAPACK dispatch (not FLOPs) dominates.  Tall
-            # slices on a multi-worker thread backend keep the per-slice
-            # partitioned path and its parallel speedup.
-            batch = engine.in_process and (
-                engine.n_workers == 1
-                or max(Xk.shape[0] for Xk in matrices) <= _BATCH_MAX_ROWS
+            # when it cannot lose — single worker, slices small enough
+            # that Python/LAPACK dispatch (not FLOPs) dominates, or a
+            # device backend (whose throughput comes from big stacked
+            # launches).  Tall slices on a multi-worker thread backend
+            # keep the per-slice partitioned path and its parallel
+            # speedup.
+            batch = not xp.is_numpy or (
+                engine.in_process
+                and (
+                    engine.n_workers == 1
+                    or max(Xk.shape[0] for Xk in matrices) <= _BATCH_MAX_ROWS
+                )
             )
             if batch:
                 stage1 = batched_randomized_svd(
@@ -229,6 +239,7 @@ class StreamingDpar2:
                     oversampling=self.config.oversampling,
                     power_iterations=self.config.power_iterations,
                     generators=generators,
+                    xp=xp,
                 )
             else:
                 task = partial(

@@ -14,10 +14,22 @@ dense BLAS/LAPACK kernels numpy exposes:
   paths: :func:`batched_randomized_svd` (bucketed stage-1 compression),
   :func:`batched_stacked_matmul`, and the allocation-free
   :class:`SweepWorkspace`.
+* :mod:`repro.linalg.array_module` — the ``xp`` dispatch layer that lets
+  every kernel above run on numpy (default, bitwise-stable), PyTorch
+  (CPU/CUDA), or CuPy: :func:`get_xp` resolves a backend name into an
+  :class:`ArrayModule`.
 """
 
+from repro.linalg.array_module import (
+    COMPUTE_BACKEND_NAMES,
+    ArrayModule,
+    BackendUnavailableError,
+    backend_available,
+    get_xp,
+)
 from repro.linalg.gram import gram_svd
 from repro.linalg.kernels import (
+    DeviceSweepWorkspace,
     SweepWorkspace,
     acquire_sweep_workspace,
     batched_randomized_svd,
@@ -31,8 +43,14 @@ from repro.linalg.randomized_svd import RandomizedSVDResult, randomized_svd
 from repro.linalg.truncated_svd import truncated_svd
 
 __all__ = [
+    "ArrayModule",
+    "BackendUnavailableError",
+    "COMPUTE_BACKEND_NAMES",
+    "DeviceSweepWorkspace",
     "RandomizedSVDResult",
     "SweepWorkspace",
+    "backend_available",
+    "get_xp",
     "acquire_sweep_workspace",
     "batched_randomized_svd",
     "batched_stacked_matmul",

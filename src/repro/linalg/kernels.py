@@ -38,6 +38,14 @@ float64), but the convergence-criterion terms (``TE``, ``HS``, ``VtD`` and
 the scalar reductions) are always held/accumulated in float64 — a float32
 run halves memory traffic on the big contractions without destabilising the
 stopping rule.
+
+Compute backends: every kernel takes an optional ``xp``
+(:mod:`repro.linalg.array_module`) selecting the array library it runs on.
+The default numpy module dispatches to the identical numpy calls, so the
+bitwise guarantees above are untouched; torch/CuPy modules run the same
+stacked pipeline on their batched primitives, with each bucket crossing
+the host↔device boundary once (see :class:`DeviceSweepWorkspace` for the
+sweep side).
 """
 
 from __future__ import annotations
@@ -47,9 +55,11 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.linalg.array_module import ArrayModule, get_xp
 from repro.linalg.randomized_svd import RandomizedSVDResult, randomized_svd
 
 __all__ = [
+    "DeviceSweepWorkspace",
     "SweepWorkspace",
     "acquire_sweep_workspace",
     "batched_randomized_svd",
@@ -116,25 +126,29 @@ def bucket_by_rows(
 
 
 def _stacked_rsvd(
-    stack: np.ndarray,
+    stack,
     effective_rank: int,
     power_iterations: int,
-    omegas: np.ndarray,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    omegas,
+    xp: ArrayModule,
+):
     """Algorithm 1 on a ``(b, m, J)`` stack — all steps batched 3-D calls.
 
-    Each step maps to the same LAPACK/BLAS routine the per-slice code calls
-    on the corresponding 2-D sub-array, so unpadded stacks reproduce the
-    per-slice results bit for bit.
+    ``stack``/``omegas`` are ``xp``-native arrays and every step dispatches
+    through ``xp``.  On the numpy module each call *is* the numpy function
+    the pre-``xp`` code used, mapping to the same LAPACK/BLAS routine per
+    2-D sub-array — so unpadded stacks reproduce the per-slice results bit
+    for bit.  Device modules run the identical pipeline on their batched
+    primitives.
     """
-    Y = stack @ omegas
-    Q, _ = np.linalg.qr(Y)
+    Y = xp.matmul(stack, omegas)
+    Q, _ = xp.qr(Y)
     for _ in range(power_iterations):
-        Z, _ = np.linalg.qr(np.swapaxes(stack, 1, 2) @ Q)
-        Q, _ = np.linalg.qr(stack @ Z)
-    B = np.swapaxes(Q, 1, 2) @ stack
-    U_small, sigma, Vt = np.linalg.svd(B, full_matrices=False)
-    U = Q @ U_small[:, :, :effective_rank]
+        Z, _ = xp.qr(xp.matmul(xp.transpose(stack), Q))
+        Q, _ = xp.qr(xp.matmul(stack, Z))
+    B = xp.matmul(xp.transpose(Q), stack)
+    U_small, sigma, Vt = xp.svd(B, full_matrices=False)
+    U = xp.matmul(Q, U_small[:, :, :effective_rank])
     return U, sigma[:, :effective_rank], Vt[:, :effective_rank, :]
 
 
@@ -146,6 +160,8 @@ def batched_randomized_svd(
     power_iterations: int = 1,
     generators,
     max_pad_ratio: float = 0.0,
+    xp: "ArrayModule | str | None" = None,
+    native_slices=None,
 ) -> list[RandomizedSVDResult]:
     """Per-slice randomized SVDs via stacked/batched LAPACK dispatch.
 
@@ -160,12 +176,28 @@ def batched_randomized_svd(
     ``max_pad_ratio > 0`` additionally merges nearby row counts by
     zero-padding (see :func:`bucket_by_rows`); padded results are exact in
     infinite precision and agree with the per-slice path to roundoff.
+
+    ``xp`` selects the compute backend (default numpy, the bitwise-exact
+    path).  On a device backend each bucket's stack crosses the host↔device
+    boundary exactly once per direction — one transfer up, one batched
+    pipeline, one transfer of the small factors back.  ``native_slices``
+    optionally supplies the same slices as ``xp``-native arrays (e.g. from
+    :meth:`IrregularTensor.to_backend
+    <repro.tensor.irregular.IrregularTensor.to_backend>`'s per-backend
+    cache); exact buckets are then stacked on-device from the cached
+    slices and the raw data is not re-uploaded at all.
     """
+    xp = get_xp(xp)
     mats = [np.asarray(Xk) for Xk in matrices]
     generators = list(generators)
     if len(mats) != len(generators):
         raise ValueError(
             f"matrices and generators must align: {len(mats)} vs {len(generators)}"
+        )
+    if native_slices is not None and len(native_slices) != len(mats):
+        raise ValueError(
+            f"matrices and native_slices must align: "
+            f"{len(mats)} vs {len(native_slices)}"
         )
     if not mats:
         return []
@@ -183,11 +215,12 @@ def batched_randomized_svd(
         if len(indices) == 1:
             k = indices[0]
             results[k] = randomized_svd(
-                mats[k],
+                native_slices[k] if native_slices is not None else mats[k],
                 rank,
                 oversampling=oversampling,
                 power_iterations=power_iterations,
                 random_state=generators[k],
+                xp=xp,
             )
             continue
 
@@ -195,18 +228,28 @@ def batched_randomized_svd(
         effective_rank = min(rank, min_rows, J)
         sketch_size = min(effective_rank + oversampling, min(min_rows, J))
         dtype = mats[indices[0]].dtype
+        exact = all(mats[k].shape[0] == height for k in indices)
 
-        stack = np.zeros((len(indices), height, J), dtype=dtype)
         omegas = np.empty((len(indices), J, sketch_size), dtype=dtype)
         for pos, k in enumerate(indices):
-            Xk = mats[k]
-            stack[pos, : Xk.shape[0]] = Xk
             # Draw in float64 first (as the per-slice path does), then cast:
             # the float32 pipeline sees the same sketch to within rounding.
             omega = generators[k].standard_normal((J, sketch_size))
             omegas[pos] = omega if dtype == np.float64 else omega.astype(dtype)
 
-        U, sigma, Vt = _stacked_rsvd(stack, effective_rank, power_iterations, omegas)
+        if exact and native_slices is not None and not xp.is_numpy:
+            stack = xp.stack([native_slices[k] for k in indices])
+        else:
+            host = np.zeros((len(indices), height, J), dtype=dtype)
+            for pos, k in enumerate(indices):
+                host[pos, : mats[k].shape[0]] = mats[k]
+            stack = host if xp.is_numpy else xp.asarray(host)
+
+        U, sigma, Vt = _stacked_rsvd(
+            stack, effective_rank, power_iterations, xp.asarray(omegas), xp
+        )
+        # One transfer back per bucket; slicing the host copies after.
+        U, sigma, Vt = xp.to_numpy(U), xp.to_numpy(sigma), xp.to_numpy(Vt)
         for pos, k in enumerate(indices):
             rows = mats[k].shape[0]
             results[k] = RandomizedSVDResult(
@@ -217,23 +260,35 @@ def batched_randomized_svd(
     return results  # type: ignore[return-value]
 
 
-def batched_stacked_matmul(lefts, rights, *, max_stack_rows: int | None = None) -> list[np.ndarray]:
+def batched_stacked_matmul(
+    lefts,
+    rights,
+    *,
+    max_stack_rows: int | None = None,
+    xp: "ArrayModule | str | None" = None,
+) -> list[np.ndarray]:
     """``[lefts[k] @ rights[k]]`` with one stacked matmul per row bucket.
 
-    ``lefts`` is a list of ``(Ik, a)`` matrices, ``rights`` a ``(K, a, b)``
-    stack.  Equal-row groups are stacked so the K Python-level dispatches
-    collapse into one 3-D matmul per bucket (bitwise identical per pair);
-    singleton buckets use a plain 2-D matmul.  ``max_stack_rows`` bounds
-    the stacking: buckets of taller matrices fall back to the per-item
-    loop — stacking copies the bucket's whole left operand, which buys
-    nothing once each matmul is BLAS-bound, and would transiently double
-    the memory of a large equal-height factor.
+    ``lefts`` is a list of ``(Ik, a)`` host matrices, ``rights`` a
+    ``(K, a, b)`` host stack.  Equal-row groups are stacked so the K
+    Python-level dispatches collapse into one 3-D matmul per bucket
+    (bitwise identical per pair on the numpy module); singleton buckets
+    use a plain 2-D matmul.  ``max_stack_rows`` bounds the stacking:
+    buckets of taller matrices fall back to the per-item loop — stacking
+    copies the bucket's whole left operand, which buys nothing once each
+    matmul is BLAS-bound, and would transiently double the memory of a
+    large equal-height factor.  On a device ``xp`` each multi-slice bucket
+    ships up as one stack, multiplies batched, and comes back as one
+    transfer; the per-item fallbacks stay on the host, where a lone
+    BLAS-bound matmul beats a round trip.
     """
+    xp = get_xp(xp)
     rights = np.asarray(rights)
     if len(lefts) != rights.shape[0]:
         raise ValueError(
             f"lefts and rights must align: {len(lefts)} vs {rights.shape[0]}"
         )
+    rights_native = None  # uploaded lazily: only if a bucket actually batches
     out: list[np.ndarray | None] = [None] * len(lefts)
     for height, indices in bucket_by_rows([A.shape[0] for A in lefts]):
         if len(indices) == 1 or (
@@ -242,7 +297,13 @@ def batched_stacked_matmul(lefts, rights, *, max_stack_rows: int | None = None) 
             for k in indices:
                 out[k] = lefts[k] @ rights[k]
             continue
-        stacked = np.stack([lefts[k] for k in indices]) @ rights[indices]
+        if xp.is_numpy:
+            stacked = np.stack([lefts[k] for k in indices]) @ rights[indices]
+        else:
+            if rights_native is None:
+                rights_native = xp.asarray(rights)
+            left_stack = xp.asarray(np.stack([lefts[k] for k in indices]))
+            stacked = xp.to_numpy(xp.matmul(left_stack, rights_native[indices]))
         for pos, k in enumerate(indices):
             out[k] = stacked[pos]
     return out  # type: ignore[return-value]
@@ -337,6 +398,9 @@ class SweepWorkspace:
         self.F: np.ndarray | None = None
         self.data_term: float = 0.0
 
+    #: numpy workspaces hold host arrays; the device counterpart overrides.
+    is_device = False
+
     @property
     def nbytes(self) -> int:
         """Total bytes held by the preallocated buffers (cache accounting)."""
@@ -345,6 +409,18 @@ class SweepWorkspace:
             for buf in vars(self).values()
             if isinstance(buf, np.ndarray)
         )
+
+    # ------------------------------------------------------------------ #
+    # host/device residency (identity here; real on DeviceSweepWorkspace)
+    # ------------------------------------------------------------------ #
+
+    def host(self, array):
+        """Workspace-native array → host ndarray (no-op for numpy)."""
+        return array
+
+    def dev(self, array):
+        """Host ndarray → workspace-native array (no-op for numpy)."""
+        return array
 
     # ------------------------------------------------------------------ #
     # binding to a concrete compression
@@ -447,6 +523,166 @@ class SweepWorkspace:
         return max(self.data_term - 2.0 * cross + model, 0.0)
 
 
+class DeviceSweepWorkspace:
+    """The :class:`SweepWorkspace` contract on a device array module.
+
+    Same geometry, same method surface, but the ``O(K R² Rc)`` sweep
+    contractions run through ``xp`` (torch/CuPy) while the tiny ``R×R``
+    Lemma solves stay on the host — callers convert with :meth:`host` /
+    :meth:`dev`, which are identity functions on the numpy workspace, so
+    :func:`~repro.decomposition.dpar2._iterate` is written once for both.
+
+    Differences from the numpy workspace, deliberately:
+
+    * No preallocated ``out=`` buffers — torch and CuPy route allocations
+      through caching device allocators, so steady-state sweeps reuse
+      memory without the explicit buffer plumbing (and ``torch.einsum``
+      has no ``out=`` anyway).
+    * Not cached by :func:`release_sweep_workspace`: there is nothing
+      host-side worth parking, and pinning device memory across calls
+      would fight the allocator.
+    * The convergence criterion still accumulates in float64 on the
+      device; ``bind`` pre-casts the constant factors once.
+    """
+
+    is_device = True
+
+    def __init__(
+        self, K: int, J: int, R: int, Rc: int | None = None,
+        dtype=np.float64, *, xp: ArrayModule,
+    ) -> None:
+        Rc = R if Rc is None else Rc
+        if Rc < R:
+            raise ValueError(f"compression rank {Rc} below target rank {R}")
+        dt = np.dtype(dtype)
+        if dt not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(f"dtype must be float32 or float64, got {dt}")
+        self.K, self.J, self.R, self.Rc = K, J, R, Rc
+        self.dtype = dt
+        self.xp = xp
+        self.key = (K, J, R, Rc, dt.str, xp.name)
+
+        self.D = self.E = self.F = None
+        self.DE = self.EDtV = self.small = self.T = None
+        self.WtW = self.VtV = self.HtH = self.gram = None
+        self._D64 = self._E64 = None
+        self.data_term: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # residency helpers
+    # ------------------------------------------------------------------ #
+
+    def host(self, array):
+        """Device array → host ndarray (one small transfer)."""
+        return self.xp.to_numpy(array)
+
+    def dev(self, array):
+        """Host ndarray → device array."""
+        return self.xp.asarray(array)
+
+    # ------------------------------------------------------------------ #
+    # binding to a concrete compression
+    # ------------------------------------------------------------------ #
+
+    def bind(self, D: np.ndarray, E: np.ndarray, F: np.ndarray) -> "DeviceSweepWorkspace":
+        """Ship ``D, E, {F(k)}`` to the device once for this call."""
+        xp = self.xp
+        self.D, self.E, self.F = xp.asarray(D), xp.asarray(E), xp.asarray(F)
+        self.DE = self.D * self.E  # J x Rc, broadcasts over columns
+        # Criterion constants, pre-cast to float64 device copies.
+        self._D64 = xp.astype(self.D, np.float64)
+        self._E64 = xp.astype(self.E, np.float64)
+        FE = np.asarray(F, dtype=np.float64) * np.asarray(E, dtype=np.float64)
+        self.data_term = float(np.sum(FE * FE))
+        return self
+
+    def unbind(self) -> None:
+        """Drop device references (frees allocator blocks for reuse)."""
+        self.D = self.E = self.F = None
+        self.DE = self.EDtV = self.small = self.T = None
+        self.WtW = self.VtV = self.HtH = self.gram = None
+        self._D64 = self._E64 = None
+        self.data_term = 0.0
+
+    # ------------------------------------------------------------------ #
+    # sweep kernels (Section III-C, Lemmas 1-3)
+    # ------------------------------------------------------------------ #
+
+    def update_EDtV(self, V: np.ndarray):
+        xp = self.xp
+        V_d = xp.asarray(V)
+        self.EDtV = xp.matmul(xp.transpose(self.D), V_d) * self.E[:, None]
+        return self.EDtV
+
+    def compute_small(self, W: np.ndarray, H: np.ndarray):
+        xp = self.xp
+        self.small = xp.einsum(
+            _SMALL, self.F, self.EDtV, xp.asarray(W), xp.asarray(H)
+        )
+        return self.small
+
+    def compute_T(self, polar):
+        self.T = self.xp.einsum(_T, polar, self.F)
+        return self.T
+
+    def gram_W(self, W: np.ndarray):
+        W_d = self.xp.asarray(W)
+        self.WtW = self.xp.matmul(self.xp.transpose(W_d), W_d)
+        return self.WtW
+
+    def gram_V(self, V: np.ndarray):
+        V_d = self.xp.asarray(V)
+        self.VtV = self.xp.matmul(self.xp.transpose(V_d), V_d)
+        return self.VtV
+
+    def gram_H(self, H: np.ndarray):
+        H_d = self.xp.asarray(H)
+        self.HtH = self.xp.matmul(self.xp.transpose(H_d), H_d)
+        return self.HtH
+
+    def hadamard_gram(self, left, right):
+        self.gram = left * right
+        return self.gram
+
+    def mttkrp_H(self, W: np.ndarray):
+        return self.xp.einsum(_G1, self.xp.asarray(W), self.T, self.EDtV)
+
+    def mttkrp_V(self, W: np.ndarray, H: np.ndarray):
+        inner = self.xp.einsum(
+            _INNER, self.xp.asarray(W), self.T, self.xp.asarray(H)
+        )
+        return self.xp.matmul(self.DE, inner)
+
+    def mttkrp_W(self, H: np.ndarray):
+        return self.xp.einsum(_G3, self.xp.asarray(H), self.T, self.EDtV)
+
+    # ------------------------------------------------------------------ #
+    # compressed convergence criterion (Section III-E)
+    # ------------------------------------------------------------------ #
+
+    def compressed_error(self, H: np.ndarray, V: np.ndarray, W: np.ndarray) -> float:
+        """``Σk ‖Tk E Dᵀ − H Sk Vᵀ‖²`` via the Gram trick, in float64.
+
+        All three contractions run on the device in float64 (matching the
+        numpy workspace's accumulation dtype) and only the two scalars
+        cross back — extracting them synchronizes the stream.
+        """
+        xp = self.xp
+        V64 = xp.astype(xp.asarray(V), np.float64)
+        VtD = xp.matmul(xp.transpose(V64), self._D64)
+        TE = xp.astype(self.T, np.float64) * self._E64
+        HS_host = (
+            np.asarray(H, dtype=np.float64)[None, :, :]
+            * np.asarray(W, dtype=np.float64)[:, None, :]
+        )
+        HS = xp.asarray(HS_host)
+        cross = xp.to_float(xp.einsum(_CROSS, TE, HS, VtD))
+        model = xp.to_float(
+            xp.einsum(_MODEL, HS, HS, xp.matmul(xp.transpose(V64), V64))
+        )
+        return max(self.data_term - 2.0 * cross + model, 0.0)
+
+
 # --------------------------------------------------------------------- #
 # workspace cache
 # --------------------------------------------------------------------- #
@@ -462,29 +698,40 @@ _cache_lock = threading.Lock()
 
 
 def acquire_sweep_workspace(
-    K: int, J: int, R: int, Rc: int | None = None, dtype=np.float64
-) -> SweepWorkspace:
+    K: int, J: int, R: int, Rc: int | None = None, dtype=np.float64,
+    xp: "ArrayModule | str | None" = None,
+) -> "SweepWorkspace | DeviceSweepWorkspace":
     """Check a workspace for this geometry out of the module cache.
 
     The instance is *removed* from the cache while in use, so concurrent
     ``dpar2`` calls on the same geometry each get a private workspace.
     Return it with :func:`release_sweep_workspace` when the call finishes.
+
+    A non-numpy ``xp`` yields a fresh :class:`DeviceSweepWorkspace` — the
+    cache only parks host buffer sets; device allocations are recycled by
+    the backend's own caching allocator.
     """
+    xp = get_xp(xp)
+    if not xp.is_numpy:
+        return DeviceSweepWorkspace(K, J, R, Rc, dtype, xp=xp)
     key = (K, J, R, R if Rc is None else Rc, np.dtype(dtype).str)
     with _cache_lock:
         ws = _workspace_cache.pop(key, None)
     return ws if ws is not None else SweepWorkspace(K, J, R, Rc, dtype)
 
 
-def release_sweep_workspace(ws: SweepWorkspace) -> None:
+def release_sweep_workspace(ws: "SweepWorkspace | DeviceSweepWorkspace") -> None:
     """Return a workspace to the cache.
 
     Oldest geometries are evicted past the entry cap, and the cache is
     bounded in total bytes — a workspace too large to fit is simply
     dropped (its next acquisition pays the allocation again rather than
-    the process pinning K-scaled buffers forever).
+    the process pinning K-scaled buffers forever).  Device workspaces are
+    never cached: unbinding hands their memory back to the allocator.
     """
     ws.unbind()
+    if ws.is_device:
+        return
     size = ws.nbytes
     if size > _CACHE_MAX_BYTES:
         return

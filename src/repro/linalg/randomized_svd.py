@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.linalg.array_module import get_xp
 from repro.util.rng import as_generator
 from repro.util.validation import check_matrix, check_rank
 
@@ -56,13 +57,16 @@ def randomized_svd(
     oversampling: int = 5,
     power_iterations: int = 1,
     random_state=None,
+    xp=None,
 ) -> RandomizedSVDResult:
     """Approximate the top-``rank`` SVD of ``matrix`` (Algorithm 1).
 
     Parameters
     ----------
     matrix:
-        Dense 2-D array of shape ``(I, J)``.
+        Dense 2-D array of shape ``(I, J)`` — a host ndarray, or an
+        ``xp``-native array when a non-default ``xp`` is given (native
+        inputs skip host validation; the caller vouches for them).
     rank:
         Target rank ``R``; capped implicitly by ``min(I, J)``.
     oversampling:
@@ -72,7 +76,13 @@ def randomized_svd(
         ``A`` and ``Aᵀ`` once, with a QR re-orthonormalization in between to
         avoid the numerical collapse of repeated squaring.
     random_state:
-        Seed or generator for the Gaussian test matrix.
+        Seed or generator for the Gaussian test matrix (always a host
+        numpy generator, whatever the backend).
+    xp:
+        Compute backend (:func:`repro.linalg.array_module.get_xp` spec).
+        The default numpy module runs the historical code path — same
+        calls, same bits.  Other modules run the pipeline on their device;
+        the returned factors are always host ndarrays.
 
     Returns
     -------
@@ -85,9 +95,13 @@ def randomized_svd(
     The Gaussian sketch is always *drawn* in float64 and then cast, so a
     float32 run consumes the identical generator stream and sees the same
     sketch to within rounding — float32/float64 results are comparable for
-    a fixed seed.
+    a fixed seed, and every backend consumes the identical sketch.
     """
-    A = check_matrix(matrix, "matrix", dtype=None)
+    xp = get_xp(xp)
+    if xp.is_native(matrix) and not isinstance(matrix, np.ndarray):
+        A = matrix
+    else:
+        A = check_matrix(matrix, "matrix", dtype=None)
     I, J = A.shape
     effective_rank = min(check_rank(rank), I, J)
     if oversampling < 0:
@@ -96,24 +110,26 @@ def randomized_svd(
         raise ValueError(f"power_iterations must be >= 0, got {power_iterations}")
     rng = as_generator(random_state)
 
+    dtype = xp.numpy_dtype(A)
     sketch_size = min(effective_rank + oversampling, min(I, J))
     omega = rng.standard_normal((J, sketch_size))
-    if A.dtype != np.float64:
-        omega = omega.astype(A.dtype)
+    if dtype != np.float64:
+        omega = omega.astype(dtype)
 
-    Y = A @ omega
-    Q, _ = np.linalg.qr(Y)
+    A = xp.asarray(A)
+    Y = xp.matmul(A, xp.asarray(omega))
+    Q, _ = xp.qr(Y)
     for _ in range(power_iterations):
         # Re-orthonormalize between the Aᵀ and A applications; without it the
         # columns of Y align with the top singular vector and precision dies.
-        Z, _ = np.linalg.qr(A.T @ Q)
-        Q, _ = np.linalg.qr(A @ Z)
+        Z, _ = xp.qr(xp.matmul(xp.transpose(A), Q))
+        Q, _ = xp.qr(xp.matmul(A, Z))
 
-    B = Q.T @ A
-    U_small, sigma, Vt = np.linalg.svd(B, full_matrices=False)
-    U = Q @ U_small[:, :effective_rank]
+    B = xp.matmul(xp.transpose(Q), A)
+    U_small, sigma, Vt = xp.svd(B, full_matrices=False)
+    U = xp.matmul(Q, U_small[:, :effective_rank])
     return RandomizedSVDResult(
-        U=U,
-        singular_values=sigma[:effective_rank].copy(),
-        V=Vt[:effective_rank].T.copy(),
+        U=xp.to_numpy(U),
+        singular_values=xp.to_numpy(sigma)[:effective_rank].copy(),
+        V=np.ascontiguousarray(xp.to_numpy(Vt)[:effective_rank].T),
     )

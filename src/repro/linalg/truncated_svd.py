@@ -9,19 +9,24 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.linalg.array_module import get_xp
 from repro.linalg.randomized_svd import RandomizedSVDResult
 from repro.util.validation import check_matrix, check_rank
 
 
-def truncated_svd(matrix, rank: int) -> RandomizedSVDResult:
+def truncated_svd(matrix, rank: int, *, xp=None) -> RandomizedSVDResult:
     """Exact SVD of ``matrix`` truncated to the top ``rank`` components.
 
     Returns the same :class:`RandomizedSVDResult` container as the randomized
     variant so the two are drop-in interchangeable (useful for ablations).
+    ``xp`` selects the compute backend (default numpy — the historical,
+    bitwise-stable path); factors come back as host ndarrays either way.
     """
+    xp = get_xp(xp)
     A = check_matrix(matrix, "matrix")
     effective_rank = min(check_rank(rank), *A.shape)
-    U, sigma, Vt = np.linalg.svd(A, full_matrices=False)
+    U, sigma, Vt = xp.svd(xp.asarray(A), full_matrices=False)
+    U, sigma, Vt = xp.to_numpy(U), xp.to_numpy(sigma), xp.to_numpy(Vt)
     return RandomizedSVDResult(
         U=U[:, :effective_rank].copy(),
         singular_values=sigma[:effective_rank].copy(),

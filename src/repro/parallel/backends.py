@@ -253,6 +253,32 @@ class ProcessBackend(ExecutionBackend):
             pass
 
 
+def in_process_backend(engine: ExecutionBackend) -> ExecutionBackend:
+    """Coerce ``engine`` to one that runs in the calling process.
+
+    Device compute backends (torch/CuPy) must keep their arrays in the
+    process that owns the device context — shipping them through worker
+    processes is meaningless, exactly like memory-mapped slices must not
+    be stacked in the parent.  ``DecompositionConfig`` already rejects the
+    ``process`` + device combination at construction; this helper guards
+    the direct-call surface (``compress_tensor(..., backend="process",
+    compute_backend="torch")``), downgrading to a serial engine with a
+    warning instead of failing deep inside a kernel.
+    """
+    if engine.in_process:
+        return engine
+    import warnings
+
+    warnings.warn(
+        f"execution backend {engine.name!r} cannot drive a device compute "
+        "backend; falling back to in-process (serial) execution for the "
+        "device-compute stages",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return SerialBackend(engine.n_workers)
+
+
 #: Name → backend class.  Extend by appending here (e.g. a future
 #: distributed backend) — ``DecompositionConfig`` validates against it.
 BACKENDS: dict[str, type[ExecutionBackend]] = {

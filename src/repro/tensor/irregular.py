@@ -169,6 +169,46 @@ class IrregularTensor:
         return IrregularTensor(picked, dtype=self._dtype)
 
     # ------------------------------------------------------------------ #
+    # device interop
+    # ------------------------------------------------------------------ #
+
+    def to_backend(self, xp) -> Sequence:
+        """The slices as ``xp``-native arrays, transferred once and cached.
+
+        ``xp`` is an :class:`~repro.linalg.array_module.ArrayModule` (or a
+        backend name).  For the numpy module this returns the slice list
+        itself — no copies.  For torch/CuPy the slices cross the
+        host↔device boundary on first call and the native views are cached
+        per backend, so repeated decompositions of the same tensor (rank
+        sweeps, the experiment harnesses) upload the raw data once.
+        Memory-mapped slices are refused: paging an out-of-core store
+        through the device defeats both features — stream with the numpy
+        backend instead.
+
+        The cache holds device memory for the life of the tensor; call
+        :meth:`release_backend_cache` to free it early.
+        """
+        from repro.linalg.array_module import get_xp
+
+        xp = get_xp(xp)
+        if xp.is_numpy:
+            return self._slices
+        if any(isinstance(Xk, np.memmap) for Xk in self._slices):
+            raise ValueError(
+                "memory-mapped (out-of-core) slices cannot move to compute "
+                f"backend {xp.name!r}; use compute_backend='numpy' for "
+                "out-of-core tensors"
+            )
+        cache = self.__dict__.setdefault("_backend_cache", {})
+        if xp.name not in cache:
+            cache[xp.name] = [xp.asarray(Xk) for Xk in self._slices]
+        return cache[xp.name]
+
+    def release_backend_cache(self) -> None:
+        """Drop any cached backend-native copies of the slices."""
+        self.__dict__.pop("_backend_cache", None)
+
+    # ------------------------------------------------------------------ #
     # out-of-core interop
     # ------------------------------------------------------------------ #
 

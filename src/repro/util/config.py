@@ -50,6 +50,17 @@ class DecompositionConfig:
         BLAS throughput on the compression stage; the convergence criterion
         still accumulates in float64.  Accepts a name or a numpy dtype and
         is normalized to the canonical name.
+    compute_backend:
+        Array library the DPar2 kernels run on: ``"numpy"`` (default,
+        bitwise-stable), ``"torch"`` (PyTorch CPU), ``"torch-cuda"``
+        (PyTorch on a GPU), or ``"cupy"``.  Validated *by name* here — the
+        optional library is only imported when compute starts, so configs
+        naming an absent backend fail with an install hint at solve time,
+        not at construction.  Device/torch backends run the batched
+        kernels in-process, which is why combining them with the
+        ``"process"`` execution backend is rejected outright: device
+        arrays cannot cross process boundaries, and discovering that deep
+        inside ``compress_tensor`` helps nobody.
     """
 
     rank: int = 10
@@ -61,6 +72,7 @@ class DecompositionConfig:
     power_iterations: int = 1
     random_state: object = None
     dtype: str = "float64"
+    compute_backend: str = "numpy"
 
     def __post_init__(self) -> None:
         check_positive_int(self.rank, "rank")
@@ -86,6 +98,31 @@ class DecompositionConfig:
                 f"dtype must be float64 or float32, got {self.dtype!r}"
             )
         object.__setattr__(self, "dtype", dtype.name)
+        # Imported here, not at module top: repro.linalg pulls this module
+        # back in through repro.util's facade, and the names-only check
+        # needs nothing heavier anyway.
+        from repro.linalg.array_module import COMPUTE_BACKEND_NAMES
+
+        if not isinstance(self.compute_backend, str):
+            raise TypeError(
+                "compute_backend must be a string, "
+                f"got {type(self.compute_backend).__name__}"
+            )
+        compute = self.compute_backend.strip().lower()
+        if compute not in COMPUTE_BACKEND_NAMES:
+            raise ValueError(
+                f"compute_backend must be one of "
+                f"{', '.join(COMPUTE_BACKEND_NAMES)}; "
+                f"got {self.compute_backend!r}"
+            )
+        object.__setattr__(self, "compute_backend", compute)
+        if compute != "numpy" and self.backend == "process":
+            raise ValueError(
+                f"compute_backend {compute!r} cannot be combined with the "
+                "'process' execution backend: device arrays do not cross "
+                "process boundaries, and the batched device kernels run "
+                "in-process anyway — use backend='serial' or 'thread'"
+            )
         if self.oversampling < 0:
             raise ValueError(f"oversampling must be >= 0, got {self.oversampling}")
         if self.power_iterations < 0:
@@ -103,3 +140,15 @@ class DecompositionConfig:
     def numpy_dtype(self) -> np.dtype:
         """The working precision as a :class:`numpy.dtype`."""
         return np.dtype(self.dtype)
+
+    @property
+    def array_module(self):
+        """The resolved compute backend (:class:`~repro.linalg.array_module.ArrayModule`).
+
+        This is where torch/cupy are actually imported; a missing library
+        raises :class:`~repro.linalg.array_module.BackendUnavailableError`
+        with the install hint.
+        """
+        from repro.linalg.array_module import get_xp
+
+        return get_xp(self.compute_backend)

@@ -40,6 +40,20 @@ class TestParser:
                 ["decompose", "traffic", "--backend", "quantum"]
             )
 
+    def test_compute_backend_default_and_choices(self):
+        args = build_parser().parse_args(["decompose", "traffic"])
+        assert args.compute_backend == "numpy"
+        args = build_parser().parse_args(
+            ["decompose", "traffic", "--compute-backend", "torch"]
+        )
+        assert args.compute_backend == "torch"
+
+    def test_unknown_compute_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["decompose", "traffic", "--compute-backend", "tensorflow"]
+            )
+
     def test_unknown_dataset_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["decompose", "nonexistent"])
@@ -101,6 +115,39 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "staging" in out
         assert "fitness" in out
+
+    def test_decompose_reports_compute_backend(self, capsys):
+        code = main(
+            ["decompose", "traffic", "--rank", "3", "--max-iterations", "2",
+             "--compute-backend", "numpy"]
+        )
+        assert code == 0
+        assert "compute numpy" in capsys.readouterr().out
+
+    def test_out_of_core_with_device_backend_fails_fast(self, capsys):
+        code = main(
+            ["decompose", "traffic", "--rank", "3", "--max-iterations", "2",
+             "--out-of-core", "--compute-backend", "torch"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "out-of-core" in err and "mutually exclusive" in err
+
+    def test_non_dpar2_method_with_device_backend_fails_fast(self, capsys):
+        code = main(
+            ["decompose", "traffic", "--rank", "3", "--max-iterations", "2",
+             "--method", "rd_als", "--compute-backend", "torch"]
+        )
+        assert code == 2
+        assert "only" in capsys.readouterr().err
+
+    def test_process_with_device_backend_fails_fast(self, capsys):
+        code = main(
+            ["decompose", "traffic", "--rank", "3", "--max-iterations", "2",
+             "--backend", "process", "--compute-backend", "torch"]
+        )
+        assert code == 2
+        assert "process" in capsys.readouterr().err
 
     def test_bench_info(self, capsys):
         assert main(["bench-info"]) == 0

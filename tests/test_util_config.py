@@ -81,6 +81,56 @@ class TestBackendValidation:
             DecompositionConfig().with_(backend="cluster")
 
 
+class TestComputeBackendValidation:
+    """Compute-backend typos and impossible combos fail at construction."""
+
+    def test_default_is_numpy(self):
+        assert DecompositionConfig().compute_backend == "numpy"
+
+    def test_known_names_accepted_without_importing_libraries(self):
+        # Validation is by name only — torch/cupy need not be installed to
+        # *construct* a config naming them.
+        for name in ("numpy", "torch", "torch-cuda", "cupy"):
+            assert DecompositionConfig(compute_backend=name).compute_backend == name
+
+    def test_name_normalized(self):
+        assert (
+            DecompositionConfig(compute_backend=" Torch ").compute_backend
+            == "torch"
+        )
+
+    def test_unknown_backend_rejected_with_options(self):
+        with pytest.raises(ValueError, match="numpy, torch, torch-cuda, cupy"):
+            DecompositionConfig(compute_backend="tensorflow")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError, match="compute_backend"):
+            DecompositionConfig(compute_backend=3)
+
+    def test_process_backend_with_device_compute_rejected(self):
+        with pytest.raises(ValueError, match="process"):
+            DecompositionConfig(backend="process", compute_backend="torch")
+
+    def test_process_backend_with_numpy_compute_allowed(self):
+        config = DecompositionConfig(backend="process", compute_backend="numpy")
+        assert config.backend == "process"
+
+    def test_serial_and_thread_allowed_with_device_compute(self):
+        for backend in ("serial", "thread"):
+            config = DecompositionConfig(
+                backend=backend, compute_backend="torch-cuda"
+            )
+            assert config.compute_backend == "torch-cuda"
+
+    def test_with_validates_combination(self):
+        config = DecompositionConfig(backend="process")
+        with pytest.raises(ValueError, match="process"):
+            config.with_(compute_backend="torch")
+
+    def test_array_module_resolves_numpy(self):
+        assert DecompositionConfig().array_module.is_numpy
+
+
 class TestWith:
     def test_with_replaces_field(self):
         config = DecompositionConfig(rank=10)
