@@ -14,13 +14,18 @@ Run as a script for the perf-regression tracker::
 
 The script times the two DPar2 hot paths on a many-small-slices synthetic
 (K >= 200): stage-1 compression per-slice vs batched, and the compressed
-ALS sweeps, at float64 and float32.  ``--json`` records the measurements;
-``--check`` exits non-zero when iterate *or preprocess* seconds regress
+ALS sweeps, at float64 and float32.  On the numpy backend it additionally
+times the **sparse axis** (schema v3): batched stage-1 compression of a
+~2%-density CSR tensor against the identical data densified, recording
+sketch seconds and tracemalloc peak bytes for both — the sparse fast path
+must stay ≥ 3x faster at that density, and its peak memory below the
+dense run's.  ``--json`` records the measurements; ``--check`` exits
+non-zero when iterate, preprocess, *or sparse stage-1* seconds regress
 more than ``--max-regression`` (default 2x) against a checked-in baseline.
 ``--backend`` selects the compute backend (numpy/torch/torch-cuda/cupy) —
 the record carries a ``compute_backend`` field so baselines from different
-backends are never compared against each other (schema v2; v1 baselines
-without the field still check cleanly).
+backends are never compared against each other (v1/v2 baselines without
+the newer fields still check cleanly: absent metrics are skipped).
 """
 
 import argparse
@@ -124,6 +129,75 @@ def _best_of(repeats, fn):
     return best, value
 
 
+def _peak_tracemalloc(fn) -> tuple[int, object]:
+    """Peak traced allocation in bytes while running ``fn`` once."""
+    import tracemalloc
+
+    tracemalloc.start()
+    try:
+        value = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak, value
+
+
+def run_sparse_axis(
+    *,
+    n_slices: int = 64,
+    n_rows: int = 512,
+    n_columns: int = 256,
+    density: float = 0.02,
+    rank: int = 8,
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict:
+    """The sparse axis: batched stage-1 on CSR slices vs the same densified.
+
+    Equal-height slices (one row-count bucket) so both paths run exactly
+    one stacked pipeline — the comparison isolates SpMM-vs-dense sketching
+    at equal shapes, seeds, and bucket schedules.  Returns the
+    ``sparse_*`` / ``stage1_sparse_*`` keys merged into the main record.
+    """
+    from repro.data.synthetic import sparse_irregular_tensor
+    from repro.decomposition.dpar2 import compress_tensor
+    from repro.sparse.stacked import spmm_backend
+
+    sparse_tensor = sparse_irregular_tensor(
+        n_rows, n_columns, n_slices,
+        density=density, min_rows=n_rows, random_state=seed,
+    )
+    dense_tensor = sparse_tensor.densified()
+
+    def run(tensor):
+        return compress_tensor(
+            tensor, rank, random_state=seed,
+            backend="serial", stage1_batching="batched",
+        )
+
+    sparse_seconds, _ = _best_of(repeats, lambda: run(sparse_tensor))
+    dense_seconds, _ = _best_of(repeats, lambda: run(dense_tensor))
+    sparse_peak, _ = _peak_tracemalloc(lambda: run(sparse_tensor))
+    dense_peak, _ = _peak_tracemalloc(lambda: run(dense_tensor))
+
+    return {
+        "sparse_spmm": spmm_backend(),
+        "sparse_n_slices": sparse_tensor.n_slices,
+        "sparse_rows": n_rows,
+        "sparse_columns": n_columns,
+        "sparse_density": density,
+        "sparse_nnz": sparse_tensor.n_entries,
+        "sparse_rank": rank,
+        "sparse_input_bytes": sparse_tensor.nbytes,
+        "sparse_dense_input_bytes": dense_tensor.nbytes,
+        "stage1_sparse_seconds": sparse_seconds,
+        "stage1_sparse_dense_seconds": dense_seconds,
+        "stage1_sparse_speedup": dense_seconds / sparse_seconds,
+        "sparse_peak_bytes": sparse_peak,
+        "sparse_dense_peak_bytes": dense_peak,
+    }
+
+
 def run_kernel_bench(
     *,
     n_slices: int = 240,
@@ -138,7 +212,9 @@ def run_kernel_bench(
 
     Returns the record written to ``BENCH_kernels.json``: stage-1 seconds
     per dispatch strategy, preprocess/iterate seconds and bytes for a full
-    ``dpar2`` run, and the float32 pipeline's timings for comparison.
+    ``dpar2`` run, the float32 pipeline's timings for comparison, and (on
+    the numpy backend) the sparse axis of :func:`run_sparse_axis` — the
+    sparse SpMM fast path is host-only, so device records skip it.
     ``compute_backend`` re-runs the whole matrix through the ``xp`` layer
     (the per-slice reference dispatch is host-only, so on a non-numpy
     backend the stage-1 comparison is host-per-slice vs device-batched —
@@ -169,7 +245,7 @@ def run_kernel_bench(
     )
 
     record = {
-        "schema_version": 2,
+        "schema_version": 3,
         "compute_backend": compute_backend,
         "platform": platform.platform(),
         "n_slices": tensor.n_slices,
@@ -197,6 +273,8 @@ def run_kernel_bench(
         )
         record[f"iterate_seconds{key}"] = min(r.iterate_seconds for r in results)
         record[f"preprocessed_bytes{key}"] = results[0].preprocessed_bytes
+    if compute_backend == "numpy":
+        record.update(run_sparse_axis(rank=rank, repeats=repeats, seed=seed))
     return record
 
 
@@ -213,11 +291,18 @@ def check_against_baseline(
     """
     failures = []
     # v1 baselines predate the backend axis; they were all numpy records.
-    for key in ("n_slices", "n_columns", "rank", "sweeps", "compute_backend"):
+    # v3 adds the sparse_* workload keys — older baselines (and non-numpy
+    # records, which skip the sparse axis) simply have nothing to compare.
+    for key in (
+        "n_slices", "n_columns", "rank", "sweeps", "compute_backend",
+        "sparse_n_slices", "sparse_rows", "sparse_columns", "sparse_density",
+        "sparse_rank",
+    ):
         base = baseline.get(key, "numpy" if key == "compute_backend" else None)
-        if base is not None and base != record[key]:
+        current = record.get(key)
+        if base is not None and current is not None and base != current:
             failures.append(
-                f"workload mismatch on {key}: ran {record[key]} but baseline "
+                f"workload mismatch on {key}: ran {current} but baseline "
                 f"recorded {base} — timings are not comparable"
             )
     if failures:
@@ -227,25 +312,47 @@ def check_against_baseline(
         "iterate_seconds_float32",
         "preprocess_seconds",
         "preprocess_seconds_float32",
+        "stage1_sparse_seconds",
     ):
         base = baseline.get(metric)
-        if base is None or base <= 0:
+        current = record.get(metric)
+        if base is None or base <= 0 or current is None:
             continue
-        current = record[metric]
         if current > base * max_regression:
             failures.append(
                 f"{metric} regressed {current / base:.2f}x "
                 f"({current:.4f}s vs baseline {base:.4f}s, "
                 f"allowed {max_regression:.1f}x)"
             )
-    # Machine-independent guard: absolute seconds vary with the runner, but
-    # batched stage 1 dropping below the per-slice path on the same machine
-    # is a genuine kernel regression wherever it happens.
+    # Machine-independent guards: absolute seconds vary with the runner,
+    # but batched stage 1 dropping below the per-slice path — or the
+    # sparse fast path losing its advantage over dense sketching at 2%
+    # density — is a genuine kernel regression wherever it happens.
     speedup = record.get("stage1_batched_speedup")
     if speedup is not None and speedup < 0.9:
         failures.append(
             f"batched stage 1 slower than per-slice dispatch "
             f"(speedup {speedup:.2f}x < 0.9x)"
+        )
+    sparse_speedup = record.get("stage1_sparse_speedup")
+    if sparse_speedup is not None:
+        # The ≥3x bar holds for the compiled (scipy) SpMM; the numpy-only
+        # fallback is expansion-bound and only required not to *lose* to
+        # the dense path.
+        floor = 3.0 if record.get("sparse_spmm") == "scipy" else 1.0
+        if sparse_speedup < floor:
+            failures.append(
+                f"sparse stage 1 under {floor:.1f}x the dense batched path "
+                f"at {record.get('sparse_density', '?')} density on the "
+                f"{record.get('sparse_spmm', '?')} spmm kernel "
+                f"(speedup {sparse_speedup:.2f}x)"
+            )
+    sparse_peak = record.get("sparse_peak_bytes")
+    dense_peak = record.get("sparse_dense_peak_bytes")
+    if sparse_peak is not None and dense_peak is not None and sparse_peak >= dense_peak:
+        failures.append(
+            f"sparse stage 1 peak memory not below the dense run "
+            f"({sparse_peak} >= {dense_peak} bytes)"
         )
     return failures
 
@@ -288,6 +395,15 @@ def main(argv=None) -> int:
     print(f"float32 : preprocess {record['preprocess_seconds_float32']:.4f}s"
           f" iterate {record['iterate_seconds_float32']:.4f}s"
           f" ({record['preprocessed_bytes_float32']} bytes compressed)")
+    if "stage1_sparse_seconds" in record:
+        print(f"sparse  : stage 1 on {record['sparse_n_slices']} slices of "
+              f"{record['sparse_rows']}x{record['sparse_columns']} at "
+              f"{record['sparse_density']:.0%} density:"
+              f" csr {record['stage1_sparse_seconds']:.4f}s"
+              f" dense {record['stage1_sparse_dense_seconds']:.4f}s"
+              f" -> {record['stage1_sparse_speedup']:.2f}x,"
+              f" peak {record['sparse_peak_bytes']} vs"
+              f" {record['sparse_dense_peak_bytes']} bytes")
 
     if args.json:
         with open(args.json, "w") as handle:

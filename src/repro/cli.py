@@ -22,6 +22,7 @@ from repro.data.registry import DATASETS, load_dataset
 from repro.decomposition.registry import DISPLAY_NAMES, SOLVERS, get_solver
 from repro.linalg.array_module import COMPUTE_BACKEND_NAMES
 from repro.parallel.backends import BACKEND_NAMES
+from repro.sparse.csr import CsrMatrix
 from repro.tensor.irregular import IrregularTensor
 from repro.tensor.mmap_store import MmapSliceStore
 from repro.util.config import DecompositionConfig
@@ -84,6 +85,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="stage the dataset into a temporary on-disk slice store and "
         "decompose it memory-mapped (demonstrates the streaming path)",
     )
+    decompose.add_argument(
+        "--density-threshold", type=float, default=None, metavar="FRACTION",
+        help="convert dense slices whose nonzero fraction is at or below "
+        "this threshold to CSR before decomposing — DPar2 then sketches "
+        "them through the sparse SpMM fast path (numpy compute backend "
+        "only); CSR-native datasets take that path regardless",
+    )
     decompose.add_argument("--seed", type=int, default=0)
 
     experiment = sub.add_parser(
@@ -127,6 +135,37 @@ def cmd_decompose(args: argparse.Namespace) -> int:
         )
         return 2
     tensor = load_dataset(args.dataset, random_state=args.seed)
+    if args.density_threshold is not None:
+        if not 0.0 <= args.density_threshold <= 1.0:
+            print(
+                f"error: --density-threshold must be in [0, 1], got "
+                f"{args.density_threshold}",
+                file=sys.stderr,
+            )
+            return 2
+        tensor = tensor.sparsify(args.density_threshold)
+    if tensor.has_sparse_slices:
+        if args.compute_backend != "numpy":
+            print(
+                f"error: sparse (CSR) slices cannot run on --compute-backend "
+                f"{args.compute_backend}: the SpMM fast path is host-only",
+                file=sys.stderr,
+            )
+            return 2
+        if args.method not in ("dpar2", "spartan"):
+            print(
+                f"error: --method {args.method} does not support sparse "
+                "slices; use dpar2 or spartan (or drop --density-threshold)",
+                file=sys.stderr,
+            )
+            return 2
+        sparse_count = sum(
+            1 for Xk in tensor.slices if isinstance(Xk, CsrMatrix)
+        )
+        print(
+            f"sparse  : {sparse_count}/{tensor.n_slices} slices in CSR form "
+            f"({tensor.n_entries} stored values, {tensor.nbytes} bytes)"
+        )
     try:
         config = DecompositionConfig(
             rank=args.rank,

@@ -41,6 +41,8 @@ from repro.linalg.kernels import (
 from repro.linalg.pinv import solve_gram
 from repro.linalg.randomized_svd import randomized_svd
 from repro.parallel.backends import ExecutionBackend, get_backend, in_process_backend
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.ops import slice_squared_norm
 from repro.tensor.irregular import IrregularTensor
 from repro.util.config import DecompositionConfig
 from repro.util.rng import as_generator, spawn_generators
@@ -152,7 +154,12 @@ def _use_batched_stage1(
 
     A non-numpy ``xp`` always batches: device throughput comes from big
     stacked launches, and worker dispatch of per-slice device calls would
-    only serialize on the stream anyway.
+    only serialize on the stream anyway.  Sparse (CSR) tensors also
+    default to batching: their stage-1 cost is ``O(nnz·R)``, so Python
+    dispatch — not FLOPs — dominates at any slice height, and the stacked
+    SpMM path sketches a whole row-count bucket per call.  (Stacking a
+    sparse bucket copies only its ``nnz``-sized arrays, so the
+    memory-mapped exclusion below does not apply to CSR slices.)
     """
     if not xp.is_numpy:
         if stage1_batching == "per-slice":
@@ -171,9 +178,15 @@ def _use_batched_stage1(
             "stage1_batching must be 'auto', 'batched', or 'per-slice'; "
             f"got {stage1_batching!r}"
         )
+    dense_memmap = any(isinstance(Xk, np.memmap) for Xk in tensor.slices)
+    if tensor.has_sparse_slices:
+        # Sparse buckets batch for free, but a *mixed* tensor whose dense
+        # slices are memory-mapped must keep the per-slice streaming path:
+        # batching would copy each dense bucket into an in-RAM stack.
+        return not dense_memmap
     if not engine.in_process or not use_greedy_partition:
         return False
-    if any(isinstance(Xk, np.memmap) for Xk in tensor.slices):
+    if dense_memmap:
         return False
     return engine.n_workers == 1 or tensor.max_rows <= _BATCH_MAX_ROWS
 
@@ -216,6 +229,15 @@ def compress_tensor(
     The compression runs in the tensor's dtype: float32 slices yield a
     float32 :class:`CompressedTensor` at half the memory traffic.
 
+    Tensors holding CSR slices (see
+    :meth:`IrregularTensor.sparsify <repro.tensor.irregular.IrregularTensor.sparsify>`)
+    take the sparse fast path: stage 1 sketches each row-count bucket
+    through batched SpMM (``O(nnz·R)`` work, only the ``(R+s)``-column
+    panels dense) and the raw slices are never densified.  The compressed
+    output is identical in structure — iterations downstream are oblivious
+    to how stage 1 read the data.  Sparse input is host-only (numpy
+    compute backend).
+
     ``compute_backend`` selects the array library the randomized-SVD
     kernels run on (``"numpy"`` default — bitwise-stable; ``"torch"`` /
     ``"torch-cuda"`` / ``"cupy"``).  Device backends stack each row bucket
@@ -234,6 +256,12 @@ def compress_tensor(
             "out-of-core (memory-mapped) tensors cannot be compressed on "
             f"compute backend {xp.name!r}: paging the store through the "
             "device defeats streaming; use compute_backend='numpy'"
+        )
+    if not xp.is_numpy and tensor.has_sparse_slices:
+        raise ValueError(
+            f"sparse (CSR) tensors cannot be compressed on compute backend "
+            f"{xp.name!r}: the SpMM fast path is host-only; "
+            "use compute_backend='numpy'"
         )
     R = min(rank, tensor.n_columns, min(tensor.row_counts))
     start = time.perf_counter()
@@ -407,6 +435,13 @@ def dpar2(
     representation.  (``exact_convergence=True`` re-reads raw slices every
     sweep and defeats the purpose.)
 
+    **Sparse slices.**  A tensor holding CSR slices (built directly, via
+    :meth:`IrregularTensor.sparsify <repro.tensor.irregular.IrregularTensor.sparsify>`,
+    or loaded from a sparse store payload) is compressed through the SpMM
+    fast path — ``O(nnz·R)`` stage-1 work and no densified copies, on disk
+    or in RAM.  Iterations are unchanged: they only ever see the compressed
+    representation.  Sparse input requires the numpy compute backend.
+
     **Zero sweeps.**  ``max_iterations=0`` is allowed and returns the
     compressed tensor's subspaces with the random factor initialization —
     useful for timing or warm-start experiments.
@@ -442,6 +477,12 @@ def dpar2(
             "out-of-core (memory-mapped) tensors cannot run on compute "
             f"backend {xp.name!r}: streaming from disk and device residency "
             "are mutually exclusive; use compute_backend='numpy'"
+        )
+    if not xp.is_numpy and tensor.has_sparse_slices:
+        raise ValueError(
+            f"sparse (CSR) tensors cannot run on compute backend "
+            f"{xp.name!r}: the SpMM fast path is host-only; "
+            "use compute_backend='numpy'"
         )
     R = min(config.rank, tensor.n_columns, min(tensor.row_counts))
 
@@ -522,14 +563,19 @@ def _iterate(
     slice_norms_sq = None
     AtX = None
     if exact_convergence:
-        slice_norms_sq = np.array(
-            [float(np.sum(Xk * Xk, dtype=np.float64)) for Xk in tensor]
+        slice_norms_sq = np.array([slice_squared_norm(Xk) for Xk in tensor])
+        in_ram = not any(
+            isinstance(Xk, np.memmap)
+            or (
+                isinstance(Xk, CsrMatrix)
+                and isinstance(Xk.data, np.memmap)
+            )
+            for Xk in tensor.slices
         )
-        in_ram = not any(isinstance(Xk, np.memmap) for Xk in tensor.slices)
         stack_bytes = K * compressed.rank * tensor.n_columns * dtype.itemsize
         if in_ram and stack_bytes <= tensor.nbytes:
             AtX = np.stack(
-                [compressed.A[k].T @ Xk for k, Xk in enumerate(tensor)]
+                [_slice_AtX(compressed.A[k], Xk) for k, Xk in enumerate(tensor)]
             )  # K x Rc x J
 
     monitor = ConvergenceMonitor(config.tolerance)
@@ -634,6 +680,13 @@ def _iterate(
     )
 
 
+def _slice_AtX(Ak: np.ndarray, Xk) -> np.ndarray:
+    """``Akᵀ Xk`` for a dense or CSR slice (the exact-error hoist kernel)."""
+    if isinstance(Xk, CsrMatrix):
+        return Xk.rmatmul_dense(Ak)
+    return Ak.T @ Xk
+
+
 def _compressed_error(
     T: np.ndarray,
     E: np.ndarray,
@@ -710,7 +763,13 @@ def _exact_error_streaming(
     VtV64 = VtV.astype(np.float64, copy=False)
     total = 0.0
     for k, Xk in enumerate(tensor):
-        AtXk = compressed.A[k].T @ Xk
+        if isinstance(Xk, CsrMatrix) and not isinstance(Xk.data, np.memmap):
+            # This evaluator runs every sweep; caching the transpose of an
+            # in-RAM CSR slice pays the counting sort once instead of per
+            # sweep.  Memmap-backed slices stay ephemeral — pinning an
+            # in-RAM copy is exactly what out-of-core must not do.
+            Xk.transpose()
+        AtXk = _slice_AtX(compressed.A[k], Xk)
         M_left = (H * W[k]).astype(np.float64, copy=False)
         proj = ((polar[k].T @ AtXk) @ V).astype(np.float64, copy=False)
         cross = float(np.sum(proj * M_left))

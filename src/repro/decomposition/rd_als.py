@@ -76,6 +76,11 @@ def rd_als(
     config = (config or DecompositionConfig()).with_(**overrides)
     if not isinstance(tensor, IrregularTensor):
         tensor = IrregularTensor(tensor)
+    if tensor.has_sparse_slices:
+        raise ValueError(
+            "rd_als does not support sparse (CSR) slices; densify with "
+            "tensor.densified(), or use dpar2/spartan"
+        )
     R = min(config.rank, tensor.n_columns, min(tensor.row_counts))
 
     # ------------------------------------------------------------------ #

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.ops import slice_squared_norm
 from repro.tensor.irregular import IrregularTensor
 
 
@@ -142,11 +144,14 @@ class Parafac2Result:
         for k, Xk in enumerate(tensor):
             B = (self.H * self.S[k]) @ self.V.T  # R x J
             # cross term <Xk, Qk B> = trace(Bᵀ Qkᵀ Xk)
-            QtX = self.Q[k].T @ Xk  # R x J
+            if isinstance(Xk, CsrMatrix):
+                QtX = Xk.rmatmul_dense(self.Q[k])  # R x J, via SpMM
+            else:
+                QtX = self.Q[k].T @ Xk  # R x J
             cross = float(np.sum(QtX * B))
             HS = self.H * self.S[k]
             model_sq = float(np.sum((HS.T @ HS) * VtV))
-            total += float(np.sum(Xk * Xk)) - 2.0 * cross + model_sq
+            total += slice_squared_norm(Xk) - 2.0 * cross + model_sq
         # Rounding can push a tiny positive residual below zero.
         return max(total, 0.0)
 

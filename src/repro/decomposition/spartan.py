@@ -25,6 +25,7 @@ from repro.decomposition.result import IterationRecord, Parafac2Result
 from repro.linalg.pinv import solve_gram
 from repro.parallel.backends import get_backend
 from repro.sparse.csr import CsrMatrix
+from repro.sparse.ops import slice_squared_norm
 from repro.tensor.irregular import IrregularTensor
 from repro.tensor.products import hadamard
 from repro.util.config import DecompositionConfig
@@ -43,12 +44,6 @@ def _slice_rmatmul(Xk, dense: np.ndarray) -> np.ndarray:
     if isinstance(Xk, CsrMatrix):
         return Xk.rmatmul_dense(dense)
     return dense.T @ Xk
-
-
-def _slice_squared_norm(Xk) -> float:
-    if isinstance(Xk, CsrMatrix):
-        return Xk.squared_norm()
-    return float(np.sum(Xk * Xk))
 
 
 def _slice_update_task(item) -> tuple[np.ndarray, np.ndarray]:
@@ -111,7 +106,7 @@ def spartan(
 
     init = initialize_factors(n_columns, K, R, config.random_state)
     H, V, W = init.H, init.V, init.W
-    slice_norms_sq = np.array([_slice_squared_norm(Xk) for Xk in slices])
+    slice_norms_sq = np.array([slice_squared_norm(Xk) for Xk in slices])
 
     monitor = ConvergenceMonitor(config.tolerance)
     history: list[IterationRecord] = []

@@ -37,10 +37,24 @@ from repro.linalg.array_module import get_xp
 from repro.linalg.kernels import batched_randomized_svd
 from repro.linalg.randomized_svd import randomized_svd
 from repro.parallel.backends import get_backend, in_process_backend
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.ops import check_finite_csr
 from repro.tensor.irregular import IrregularTensor
 from repro.util.config import DecompositionConfig
 from repro.util.rng import as_generator, spawn_generators
 from repro.util.validation import check_matrix
+
+
+def _check_stream_slice(slice_matrix, name: str, dtype):
+    """Validate one incoming slice: dense arrays canonicalized, CSR kept.
+
+    CSR slices get the same finiteness rejection dense slices do, then
+    pass through with their values cast to the stream dtype — they feed
+    the sparse randomized-SVD path and are never densified.
+    """
+    if isinstance(slice_matrix, CsrMatrix):
+        return check_finite_csr(slice_matrix, name).astype(dtype)
+    return check_matrix(slice_matrix, name, dtype=dtype)
 
 
 def _pad_columns(array: np.ndarray, width: int) -> np.ndarray:
@@ -135,9 +149,11 @@ class StreamingDpar2:
         The slice is stage-1 compressed immediately; the shared basis is
         updated if the slice's right factor has enough energy outside the
         current span.  With ``refresh=False`` the factor refresh is skipped
-        (batch several absorbs, then call :meth:`result`).
+        (batch several absorbs, then call :meth:`result`).  A
+        :class:`~repro.sparse.csr.CsrMatrix` slice is sketched through the
+        sparse SpMM path and never densified (numpy compute backend only).
         """
-        Xk = check_matrix(slice_matrix, "slice_matrix", dtype=self._dtype)
+        Xk = _check_stream_slice(slice_matrix, "slice_matrix", self._dtype)
         if self._n_columns is None:
             self._n_columns = Xk.shape[1]
         elif Xk.shape[1] != self._n_columns:
@@ -197,7 +213,7 @@ class StreamingDpar2:
         :meth:`result` when done batching).
         """
         matrices = [
-            check_matrix(Xk, f"slices[{idx}]", dtype=self._dtype)
+            _check_stream_slice(Xk, f"slices[{idx}]", self._dtype)
             for idx, Xk in enumerate(slices)
         ]
         if not matrices:
@@ -225,11 +241,16 @@ class StreamingDpar2:
             # launches).  Tall slices on a multi-worker thread backend
             # keep the per-slice partitioned path and its parallel
             # speedup.
-            batch = not xp.is_numpy or (
-                engine.in_process
-                and (
-                    engine.n_workers == 1
-                    or max(Xk.shape[0] for Xk in matrices) <= _BATCH_MAX_ROWS
+            any_sparse = any(isinstance(Xk, CsrMatrix) for Xk in matrices)
+            batch = (
+                any_sparse  # SpMM buckets: dispatch-bound at any height
+                or not xp.is_numpy
+                or (
+                    engine.in_process
+                    and (
+                        engine.n_workers == 1
+                        or max(Xk.shape[0] for Xk in matrices) <= _BATCH_MAX_ROWS
+                    )
                 )
             )
             if batch:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.data.registry import DATASETS, load_dataset
+from repro.data.registry import PAPER_DATASET_NAMES, load_dataset
 from repro.decomposition.dpar2 import compress_tensor
 from repro.experiments.reporting import ExperimentReport
 from repro.linalg.gram import gram_svd
@@ -70,7 +70,7 @@ def run(
 
 def main(argv=None) -> int:
     quick = "--full" not in (argv or sys.argv[1:])
-    datasets = QUICK_DATASETS if quick else tuple(DATASETS)
+    datasets = QUICK_DATASETS if quick else PAPER_DATASET_NAMES
     print(run(datasets=datasets).render())
     return 0
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.data.registry import DATASETS, load_dataset
+from repro.data.registry import DATASETS, PAPER_DATASET_NAMES, load_dataset
 from repro.experiments.harness import speedup_over_best_competitor, sweep_methods
 from repro.experiments.reporting import ExperimentReport
 from repro.util.config import DecompositionConfig
@@ -73,7 +73,7 @@ def run(
 
 def main(argv=None) -> int:
     quick = "--full" not in (argv or sys.argv[1:])
-    datasets = QUICK_DATASETS if quick else tuple(DATASETS)
+    datasets = QUICK_DATASETS if quick else PAPER_DATASET_NAMES
     report = run(datasets=datasets)
     print(report.render())
     return 0

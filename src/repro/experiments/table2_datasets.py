@@ -13,6 +13,8 @@ from repro.experiments.reporting import ExperimentReport
 def run(*, random_state: int = 0) -> ExperimentReport:
     rows: list[list] = []
     for name, spec in DATASETS.items():
+        if not spec.paper:
+            continue
         tensor = load_dataset(name, random_state=random_state)
         paper_max_ik, paper_j, paper_k = spec.paper_shape
         rows.append(

@@ -57,6 +57,8 @@ import numpy as np
 
 from repro.linalg.array_module import ArrayModule, get_xp
 from repro.linalg.randomized_svd import RandomizedSVDResult, randomized_svd
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.stacked import StackedCsr
 
 __all__ = [
     "DeviceSweepWorkspace",
@@ -152,6 +154,34 @@ def _stacked_rsvd(
     return U, sigma[:, :effective_rank], Vt[:, :effective_rank, :]
 
 
+def _stacked_rsvd_sparse(
+    stacked: StackedCsr,
+    effective_rank: int,
+    power_iterations: int,
+    omegas: np.ndarray,
+):
+    """Algorithm 1 on a :class:`StackedCsr` bucket — SpMM sketching.
+
+    Mirrors :func:`_stacked_rsvd` step for step, with the two
+    matrix-sized products (``XΩ``-style sketches and the ``QᵀX``
+    projection) running through the bucket's batched SpMM kernels.  The
+    only dense arrays are the ``(r+p)``-column panels; cost is
+    ``O(nnz·(r+p))`` per product instead of ``O(b·m·J·(r+p))``.  The
+    Gaussian sketches are the very ones the dense path draws, so results
+    agree with a densified run to floating-point rounding (the summation
+    order inside each dot product is the only difference).
+    """
+    Y = stacked.matmul_dense(omegas)
+    Q, _ = np.linalg.qr(Y)
+    for _ in range(power_iterations):
+        Z, _ = np.linalg.qr(stacked.t_matmul_dense(Q))
+        Q, _ = np.linalg.qr(stacked.matmul_dense(Z))
+    B = np.swapaxes(stacked.t_matmul_dense(Q), 1, 2)  # (b, sketch, J) = QᵀX
+    U_small, sigma, Vt = np.linalg.svd(B, full_matrices=False)
+    U = np.matmul(Q, U_small[:, :, :effective_rank])
+    return U, sigma[:, :effective_rank], Vt[:, :effective_rank, :]
+
+
 def batched_randomized_svd(
     matrices,
     rank: int,
@@ -186,9 +216,26 @@ def batched_randomized_svd(
     <repro.tensor.irregular.IrregularTensor.to_backend>`'s per-backend
     cache); exact buckets are then stacked on-device from the cached
     slices and the raw data is not re-uploaded at all.
+
+    Slices may also be :class:`~repro.sparse.csr.CsrMatrix` instances
+    (numpy backend only): an all-sparse bucket is concatenated into a
+    :class:`~repro.sparse.stacked.StackedCsr` and sketched through batched
+    SpMM (:func:`_stacked_rsvd_sparse`) — ``O(nnz·(r+p))`` work and only
+    the ``(r+p)``-column panels dense.  Mixed buckets densify their sparse
+    members (stacking forces a common layout anyway); sparse padding is
+    free, so ``max_pad_ratio`` applies unchanged.  Each slice still draws
+    its own sketch from its own generator, so the factors agree with a
+    densified run to floating-point rounding for a fixed seed.
     """
     xp = get_xp(xp)
-    mats = [np.asarray(Xk) for Xk in matrices]
+    mats = [
+        Xk if isinstance(Xk, CsrMatrix) else np.asarray(Xk) for Xk in matrices
+    ]
+    if not xp.is_numpy and any(isinstance(Xk, CsrMatrix) for Xk in mats):
+        raise ValueError(
+            f"CSR slices cannot run on compute backend {xp.name!r}; "
+            "sparse sketching is host-only — use the numpy backend"
+        )
     generators = list(generators)
     if len(mats) != len(generators):
         raise ValueError(
@@ -229,6 +276,7 @@ def batched_randomized_svd(
         sketch_size = min(effective_rank + oversampling, min(min_rows, J))
         dtype = mats[indices[0]].dtype
         exact = all(mats[k].shape[0] == height for k in indices)
+        sparse_bucket = all(isinstance(mats[k], CsrMatrix) for k in indices)
 
         omegas = np.empty((len(indices), J, sketch_size), dtype=dtype)
         for pos, k in enumerate(indices):
@@ -237,17 +285,30 @@ def batched_randomized_svd(
             omega = generators[k].standard_normal((J, sketch_size))
             omegas[pos] = omega if dtype == np.float64 else omega.astype(dtype)
 
-        if exact and native_slices is not None and not xp.is_numpy:
-            stack = xp.stack([native_slices[k] for k in indices])
+        if sparse_bucket:
+            stacked = StackedCsr.from_matrices(
+                [mats[k] for k in indices], height=height
+            )
+            U, sigma, Vt = _stacked_rsvd_sparse(
+                stacked, effective_rank, power_iterations, omegas
+            )
         else:
-            host = np.zeros((len(indices), height, J), dtype=dtype)
-            for pos, k in enumerate(indices):
-                host[pos, : mats[k].shape[0]] = mats[k]
-            stack = host if xp.is_numpy else xp.asarray(host)
+            if exact and native_slices is not None and not xp.is_numpy:
+                stack = xp.stack([native_slices[k] for k in indices])
+            else:
+                host = np.zeros((len(indices), height, J), dtype=dtype)
+                for pos, k in enumerate(indices):
+                    Xk = mats[k]
+                    if isinstance(Xk, CsrMatrix):
+                        # Mixed bucket: the stack is dense regardless, so a
+                        # lone sparse member just materializes its rows.
+                        Xk = Xk.to_dense()
+                    host[pos, : Xk.shape[0]] = Xk
+                stack = host if xp.is_numpy else xp.asarray(host)
 
-        U, sigma, Vt = _stacked_rsvd(
-            stack, effective_rank, power_iterations, xp.asarray(omegas), xp
-        )
+            U, sigma, Vt = _stacked_rsvd(
+                stack, effective_rank, power_iterations, xp.asarray(omegas), xp
+            )
         # One transfer back per bucket; slicing the host copies after.
         U, sigma, Vt = xp.to_numpy(U), xp.to_numpy(sigma), xp.to_numpy(Vt)
         for pos, k in enumerate(indices):

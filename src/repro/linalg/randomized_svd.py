@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.linalg.array_module import get_xp
+from repro.sparse.csr import CsrMatrix
 from repro.util.rng import as_generator
 from repro.util.validation import check_matrix, check_rank
 
@@ -66,7 +67,10 @@ def randomized_svd(
     matrix:
         Dense 2-D array of shape ``(I, J)`` — a host ndarray, or an
         ``xp``-native array when a non-default ``xp`` is given (native
-        inputs skip host validation; the caller vouches for them).
+        inputs skip host validation; the caller vouches for them) — or a
+        :class:`~repro.sparse.csr.CsrMatrix`, which runs the same pipeline
+        with the two big products done as SpMM (``O(nnz·(R+s))`` instead
+        of ``O(I·J·(R+s))``; numpy backend only).
     rank:
         Target rank ``R``; capped implicitly by ``min(I, J)``.
     oversampling:
@@ -98,6 +102,19 @@ def randomized_svd(
     a fixed seed, and every backend consumes the identical sketch.
     """
     xp = get_xp(xp)
+    if isinstance(matrix, CsrMatrix):
+        if not xp.is_numpy:
+            raise ValueError(
+                f"CSR input cannot run on compute backend {xp.name!r}; "
+                "sparse sketching is host-only — use the numpy backend"
+            )
+        return _sparse_randomized_svd(
+            matrix,
+            rank,
+            oversampling=oversampling,
+            power_iterations=power_iterations,
+            random_state=random_state,
+        )
     if xp.is_native(matrix) and not isinstance(matrix, np.ndarray):
         A = matrix
     else:
@@ -132,4 +149,51 @@ def randomized_svd(
         U=xp.to_numpy(U),
         singular_values=xp.to_numpy(sigma)[:effective_rank].copy(),
         V=np.ascontiguousarray(xp.to_numpy(Vt)[:effective_rank].T),
+    )
+
+
+def _sparse_randomized_svd(
+    A: CsrMatrix,
+    rank: int,
+    *,
+    oversampling: int,
+    power_iterations: int,
+    random_state,
+) -> RandomizedSVDResult:
+    """Algorithm 1 with the ``A``-sized products as SpMM (host-only).
+
+    Identical structure and identical Gaussian sketch to the dense path
+    (the generator stream is consumed the same way), so for a fixed seed
+    the factors match the densified run to floating-point rounding — the
+    only difference is the order in which each dot product's terms are
+    summed.  Dense intermediates are the ``(R+s)``-column ``Y``/``Q``/``Z``
+    panels; the raw matrix is only ever touched through its CSR arrays.
+    """
+    I, J = A.shape
+    effective_rank = min(check_rank(rank), I, J)
+    if oversampling < 0:
+        raise ValueError(f"oversampling must be >= 0, got {oversampling}")
+    if power_iterations < 0:
+        raise ValueError(f"power_iterations must be >= 0, got {power_iterations}")
+    rng = as_generator(random_state)
+
+    dtype = A.dtype
+    sketch_size = min(effective_rank + oversampling, min(I, J))
+    omega = rng.standard_normal((J, sketch_size))
+    if dtype != np.float64:
+        omega = omega.astype(dtype)
+
+    Y = A.matmul_dense(omega)
+    Q, _ = np.linalg.qr(Y)
+    for _ in range(power_iterations):
+        Z, _ = np.linalg.qr(A.t_matmul_dense(Q))
+        Q, _ = np.linalg.qr(A.matmul_dense(Z))
+
+    B = A.t_matmul_dense(Q).T  # (sketch, J) = Qᵀ A
+    U_small, sigma, Vt = np.linalg.svd(B, full_matrices=False)
+    U = Q @ U_small[:, :effective_rank]
+    return RandomizedSVDResult(
+        U=U,
+        singular_values=sigma[:effective_rank].copy(),
+        V=np.ascontiguousarray(Vt[:effective_rank].T),
     )

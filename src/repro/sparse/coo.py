@@ -4,12 +4,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.sparse.csr import as_float_data
+
 
 class CooMatrix:
     """A sparse matrix stored as ``(row, col, value)`` triplets.
 
     Duplicate coordinates are allowed at construction and are summed when
-    converting to CSR or dense — the usual COO semantics.
+    converting to CSR or dense — the usual COO semantics.  The value dtype
+    is preserved (float32 stays float32; anything else is promoted to
+    float64 at construction) and carried through every conversion.
     """
 
     def __init__(self, shape, rows, cols, values) -> None:
@@ -18,7 +22,7 @@ class CooMatrix:
         self.shape = (int(shape[0]), int(shape[1]))
         self.rows = np.asarray(rows, dtype=np.int64).ravel()
         self.cols = np.asarray(cols, dtype=np.int64).ravel()
-        self.values = np.asarray(values, dtype=np.float64).ravel()
+        self.values = as_float_data(values).ravel()
         if not (self.rows.shape == self.cols.shape == self.values.shape):
             raise ValueError(
                 "rows, cols, values must have equal lengths, got "
@@ -35,11 +39,16 @@ class CooMatrix:
         """Number of stored triplets (before duplicate summing)."""
         return self.values.size
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Value dtype (float32 or float64)."""
+        return self.values.dtype
+
     def __repr__(self) -> str:
         return f"CooMatrix(shape={self.shape}, nnz={self.nnz})"
 
     def to_dense(self) -> np.ndarray:
-        dense = np.zeros(self.shape)
+        dense = np.zeros(self.shape, dtype=self.dtype)
         np.add.at(dense, (self.rows, self.cols), self.values)
         return dense
 
@@ -53,7 +62,7 @@ class CooMatrix:
                 self.shape,
                 indptr,
                 np.empty(0, dtype=np.int64),
-                np.empty(0, dtype=np.float64),
+                np.empty(0, dtype=self.dtype),
             )
         order = np.lexsort((self.cols, self.rows))
         rows = self.rows[order]
@@ -64,9 +73,9 @@ class CooMatrix:
         # col) differs from its predecessor's.
         new_entry = np.ones(rows.size, dtype=bool)
         new_entry[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
-        group = np.cumsum(new_entry) - 1
-        summed = np.zeros(group[-1] + 1)
-        np.add.at(summed, group, values)
+        # Duplicates collapse with one reduceat over the sorted runs (the
+        # run starts are exactly the new-entry positions), not a scatter.
+        summed = np.add.reduceat(values, np.flatnonzero(new_entry))
         unique_rows = rows[new_entry]
         unique_cols = cols[new_entry]
 
@@ -76,14 +85,18 @@ class CooMatrix:
         summed = summed[keep]
 
         indptr = np.zeros(self.shape[0] + 1, dtype=np.int64)
-        np.add.at(indptr, unique_rows + 1, 1)
-        np.cumsum(indptr, out=indptr)
+        np.cumsum(
+            np.bincount(unique_rows, minlength=self.shape[0]), out=indptr[1:]
+        )
         return CsrMatrix(self.shape, indptr, unique_cols, summed)
 
     @classmethod
     def from_dense(cls, dense, *, threshold: float = 0.0) -> "CooMatrix":
-        """Extract entries with ``|value| > threshold`` from a dense matrix."""
-        array = np.asarray(dense, dtype=np.float64)
+        """Extract entries with ``|value| > threshold`` from a dense matrix.
+
+        The dense dtype is preserved (float32 in → float32 values).
+        """
+        array = as_float_data(dense)
         if array.ndim != 2:
             raise ValueError(f"expected a matrix, got shape {array.shape}")
         if threshold < 0:

@@ -1,8 +1,57 @@
-"""Compressed Sparse Row matrix with the kernels SPARTan needs."""
+"""Compressed Sparse Row matrix with the kernels SPARTan and DPar2 need.
+
+The kernels here are the substrate of the sparse-slice fast path: stage-1
+compression sketches ``Y = Xk Ω`` through :meth:`CsrMatrix.matmul_dense`
+(and its transpose through :meth:`CsrMatrix.t_matmul_dense`), so they must
+be dispatch-light and allocation-tight.  Two design rules follow:
+
+* **No per-entry scatter.**  Per-row reductions run through
+  :func:`row_segment_sum` — one ``np.add.reduceat`` over the contiguous
+  CSR row segments — instead of ``np.add.at``, whose unbuffered per-index
+  scatter is an order of magnitude slower.
+* **Dtype preservation.**  ``data`` keeps its float32/float64 input dtype
+  (anything else is promoted to float64 once, at construction) and every
+  kernel allocates its output in the matrix dtype — promoted only when a
+  dense operand carries higher precision (``np.result_type`` semantics, the
+  same rule dense ``@`` follows) — so the float32 pipeline never silently
+  upcasts.
+"""
 
 from __future__ import annotations
 
 import numpy as np
+
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def as_float_data(values) -> np.ndarray:
+    """Canonicalize a value array: float32/float64 kept, the rest promoted.
+
+    Uses ``asanyarray`` so a satisfying input passes through untouched —
+    in particular an ``np.memmap`` stays an ``np.memmap``, which is what
+    lets the out-of-core checks recognise store-backed CSR slices.
+    """
+    data = np.asanyarray(values)
+    if data.dtype not in _FLOAT_DTYPES:
+        data = data.astype(np.float64)
+    return data
+
+
+def row_segment_sum(contrib: np.ndarray, indptr: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Reduce per-entry contributions into per-row totals, segment-wise.
+
+    ``contrib`` holds one row per stored entry in CSR order; ``indptr`` is
+    the row pointer; ``out`` must be zero-initialized (empty rows are left
+    untouched).  Non-empty rows reduce with a single ``np.add.reduceat``
+    over the segment starts: entries between two consecutive non-empty row
+    starts belong exactly to the earlier row, because empty rows contribute
+    no entries — so dropping them from the index list is what makes
+    ``reduceat``'s "sum to the next index" semantics line up with CSR rows.
+    """
+    nonempty = np.flatnonzero(np.diff(indptr))
+    if nonempty.size:
+        out[nonempty] = np.add.reduceat(contrib, indptr[nonempty], axis=0)
+    return out
 
 
 class CsrMatrix:
@@ -10,14 +59,27 @@ class CsrMatrix:
 
     Rows are contiguous runs ``data[indptr[i]:indptr[i+1]]`` with column
     indices ``indices[...]``.  Within a row, columns are sorted and unique
-    (guaranteed when built via :meth:`CooMatrix.to_csr`).
+    (guaranteed when built via :meth:`CooMatrix.to_csr`).  Instances are
+    immutable by convention — kernels never modify the stored arrays, and
+    :meth:`transpose` caches its result under that assumption.
+
+    ``validate=False`` skips the structural checks; it is reserved for
+    construction paths that already guarantee them (e.g. reopening a
+    memory-mapped store, where validation would page in every index).
     """
 
-    def __init__(self, shape, indptr, indices, data) -> None:
+    #: Binary numpy ops defer to our ``__rmatmul__`` instead of coercing
+    #: the matrix into an object array.
+    __array_ufunc__ = None
+
+    def __init__(self, shape, indptr, indices, data, *, validate: bool = True) -> None:
         self.shape = (int(shape[0]), int(shape[1]))
         self.indptr = np.asarray(indptr, dtype=np.int64)
         self.indices = np.asarray(indices, dtype=np.int64)
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = as_float_data(data)
+        self._transpose_cache: "CsrMatrix | None" = None
+        if not validate:
+            return
         if self.indptr.shape != (self.shape[0] + 1,):
             raise ValueError(
                 f"indptr must have length rows+1 = {self.shape[0] + 1}, "
@@ -39,12 +101,52 @@ class CsrMatrix:
         return self.data.size
 
     @property
+    def dtype(self) -> np.dtype:
+        """Value dtype (float32 or float64) — preserved by every kernel."""
+        return self.data.dtype
+
+    @property
     def density(self) -> float:
         total = self.shape[0] * self.shape[1]
         return self.nnz / total if total else 0.0
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the compressed arrays (data + indices + indptr)."""
+        return self.data.nbytes + self.indices.nbytes + self.indptr.nbytes
+
     def __repr__(self) -> str:
-        return f"CsrMatrix(shape={self.shape}, nnz={self.nnz})"
+        return (
+            f"CsrMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"dtype={self.dtype.name})"
+        )
+
+    def astype(self, dtype) -> "CsrMatrix":
+        """This matrix with values cast to ``dtype`` (self when it matches).
+
+        The index structure is shared, not copied — instances are immutable
+        by convention.
+        """
+        dtype = np.dtype(dtype)
+        if dtype == self.dtype:
+            return self
+        return CsrMatrix(
+            self.shape,
+            self.indptr,
+            self.indices,
+            self.data.astype(dtype),
+            validate=False,
+        )
+
+    def scaled(self, factor: float) -> "CsrMatrix":
+        """``factor * A`` — shares the index structure, scales the values."""
+        return CsrMatrix(
+            self.shape,
+            self.indptr,
+            self.indices,
+            self.data * self.dtype.type(factor),
+            validate=False,
+        )
 
     # ------------------------------------------------------------------ #
     # kernels
@@ -52,70 +154,122 @@ class CsrMatrix:
 
     def matvec(self, vector) -> np.ndarray:
         """``A @ x`` for a dense vector ``x``."""
-        x = np.asarray(vector, dtype=np.float64).ravel()
+        x = np.asarray(vector).ravel()
         if x.shape[0] != self.shape[1]:
             raise ValueError(
                 f"vector has length {x.shape[0]}, expected {self.shape[1]}"
             )
         products = self.data * x[self.indices]
-        out = np.zeros(self.shape[0])
-        row_ids = self._row_ids()
-        np.add.at(out, row_ids, products)
-        return out
+        out = np.zeros(self.shape[0], dtype=np.result_type(self.data, x))
+        return row_segment_sum(products, self.indptr, out)
 
     def matmul_dense(self, dense) -> np.ndarray:
-        """``A @ B`` for a dense matrix ``B`` (the SPARTan workhorse)."""
-        B = np.asarray(dense, dtype=np.float64)
+        """``A @ B`` for a dense matrix ``B`` (the SpMM workhorse)."""
+        B = np.asarray(dense)
         if B.ndim != 2 or B.shape[0] != self.shape[1]:
             raise ValueError(
                 f"dense operand must be ({self.shape[1]}, n), got {B.shape}"
             )
-        out = np.zeros((self.shape[0], B.shape[1]))
-        row_ids = self._row_ids()
         contrib = self.data[:, None] * B[self.indices]
-        np.add.at(out, row_ids, contrib)
-        return out
+        out = np.zeros(
+            (self.shape[0], B.shape[1]), dtype=np.result_type(self.data, B)
+        )
+        return row_segment_sum(contrib, self.indptr, out)
+
+    def t_matmul_dense(self, dense) -> np.ndarray:
+        """``Aᵀ @ B`` — SpMM through the CSC view (no scatter).
+
+        Uses a cached transpose when one exists (a prior :meth:`transpose`
+        call) but never creates one: a one-shot product must not pin an
+        in-RAM copy of the matrix for its lifetime — for memory-mapped
+        slices that would silently defeat out-of-core streaming.  The
+        ephemeral build is ``O(nnz)``, small next to the product itself.
+        """
+        return (self._transpose_cache or self._build_transpose()).matmul_dense(
+            dense
+        )
 
     def rmatmul_dense(self, dense) -> np.ndarray:
         """``Bᵀ @ A`` i.e. ``(Aᵀ B)ᵀ`` — computes ``dense.T @ self``."""
-        B = np.asarray(dense, dtype=np.float64)
+        B = np.asarray(dense)
         if B.ndim != 2 or B.shape[0] != self.shape[0]:
             raise ValueError(
                 f"dense operand must be ({self.shape[0]}, n), got {B.shape}"
             )
-        out = np.zeros((B.shape[1], self.shape[1]))
-        row_ids = self._row_ids()
-        # out[:, j] += sum over nnz with col j of value * B[row, :]
-        contrib = self.data[:, None] * B[row_ids]
-        np.add.at(out.T, self.indices, contrib)
-        return out
+        return (self._transpose_cache or self._build_transpose()).matmul_dense(B).T
+
+    def _build_transpose(self) -> "CsrMatrix":
+        """The CSC form as a fresh CSR matrix — no caching here.
+
+        Built with a counting sort on the column keys: ``np.argsort(...,
+        kind="stable")`` is numpy's radix sort on integer keys, so the
+        build is ``O(nnz)`` — no COO round-trip, no duplicate collapsing
+        (the input is already canonical).  Stability keeps rows ascending
+        within each transposed row, preserving the CSR invariant.
+        """
+        rows, cols = self.shape
+        order = np.argsort(self.indices, kind="stable")
+        counts = np.bincount(self.indices, minlength=cols)
+        indptr_t = np.zeros(cols + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr_t[1:])
+        return CsrMatrix(
+            (cols, rows),
+            indptr_t,
+            self._row_ids()[order],
+            self.data[order],
+            validate=False,
+        )
 
     def transpose(self) -> "CsrMatrix":
-        """Return ``Aᵀ`` as a new CSR matrix."""
-        from repro.sparse.coo import CooMatrix
+        """``Aᵀ`` as a CSR matrix (equivalently: this matrix's CSC form).
 
-        row_ids = self._row_ids()
-        return CooMatrix(
-            (self.shape[1], self.shape[0]), self.indices, row_ids, self.data
-        ).to_csr()
+        The result is cached and back-linked (``A.T.T is A``) — instances
+        are immutable by convention, which is what makes the cache sound.
+        The cache holds an in-RAM copy of the whole matrix, so repeated
+        transposed products through it are cheap; callers that must not
+        grow resident memory (one-shot products on out-of-core slices)
+        should use :meth:`t_matmul_dense` / :meth:`rmatmul_dense`, which
+        only read this cache and never create it.
+        """
+        if self._transpose_cache is None:
+            transposed = self._build_transpose()
+            transposed._transpose_cache = self
+            self._transpose_cache = transposed
+        return self._transpose_cache
 
     def to_dense(self) -> np.ndarray:
-        dense = np.zeros(self.shape)
-        row_ids = self._row_ids()
-        dense[row_ids, self.indices] = self.data
+        dense = np.zeros(self.shape, dtype=self.dtype)
+        dense[self._row_ids(), self.indices] = self.data
         return dense
 
     def row_norms_squared(self) -> np.ndarray:
         """Per-row squared 2-norms (used for norm bookkeeping)."""
-        out = np.zeros(self.shape[0])
-        np.add.at(out, self._row_ids(), self.data**2)
-        return out
+        out = np.zeros(self.shape[0], dtype=self.dtype)
+        return row_segment_sum(self.data * self.data, self.indptr, out)
 
     def squared_norm(self) -> float:
-        return float(np.sum(self.data**2))
+        """``‖A‖_F²``, accumulated in float64 whatever the value dtype."""
+        return float(np.sum(self.data * self.data, dtype=np.float64))
 
     def _row_ids(self) -> np.ndarray:
         """Expand ``indptr`` into a per-entry row-index array."""
         return np.repeat(
             np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr)
         )
+
+    # ------------------------------------------------------------------ #
+    # operator sugar
+    # ------------------------------------------------------------------ #
+
+    def __matmul__(self, other):
+        other = np.asarray(other)
+        if other.ndim == 1:
+            return self.matvec(other)
+        return self.matmul_dense(other)
+
+    def __rmatmul__(self, other):
+        other = np.asarray(other)
+        if other.ndim == 1:
+            # x @ A = (Aᵀ x)ᵀ for a vector: a length-cols vector.
+            return self.t_matmul_dense(other[:, None]).ravel()
+        return self.t_matmul_dense(other.T).T

@@ -1,0 +1,306 @@
+"""``StackedCsr`` — a bucket of equal-shape CSR slices as one flat structure.
+
+DPar2's batched stage-1 path stacks equal-row-count slice buckets so the
+whole randomized-SVD pipeline runs as a handful of 3-D LAPACK calls
+(:func:`repro.linalg.kernels.batched_randomized_svd`).  The sparse fast
+path needs the same property for its SpMM steps: sketching a bucket slice
+by slice would reintroduce exactly the per-slice Python dispatch the
+batching removed.  ``StackedCsr`` therefore concatenates a bucket's CSR
+arrays — one flat ``data``/``indices`` pair plus a stacked row pointer of
+length ``b·m + 1`` — so that
+
+* ``matmul_dense`` computes every ``Xk @ Bk`` of the bucket in one call:
+  the concatenated structure is exactly a block-diagonal CSR of shape
+  ``(b·m, b·J)``, so when scipy is importable the whole bucket goes
+  through one compiled SpMM (no ``nnz×s`` temporary at all).  The
+  numpy-only fallback groups rows by their nonzero count once per bucket,
+  making each group a regular ``(rows, p)`` × ``(rows, p, s)``
+  contraction with **no** per-row reduction overhead
+  (``np.add.reduceat`` pays a per-segment setup cost that dominates at
+  the 2–20 nonzeros per row these tensors actually have).
+* ``t_matmul_dense`` does the same for ``Xkᵀ @ Bk`` through a cached
+  stacked transpose (one radix counting sort over all slices at once).
+
+Slices shorter than the bucket height are padded with empty rows — for
+CSR that is literally free (repeated row-pointer entries), unlike the
+dense path's zero-filled copies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.sparse.csr import CsrMatrix
+
+try:  # soft accelerator — everything below also runs scipy-free
+    from scipy import sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - exercised via monkeypatch in tests
+    _scipy_sparse = None
+
+__all__ = ["StackedCsr", "spmm_backend"]
+
+
+def spmm_backend() -> str:
+    """Which kernel :class:`StackedCsr` products run on: ``scipy`` or ``numpy``.
+
+    The library's sparse formats are self-contained, but the batched SpMM
+    inner loop is the one place a compiled kernel is worth borrowing: when
+    scipy is importable the stacked structure is handed to
+    ``scipy.sparse``'s C routine (one call per product, no ``nnz×s``
+    expansion through memory); otherwise the pure-numpy grouped-gather
+    contraction below runs.  Identical math either way — entries sum in
+    CSR order — so the choice is invisible except in speed.
+    """
+    return "numpy" if _scipy_sparse is None else "scipy"
+
+
+def _row_groups(
+    indptr: np.ndarray, flat_cols: np.ndarray, data: np.ndarray
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Group rows by nonzero count: ``[(row_ids, values, operand_rows), ...]``.
+
+    Every row of a group has exactly ``p`` stored entries, so its values
+    and operand-row indices regroup into regular ``(len(row_ids), p)``
+    blocks — ``values`` and ``operand_rows`` here are those blocks,
+    pre-gathered once (they depend only on the matrix, not the operand),
+    leaving each product with a single dense gather and one einsum
+    contraction per group.  Empty rows are dropped (their output stays
+    zero).
+    """
+    counts = np.diff(indptr)
+    order = np.argsort(counts, kind="stable")
+    sorted_counts = counts[order]
+    groups: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    boundaries = np.searchsorted(sorted_counts, np.unique(sorted_counts))
+    boundaries = list(boundaries) + [sorted_counts.size]
+    for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+        p = int(sorted_counts[lo])
+        if p == 0:
+            continue
+        rows = order[lo:hi]
+        entries = (indptr[rows][:, None] + np.arange(p, dtype=np.int64)).ravel()
+        groups.append(
+            (
+                rows,
+                data[entries].reshape(-1, p),
+                flat_cols[entries].reshape(-1, p),
+            )
+        )
+    return groups
+
+
+class StackedCsr:
+    """``b`` CSR matrices of common shape ``(m, J)``, concatenated.
+
+    Slice ``p`` owns global rows ``p·m … (p+1)·m − 1`` of the flat CSR
+    structure.  ``_flat_cols`` maps each stored entry to its row in the
+    ``(b·J, s)`` flattening of a ``(b, J, s)`` dense operand — the index
+    array that turns the whole bucket's SpMM into one gather.  Instances
+    are immutable by convention; :meth:`transpose` caches its result.
+    """
+
+    def __init__(self, n_stack, shape, indptr, indices, data) -> None:
+        self.n_stack = int(n_stack)
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data)
+        if self.indptr.shape != (self.n_stack * self.shape[0] + 1,):
+            raise ValueError(
+                f"indptr must have length b*m+1 = "
+                f"{self.n_stack * self.shape[0] + 1}, got {self.indptr.shape[0]}"
+            )
+        self._transpose_cache: "StackedCsr | None" = None
+        # Entry p*J + column for every stored value: rows of the flattened
+        # (b*J, s) dense operand.  nnz-sized, built once per bucket.
+        slice_ids = self.slice_ids()
+        self._flat_cols = slice_ids * self.shape[1] + self.indices
+        if _scipy_sparse is not None:
+            # The stacked structure *is* a block-diagonal CSR of shape
+            # (b·m, b·J): slice p's rows only reference operand rows in
+            # its own J-block, which is what _flat_cols encodes.  One C
+            # SpMM then multiplies the whole bucket.
+            self._scipy = _scipy_sparse.csr_matrix(
+                (self.data, self._flat_cols, self.indptr),
+                shape=(self.n_stack * self.shape[0], self.n_stack * self.shape[1]),
+            )
+            self._groups = None
+        else:
+            self._scipy = None
+            # Rows grouped by nonzero count — the contraction schedule
+            # every product reuses (matrix-only, so caching is sound).
+            self._groups = _row_groups(self.indptr, self._flat_cols, self.data)
+        # Gather/accumulate scratch for the numpy path, keyed by (operand
+        # width, dtype) and reused across products: stage 1 calls the
+        # kernels four times per bucket at one width, and a fresh ~nnz·s
+        # temporary per call costs more in page faults than the arithmetic
+        # it feeds.
+        self._scratch: dict = {}
+
+    @classmethod
+    def from_matrices(
+        cls, matrices: Sequence[CsrMatrix], *, height: int | None = None
+    ) -> "StackedCsr":
+        """Stack a bucket of CSR slices, padding each to ``height`` rows.
+
+        All slices must share the column count and have at most ``height``
+        rows (default: the tallest).  Values are promoted to the bucket's
+        common dtype (float64 wins over float32, matching what stacking
+        dense slices would do).  Padding rows are empty — the stacked row
+        pointer simply repeats, no values are stored.
+        """
+        if not matrices:
+            raise ValueError("cannot stack an empty bucket")
+        J = matrices[0].shape[1]
+        for pos, Xk in enumerate(matrices):
+            if Xk.shape[1] != J:
+                raise ValueError(
+                    f"matrices[{pos}] has {Xk.shape[1]} columns, expected {J}"
+                )
+        if height is None:
+            height = max(Xk.shape[0] for Xk in matrices)
+        if any(Xk.shape[0] > height for Xk in matrices):
+            raise ValueError(f"every slice must have at most {height} rows")
+        dtype = np.result_type(*[Xk.data.dtype for Xk in matrices])
+
+        indptr = np.empty(len(matrices) * height + 1, dtype=np.int64)
+        indptr[0] = 0
+        offset = 0
+        for pos, Xk in enumerate(matrices):
+            base = pos * height
+            indptr[base + 1 : base + 1 + Xk.shape[0]] = offset + Xk.indptr[1:]
+            # Padding rows (if any) are empty: repeat the running offset.
+            offset += Xk.nnz
+            indptr[base + 1 + Xk.shape[0] : base + 1 + height] = offset
+        indices = np.concatenate([Xk.indices for Xk in matrices])
+        data = np.concatenate(
+            [Xk.data.astype(dtype, copy=False) for Xk in matrices]
+        )
+        return cls(len(matrices), (height, J), indptr, indices, data)
+
+    # ------------------------------------------------------------------ #
+    # metadata
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nnz(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return (
+            self.data.nbytes
+            + self.indices.nbytes
+            + self.indptr.nbytes
+            + self._flat_cols.nbytes
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StackedCsr(b={self.n_stack}, shape={self.shape}, "
+            f"nnz={self.nnz}, dtype={self.dtype.name})"
+        )
+
+    def slice_ids(self) -> np.ndarray:
+        """Per-entry slice index (length nnz)."""
+        per_row = np.diff(self.indptr)
+        rows_per_slice = per_row.reshape(self.n_stack, self.shape[0]).sum(axis=1)
+        return np.repeat(
+            np.arange(self.n_stack, dtype=np.int64), rows_per_slice
+        )
+
+    # ------------------------------------------------------------------ #
+    # batched kernels
+    # ------------------------------------------------------------------ #
+
+    def matmul_dense(self, dense) -> np.ndarray:
+        """``[Xk @ Bk]`` stacked: ``(b, J, s)`` in, ``(b, m, s)`` out.
+
+        With scipy present (see :func:`spmm_backend`) this is one C-level
+        SpMM over the block-diagonal stacked structure.  The numpy
+        fallback runs per nonzero-count group: one gather over the
+        flattened operand and one ``(rows, p) × (rows, p, s)`` einsum
+        contraction — the whole bucket's SpMM in a handful of regular
+        vectorized calls, with no per-slice Python dispatch, no per-entry
+        scatter, and no per-row reduction overhead.  Either way entries
+        sum in CSR (column) order within each row, exactly like a
+        sequential dot product.
+        """
+        B = np.asarray(dense)
+        b, m, J = self.n_stack, self.shape[0], self.shape[1]
+        if B.ndim != 3 or B.shape[0] != b or B.shape[1] != J:
+            raise ValueError(
+                f"dense operand must be ({b}, {J}, s), got {B.shape}"
+            )
+        s = B.shape[2]
+        flat = np.ascontiguousarray(B).reshape(b * J, s)
+        if self._scipy is not None:
+            return np.ascontiguousarray(self._scipy @ flat).reshape(b, m, s)
+        out_dtype = np.result_type(self.data, B)
+        out = np.zeros((b * m, s), dtype=out_dtype)
+        # The gather buffer matches the operand dtype (np.take does not
+        # cast); einsum promotes mixed operands like a dense product would.
+        key = (s, flat.dtype.str)
+        scratch = self._scratch.get(key)
+        if scratch is None:
+            scratch = self._scratch[key] = np.empty(self.nnz * s, dtype=flat.dtype)
+        for rows, values, operand_rows in self._groups:
+            r, p = values.shape
+            gathered = scratch[: r * p * s].reshape(r, p, s)
+            np.take(flat, operand_rows, axis=0, out=gathered)
+            out[rows] = np.einsum("rp,rps->rs", values, gathered)
+        return out.reshape(b, m, s)
+
+    def t_matmul_dense(self, dense) -> np.ndarray:
+        """``[Xkᵀ @ Bk]`` stacked: ``(b, m, s)`` in, ``(b, J, s)`` out.
+
+        On the scipy kernel this is the zero-copy CSC view of the stacked
+        structure (``.T`` shares the data arrays) — no transpose build at
+        all, and the C loop still accumulates each output row in ascending
+        original-row order, matching the numpy fallback's summation order.
+        The fallback multiplies through the cached stacked transpose.
+        """
+        if self._scipy is not None:
+            B = np.asarray(dense)
+            b, m, J = self.n_stack, self.shape[0], self.shape[1]
+            if B.ndim != 3 or B.shape[0] != b or B.shape[1] != m:
+                raise ValueError(
+                    f"dense operand must be ({b}, {m}, s), got {B.shape}"
+                )
+            flat = np.ascontiguousarray(B).reshape(b * m, B.shape[2])
+            return np.ascontiguousarray(self._scipy.T @ flat).reshape(
+                b, J, B.shape[2]
+            )
+        return self.transpose().matmul_dense(dense)
+
+    def transpose(self) -> "StackedCsr":
+        """Every slice transposed, as a ``(b, J, m)`` stacked CSR.
+
+        One global counting sort: the stable integer argsort (numpy's radix
+        sort) on the per-entry ``slice·J + column`` key groups entries by
+        (slice, column) while preserving row order within each group — the
+        CSC of every slice in a single ``O(nnz)`` pass.  Cached and
+        back-linked, like :meth:`CsrMatrix.transpose`.
+        """
+        if self._transpose_cache is None:
+            b, m, J = self.n_stack, self.shape[0], self.shape[1]
+            order = np.argsort(self._flat_cols, kind="stable")
+            counts = np.bincount(self._flat_cols, minlength=b * J)
+            indptr_t = np.zeros(b * J + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr_t[1:])
+            local_rows = (
+                np.repeat(np.arange(b * m, dtype=np.int64), np.diff(self.indptr))
+                % m
+            )
+            transposed = StackedCsr(
+                b, (J, m), indptr_t, local_rows[order], self.data[order]
+            )
+            transposed._transpose_cache = self
+            self._transpose_cache = transposed
+        return self._transpose_cache

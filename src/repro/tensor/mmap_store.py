@@ -6,19 +6,29 @@ orders of magnitude smaller (Fig. 10).  That makes the method a natural fit
 for tensors bigger than RAM — *if* the slices can be streamed.  This module
 provides the streaming substrate:
 
-* :class:`MmapSliceStore` — a directory holding one ``.npy`` file per slice
-  plus a small JSON manifest with the shape metadata.  Slices are loaded as
-  read-only ``np.memmap`` views, so touching one pulls only the pages the
-  computation actually reads, and the OS page cache evicts them under
-  pressure.
+* :class:`MmapSliceStore` — a directory holding the payload files per slice
+  plus a small JSON manifest with the shape metadata.  Dense slices are one
+  ``.npy`` file, loaded as read-only ``np.memmap`` views, so touching one
+  pulls only the pages the computation actually reads, and the OS page
+  cache evicts them under pressure.  Sparse slices are stored in CSR form
+  as three segments (``indptr``/``indices``/``data`` ``.npy`` files named
+  in the manifest) and come back as
+  :class:`~repro.sparse.csr.CsrMatrix` instances over memory-mapped
+  component arrays — an out-of-core sparse tensor is never densified, on
+  disk or at load.
 * ``IrregularTensor.from_store(store)`` wraps those views in the standard
   container without copying, so every solver accepts an out-of-core tensor
   unchanged.
 
-The process execution backend recognises store-backed slices and ships them
-to workers as *(path, dtype, shape, offset)* descriptors instead of copying
-them through shared memory — the data goes disk → page cache → worker, and
-never transits the parent.
+The process execution backend recognises store-backed dense slices and
+ships them to workers as *(path, dtype, shape, offset)* descriptors instead
+of copying them through shared memory — the data goes disk → page cache →
+worker, and never transits the parent.
+
+Manifest versions: version 1 (dense-only, one filename string per slice)
+and version 2 (dense strings and/or sparse payload dicts) are both read;
+a store is written at version 1 for as long as it holds no sparse slice,
+so dense stores stay readable by older builds.
 """
 
 from __future__ import annotations
@@ -29,16 +39,34 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.ops import check_finite_csr
 from repro.tensor.irregular import IrregularTensor
 from repro.util.validation import check_matrix
 
 MANIFEST_NAME = "manifest.json"
 _FORMAT = "repro-mmap-slice-store"
-_VERSION = 1
+_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 def _slice_filename(index: int) -> str:
     return f"slice_{index:06d}.npy"
+
+
+def _csr_filenames(index: int) -> dict[str, str]:
+    base = f"slice_{index:06d}"
+    return {
+        segment: f"{base}.{segment}.npy"
+        for segment in ("indptr", "indices", "data")
+    }
+
+
+def _entry_filenames(entry) -> list[str]:
+    """All payload filenames of one manifest ``files`` entry."""
+    if isinstance(entry, str):
+        return [entry]
+    return [entry[segment] for segment in ("indptr", "indices", "data")]
 
 
 class MmapSliceStore:
@@ -46,7 +74,9 @@ class MmapSliceStore:
 
     Build one with :meth:`create` (optionally from an iterable, so slices
     can be generated or read one at a time and never coexist in RAM), grow
-    it with :meth:`append`, and reopen it later with :meth:`open`.
+    it with :meth:`append`, and reopen it later with :meth:`open`.  Both
+    dense arrays and :class:`~repro.sparse.csr.CsrMatrix` slices are
+    accepted and round-trip in their own representation.
 
     Example
     -------
@@ -99,7 +129,12 @@ class MmapSliceStore:
             # such a store is precisely what overwrite=True is for, so fall
             # back to the file naming convention when it cannot be read.
             try:
-                stale_files = list(cls.open(directory)._manifest["files"])
+                stale_entries = list(cls.open(directory)._manifest["files"])
+                stale_files = [
+                    name
+                    for entry in stale_entries
+                    for name in _entry_filenames(entry)
+                ]
             except Exception:
                 stale_files = [p.name for p in directory.glob("slice_*.npy")]
             for filename in stale_files:
@@ -136,36 +171,57 @@ class MmapSliceStore:
         manifest = json.loads(manifest_path.read_text())
         if manifest.get("format") != _FORMAT:
             raise ValueError(f"{manifest_path} is not a {_FORMAT} manifest")
-        if manifest.get("version") != _VERSION:
+        if manifest.get("version") not in _READABLE_VERSIONS:
             raise ValueError(
                 f"unsupported store version {manifest.get('version')!r} "
-                f"(this build reads version {_VERSION})"
+                f"(this build reads versions "
+                f"{', '.join(str(v) for v in _READABLE_VERSIONS)})"
             )
         return cls(directory, manifest)
 
     def append(self, slice_matrix, *, flush: bool = True) -> int:
         """Validate and persist one slice; returns its index.
 
-        The slice is written C-contiguous in the store's dtype (the layout
-        the rest of the library canonicalizes to), so reopening it
-        memory-mapped needs no conversion pass.  ``flush=False`` skips the
-        per-append manifest rewrite (an O(K) file) — used by :meth:`create`
-        to keep bulk construction linear in K; call :meth:`flush` when done.
+        Dense slices are written C-contiguous in the store's dtype (the
+        layout the rest of the library canonicalizes to), so reopening
+        them memory-mapped needs no conversion pass.
+        :class:`~repro.sparse.csr.CsrMatrix` slices are written as three
+        CSR segment files — the sparse payload format; their values are
+        cast to the store's dtype, the structure is kept verbatim.
+        ``flush=False`` skips the per-append manifest rewrite (an O(K)
+        file) — used by :meth:`create` to keep bulk construction linear in
+        K; call :meth:`flush` when done.
         """
-        Xk = check_matrix(slice_matrix, "slice_matrix", dtype=self.dtype)
-        J = self._manifest["n_columns"]
-        if J is not None and Xk.shape[1] != J:
-            raise ValueError(
-                f"slice has {Xk.shape[1]} columns; store has {J} "
-                "(all slices must share the column dimension J)"
-            )
         index = len(self._manifest["files"])
-        filename = _slice_filename(index)
-        np.save(self._directory / filename, Xk)
+        J = self._manifest["n_columns"]
+        if isinstance(slice_matrix, CsrMatrix):
+            Xk = check_finite_csr(slice_matrix, "slice_matrix").astype(self.dtype)
+            if J is not None and Xk.shape[1] != J:
+                raise ValueError(
+                    f"slice has {Xk.shape[1]} columns; store has {J} "
+                    "(all slices must share the column dimension J)"
+                )
+            filenames = _csr_filenames(index)
+            np.save(self._directory / filenames["indptr"], Xk.indptr)
+            np.save(self._directory / filenames["indices"], Xk.indices)
+            np.save(
+                self._directory / filenames["data"],
+                np.ascontiguousarray(Xk.data),
+            )
+            entry: "str | dict" = {"kind": "csr", "nnz": int(Xk.nnz), **filenames}
+        else:
+            Xk = check_matrix(slice_matrix, "slice_matrix", dtype=self.dtype)
+            if J is not None and Xk.shape[1] != J:
+                raise ValueError(
+                    f"slice has {Xk.shape[1]} columns; store has {J} "
+                    "(all slices must share the column dimension J)"
+                )
+            entry = _slice_filename(index)
+            np.save(self._directory / entry, Xk)
         if J is None:
             self._manifest["n_columns"] = int(Xk.shape[1])
         self._manifest["row_counts"].append(int(Xk.shape[0]))
-        self._manifest["files"].append(filename)
+        self._manifest["files"].append(entry)
         if flush:
             self._write_manifest()
         return index
@@ -175,6 +231,13 @@ class MmapSliceStore:
         self._write_manifest()
 
     def _write_manifest(self) -> None:
+        # Dense-only stores are written at version 1, which older builds
+        # still read; the first sparse slice bumps the manifest to 2.
+        self._manifest["version"] = (
+            2
+            if any(isinstance(e, dict) for e in self._manifest["files"])
+            else 1
+        )
         path = self._directory / MANIFEST_NAME
         path.write_text(json.dumps(self._manifest, indent=1))
 
@@ -212,10 +275,24 @@ class MmapSliceStore:
     @property
     def nbytes(self) -> int:
         """Size of the stored slice data in bytes."""
-        return sum(self.row_counts) * self.n_columns * self.dtype.itemsize
+        itemsize = self.dtype.itemsize
+        total = 0
+        for rows, entry in zip(
+            self._manifest["row_counts"], self._manifest["files"]
+        ):
+            if isinstance(entry, str):
+                total += int(rows) * self.n_columns * itemsize
+            else:
+                # CSR payload: values + int64 indices + int64 indptr.
+                total += int(entry["nnz"]) * (itemsize + 8) + (int(rows) + 1) * 8
+        return total
 
     def slice_path(self, index: int) -> Path:
-        return self._directory / self._manifest["files"][index]
+        """Path of a slice's payload (the data segment for CSR slices)."""
+        entry = self._manifest["files"][index]
+        if isinstance(entry, str):
+            return self._directory / entry
+        return self._directory / entry["data"]
 
     def __repr__(self) -> str:
         if len(self) == 0:
@@ -229,12 +306,22 @@ class MmapSliceStore:
     # data access
     # ------------------------------------------------------------------ #
 
-    def load_slice(self, index: int, *, mmap: bool = True) -> np.ndarray:
-        """One slice, as a read-only memmap (default) or an in-RAM array."""
-        path = self.slice_path(index)
-        if mmap:
-            return np.load(path, mmap_mode="r")
-        return np.load(path)
+    def load_slice(self, index: int, *, mmap: bool = True):
+        """One slice: a read-only memmap (default) or in-RAM array for
+        dense payloads, a :class:`~repro.sparse.csr.CsrMatrix` over
+        memory-mapped (or in-RAM) component arrays for sparse payloads."""
+        entry = self._manifest["files"][index]
+        mode = "r" if mmap else None
+        if isinstance(entry, str):
+            return np.load(self._directory / entry, mmap_mode=mode)
+        rows = int(self._manifest["row_counts"][index])
+        return CsrMatrix(
+            (rows, self.n_columns),
+            np.load(self._directory / entry["indptr"], mmap_mode=mode),
+            np.load(self._directory / entry["indices"], mmap_mode=mode),
+            np.load(self._directory / entry["data"], mmap_mode=mode),
+            validate=False,
+        )
 
     def iter_slices(self, *, mmap: bool = True) -> Iterator[np.ndarray]:
         for index in range(len(self)):
