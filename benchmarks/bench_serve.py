@@ -1,0 +1,268 @@
+"""Serving benchmark: query latency and micro-batching throughput.
+
+Trains a small model, publishes it to a throwaway registry, starts the
+asyncio service in a thread, and measures:
+
+* **engine-level** batched vs unbatched similar-query throughput (the
+  kernel-side win: one contraction for B queries vs B contractions);
+* **HTTP p50/p99** latency of sequential similar queries;
+* **HTTP throughput** under concurrent load with micro-batching enabled vs
+  disabled (window 0) — the service-side win.
+
+Every response is asserted against direct QueryEngine answers along the
+way, so this script doubles as the end-to-end serving smoke: train →
+publish → serve → similar/reconstruct/fold-in/anomaly → hot-swap reload.
+
+Usage::
+
+    python benchmarks/bench_serve.py --json BENCH_serve.json
+
+The record is informational for now (no CI gate yet — first PR of the
+subsystem; gate once runner variance is known).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.decomposition.dpar2 import dpar2  # noqa: E402
+from repro.serve.queries import QueryEngine  # noqa: E402
+from repro.serve.service import start_server_in_thread  # noqa: E402
+from repro.serve.store import FactorStore  # noqa: E402
+from repro.tensor.random import low_rank_irregular_tensor  # noqa: E402
+from repro.util.config import DecompositionConfig  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+
+def _http(base_url: str, method: str, path: str, body=None, timeout=30):
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(base_url + path, data=data, method=method)
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def _assert(condition: bool, message: str) -> None:
+    if not condition:
+        raise AssertionError(f"serving smoke failed: {message}")
+
+
+def build_registry(root: str, *, n_slices: int, n_columns: int, rank: int,
+                   seed: int) -> tuple[FactorStore, QueryEngine, object]:
+    rng = np.random.default_rng(seed)
+    row_counts = rng.integers(40, 90, size=n_slices).tolist()
+    tensor = low_rank_irregular_tensor(
+        row_counts, n_columns=n_columns, rank=rank, noise=0.05,
+        random_state=seed,
+    )
+    config = DecompositionConfig(rank=rank, max_iterations=12, random_state=seed)
+    result = dpar2(tensor, config)
+    store = FactorStore(root)
+    store.publish(result, config=config, extra={"dataset": "bench_serve"})
+    artifact = store.latest()
+    engine = QueryEngine(artifact.result, config=artifact.config,
+                         version=artifact.version)
+    return store, engine, tensor
+
+
+def bench_engine(engine: QueryEngine, *, batch: int, repeats: int) -> dict:
+    """Kernel-side batched vs unbatched similar-query throughput."""
+    indices = [i % engine.n_slices for i in range(batch)]
+    unbatched_best = batched_best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        singles = [engine.similar([i], k=10) for i in indices]
+        unbatched_best = min(unbatched_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        neighbors, scores = engine.similar(indices, k=10)
+        batched_best = min(batched_best, time.perf_counter() - start)
+    for row, (n1, s1) in enumerate(singles):
+        _assert(np.array_equal(neighbors[row], n1[0]), "batched != single neighbors")
+        _assert(np.array_equal(scores[row], s1[0]), "batched != single scores")
+    return {
+        "batch": batch,
+        "unbatched_qps": batch / unbatched_best,
+        "batched_qps": batch / batched_best,
+        "kernel_speedup": unbatched_best / batched_best,
+    }
+
+
+def bench_http_latency(base_url: str, engine: QueryEngine, *, requests: int) -> dict:
+    latencies = []
+    for i in range(requests):
+        index = i % engine.n_slices
+        start = time.perf_counter()
+        body = _http(base_url, "POST", "/v1/similar", {"index": index, "k": 10})
+        latencies.append((time.perf_counter() - start) * 1000.0)
+        if i < engine.n_slices:  # correctness spot-check, first pass only
+            n1, s1 = engine.similar([index], k=10)
+            _assert(
+                [n["index"] for n in body["neighbors"]] == n1[0].tolist()
+                and [n["score"] for n in body["neighbors"]] == s1[0].tolist(),
+                f"HTTP similar({index}) != engine answer",
+            )
+    latencies.sort()
+    return {
+        "requests": requests,
+        "p50_ms": statistics.median(latencies),
+        "p99_ms": latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))],
+    }
+
+
+def bench_http_concurrent(store: FactorStore, *, window: float, requests: int,
+                          threads: int) -> dict:
+    with start_server_in_thread(store, batch_window=window, max_batch=64) as handle:
+        errors: list[Exception] = []
+
+        def worker(count: int) -> None:
+            try:
+                for i in range(count):
+                    _http(handle.base_url, "POST", "/v1/similar",
+                          {"index": i % 7, "k": 10})
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        per_thread = requests // threads
+        pool = [threading.Thread(target=worker, args=(per_thread,))
+                for _ in range(threads)]
+        start = time.perf_counter()
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        elapsed = time.perf_counter() - start
+        _assert(not errors, f"concurrent requests failed: {errors[:1]}")
+        health = _http(handle.base_url, "GET", "/healthz")
+    served = per_thread * threads
+    return {
+        "window_ms": window * 1000.0,
+        "threads": threads,
+        "requests": served,
+        "rps": served / elapsed,
+        "kernel_batches": health["batches"],
+        "batched_requests": health["batched_requests"],
+    }
+
+
+def smoke_endpoints(store: FactorStore, engine: QueryEngine, tensor) -> None:
+    """similar / reconstruct / fold-in / anomaly / hot-swap, asserted."""
+    with start_server_in_thread(store, poll_interval=0.0) as handle:
+        model = _http(handle.base_url, "GET", "/v1/model")
+        _assert(model["rank"] == engine.rank, "model card rank mismatch")
+
+        rec = _http(handle.base_url, "POST", "/v1/reconstruct",
+                    {"slice": 0, "rows": [0, 1]})
+        _assert(
+            np.allclose(rec["values"], engine.reconstruct(0, rows=[0, 1])),
+            "reconstruct mismatch",
+        )
+
+        X = np.asarray(tensor[1], dtype=np.float64)
+        fold = _http(handle.base_url, "POST", "/v1/fold-in",
+                     {"slice": X.tolist(), "seed": 2, "neighbors": 3})
+        offline = engine.fold_in(X, seed=2)
+        _assert(fold["weights"] == offline.weights.tolist(), "fold-in mismatch")
+        _assert(fold["neighbors"][0]["index"] == 1,
+                "fold-in of a training slice should rank itself first")
+
+        anomaly = _http(handle.base_url, "POST", "/v1/anomaly",
+                        {"slice": X.tolist(), "seed": 2})
+        _assert(anomaly["score"] == offline.relative_residual, "anomaly mismatch")
+
+        # Publish v2 mid-flight and hot-swap via the admin endpoint.
+        v2 = store.publish(engine.result, config=engine.config)
+        reload_reply = _http(handle.base_url, "POST", "/admin/reload", {})
+        _assert(reload_reply == {"version": v2, "swapped": True}, "hot swap failed")
+        pinned = _http(handle.base_url, "POST", "/v1/similar",
+                       {"index": 0, "k": 2, "version": 1})
+        _assert(pinned["version"] == 1, "pinned v1 query failed after swap")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the benchmark record here")
+    parser.add_argument("--requests", type=int, default=200,
+                        help="sequential HTTP requests for the latency axis")
+    parser.add_argument("--concurrent-requests", type=int, default=240)
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--batch", type=int, default=64,
+                        help="engine-level batch size")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as root:
+        store, engine, tensor = build_registry(
+            root, n_slices=60, n_columns=32, rank=8, seed=args.seed
+        )
+        print(f"registry: {store}")
+
+        smoke_endpoints(store, engine, tensor)
+        print("smoke   : similar/reconstruct/fold-in/anomaly/hot-swap OK")
+
+        kernel = bench_engine(engine, batch=args.batch, repeats=args.repeats)
+        print(f"engine  : {kernel['unbatched_qps']:,.0f} q/s unbatched -> "
+              f"{kernel['batched_qps']:,.0f} q/s batched "
+              f"({kernel['kernel_speedup']:.1f}x)")
+
+        # window=0: sequential latency measures the per-request floor, not
+        # the batching window a lone request would otherwise sit out.
+        with start_server_in_thread(store, batch_window=0.0) as handle:
+            latency = bench_http_latency(
+                handle.base_url, engine, requests=args.requests
+            )
+        print(f"latency : p50 {latency['p50_ms']:.2f} ms, "
+              f"p99 {latency['p99_ms']:.2f} ms over {latency['requests']} requests")
+
+        unbatched = bench_http_concurrent(
+            store, window=0.0, requests=args.concurrent_requests,
+            threads=args.threads,
+        )
+        batched = bench_http_concurrent(
+            store, window=0.002, requests=args.concurrent_requests,
+            threads=args.threads,
+        )
+        _assert(
+            batched["kernel_batches"] < batched["batched_requests"],
+            "micro-batching never coalesced anything under concurrent load",
+        )
+        print(f"http    : {unbatched['rps']:,.0f} req/s window=0 vs "
+              f"{batched['rps']:,.0f} req/s window=2ms "
+              f"({batched['kernel_batches']} kernel calls for "
+              f"{batched['batched_requests']} requests)")
+
+    if args.json:
+        record = {
+            "schema_version": SCHEMA_VERSION,
+            "params": {
+                "n_slices": 60, "n_columns": 32, "rank": 8,
+                "requests": args.requests,
+                "concurrent_requests": args.concurrent_requests,
+                "threads": args.threads, "batch": args.batch,
+                "repeats": args.repeats, "seed": args.seed,
+            },
+            "engine": kernel,
+            "latency": latency,
+            "http_unbatched": unbatched,
+            "http_batched": batched,
+        }
+        Path(args.json).write_text(json.dumps(record, indent=1) + "\n")
+        print(f"record  : {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

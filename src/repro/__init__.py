@@ -38,7 +38,7 @@ from repro.tensor import (
 )
 from repro.util.config import DecompositionConfig
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CompressedTensor",

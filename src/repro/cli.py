@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``repro <command>`` (or ``python -m repro``).
 
 Commands
 --------
@@ -6,6 +6,12 @@ Commands
     List the bundled synthetic datasets (Table II analogues).
 ``decompose``
     Run a solver on a named dataset and print timing/fitness.
+``publish``
+    Decompose a dataset and publish the model to a registry directory.
+``serve``
+    Serve a model registry over HTTP (similar/reconstruct/fold-in queries).
+``query``
+    Issue one query against a running ``repro serve`` instance.
 ``experiment``
     Run one of the paper's table/figure harnesses by id.
 ``bench-info``
@@ -43,11 +49,26 @@ EXPERIMENT_MODULES = {
 }
 
 
+_EPILOG = """\
+serving quickstart:
+  repro publish traffic --registry ./registry --rank 8      # train + publish v1
+  repro serve --registry ./registry --port 8080 &           # start the service
+  repro query similar --index 0 -k 5                        # nearest slices
+  repro query reconstruct --slice 0 --rows 0 1              # model values
+  repro query health                                        # version + batching stats
+
+The same commands work as `python -m repro ...` when the console script is
+not on PATH.  See README.md § Serving for the full HTTP API.
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DPar2 reproduction: PARAFAC2 decomposition for "
         "irregular dense tensors",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -93,6 +114,81 @@ def build_parser() -> argparse.ArgumentParser:
         "only); CSR-native datasets take that path regardless",
     )
     decompose.add_argument("--seed", type=int, default=0)
+
+    publish = sub.add_parser(
+        "publish",
+        help="decompose a dataset and publish the model to a registry",
+    )
+    publish.add_argument("dataset", choices=sorted(DATASETS))
+    publish.add_argument(
+        "--registry", required=True, metavar="DIR",
+        help="FactorStore registry directory (created if missing)",
+    )
+    publish.add_argument("--rank", type=int, default=10)
+    publish.add_argument("--max-iterations", type=int, default=32)
+    publish.add_argument("--threads", type=int, default=1)
+    publish.add_argument(
+        "--backend", default="thread", choices=list(BACKEND_NAMES),
+    )
+    publish.add_argument(
+        "--dtype", default="float64", choices=["float64", "float32"],
+    )
+    publish.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve", help="serve a model registry over HTTP (asyncio, stdlib-only)"
+    )
+    serve.add_argument(
+        "--registry", required=True, metavar="DIR",
+        help="FactorStore registry directory to serve",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=2.0, metavar="MS",
+        help="micro-batching window: concurrent similar-queries arriving "
+        "within it are answered by one batched kernel call (default: 2)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="flush a micro-batch immediately at this many pending requests",
+    )
+    serve.add_argument(
+        "--lru-size", type=int, default=4,
+        help="per-version derived-state (QueryEngine) cache size (default: 4)",
+    )
+    serve.add_argument(
+        "--poll-interval", type=float, default=2.0, metavar="SECONDS",
+        help="how often to check the registry for newly published versions "
+        "and hot-swap to them; 0 disables polling (default: 2)",
+    )
+
+    query = sub.add_parser(
+        "query", help="issue one query against a running `repro serve`"
+    )
+    query.add_argument(
+        "what",
+        choices=["health", "model", "versions", "similar", "reconstruct",
+                 "fold-in", "anomaly", "reload"],
+    )
+    query.add_argument(
+        "--url", default="http://127.0.0.1:8080",
+        help="base URL of the serving process (default: http://127.0.0.1:8080)",
+    )
+    query.add_argument("--mode", default="slice", choices=["slice", "feature"],
+                       help="similarity mode (similar queries)")
+    query.add_argument("--index", type=int, help="query entity (similar)")
+    query.add_argument("-k", type=int, default=10, help="neighbours to return")
+    query.add_argument("--slice", type=int, dest="slice_index",
+                       help="slice index (reconstruct)")
+    query.add_argument("--rows", type=int, nargs="*",
+                       help="row subset (reconstruct)")
+    query.add_argument("--npy", metavar="FILE",
+                       help="2-D .npy payload (fold-in / anomaly)")
+    query.add_argument("--seed", type=int, default=0,
+                       help="sketch seed (fold-in / anomaly)")
+    query.add_argument("--model-version", type=int, default=None,
+                       help="pin the query to a published version")
 
     experiment = sub.add_parser(
         "experiment", help="run one of the paper's table/figure harnesses"
@@ -214,6 +310,131 @@ def _run_decompose(solver, tensor, config: DecompositionConfig) -> int:
     return 0
 
 
+def cmd_publish(args: argparse.Namespace) -> int:
+    from repro.decomposition.dpar2 import dpar2
+    from repro.serve.store import FactorStore
+
+    try:
+        config = DecompositionConfig(
+            rank=args.rank,
+            max_iterations=args.max_iterations,
+            n_threads=args.threads,
+            backend=args.backend,
+            random_state=args.seed,
+            dtype=args.dtype,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    tensor = load_dataset(args.dataset, random_state=args.seed)
+    print(f"dataset : {args.dataset} -> {tensor}")
+    result = dpar2(tensor, config)
+    print(f"fitness : {result.fitness(tensor):.4f} "
+          f"({result.n_iterations} sweeps, "
+          f"{format_seconds(result.total_seconds)})")
+    store = FactorStore(args.registry)
+    version = store.publish(
+        result, config=config, extra={"dataset": args.dataset}
+    )
+    print(f"registry: {store}")
+    print(f"published version {version}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.service import ModelHost, ServeApp
+    from repro.serve.store import FactorStore
+
+    store = FactorStore(args.registry)
+    if store.latest_version() is None:
+        print(
+            f"error: registry {args.registry} has no published versions; "
+            "run `repro publish <dataset> --registry ...` first",
+            file=sys.stderr,
+        )
+        return 2
+    host = ModelHost(store, lru_size=args.lru_size)
+    app = ServeApp(
+        host,
+        batch_window=args.batch_window_ms / 1000.0,
+        max_batch=args.max_batch,
+        poll_interval=args.poll_interval,
+    )
+    print(f"serving {store} on http://{args.host}:{args.port}")
+    try:
+        asyncio.run(app.run(args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    def _request(method: str, path: str, body: "dict | None" = None):
+        data = None if body is None else _json.dumps(body).encode()
+        req = urllib.request.Request(
+            args.url.rstrip("/") + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        with urllib.request.urlopen(req, timeout=30) as response:
+            return _json.loads(response.read())
+
+    pin = {} if args.model_version is None else {"version": args.model_version}
+    try:
+        if args.what == "health":
+            payload = _request("GET", "/healthz")
+        elif args.what == "model":
+            suffix = "" if args.model_version is None else f"?version={args.model_version}"
+            payload = _request("GET", f"/v1/model{suffix}")
+        elif args.what == "versions":
+            payload = _request("GET", "/v1/versions")
+        elif args.what == "reload":
+            payload = _request("POST", "/admin/reload", {})
+        elif args.what == "similar":
+            if args.index is None:
+                print("error: similar needs --index", file=sys.stderr)
+                return 2
+            payload = _request("POST", "/v1/similar", {
+                "mode": args.mode, "index": args.index, "k": args.k, **pin,
+            })
+        elif args.what == "reconstruct":
+            if args.slice_index is None:
+                print("error: reconstruct needs --slice", file=sys.stderr)
+                return 2
+            body = {"slice": args.slice_index, **pin}
+            if args.rows:
+                body["rows"] = args.rows
+            payload = _request("POST", "/v1/reconstruct", body)
+        else:  # fold-in / anomaly
+            if not args.npy:
+                print(f"error: {args.what} needs --npy FILE", file=sys.stderr)
+                return 2
+            import numpy as np
+
+            matrix = np.load(args.npy, allow_pickle=False)
+            endpoint = "/v1/fold-in" if args.what == "fold-in" else "/v1/anomaly"
+            body = {"slice": matrix.tolist(), "seed": args.seed, **pin}
+            if args.what == "fold-in":
+                body["neighbors"] = args.k
+            payload = _request("POST", endpoint, body)
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode(errors="replace")
+        print(f"error: HTTP {exc.code}: {detail}", file=sys.stderr)
+        return 1
+    except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+        print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+    print(_json.dumps(payload, indent=2))
+    return 0
+
+
 def cmd_experiment(which: str) -> int:
     import importlib
 
@@ -236,6 +457,12 @@ def main(argv=None) -> int:
         return cmd_datasets()
     if args.command == "decompose":
         return cmd_decompose(args)
+    if args.command == "publish":
+        return cmd_publish(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "query":
+        return cmd_query(args)
     if args.command == "experiment":
         return cmd_experiment(args.which)
     if args.command == "bench-info":

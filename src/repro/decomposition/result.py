@@ -170,3 +170,33 @@ class Parafac2Result:
             + self.S.nbytes
             + self.V.nbytes
         )
+
+    # ------------------------------------------------------------------ #
+    # persistence (delegates to the serving payload format)
+    # ------------------------------------------------------------------ #
+
+    def save(self, path, *, config=None) -> None:
+        """Persist the model as a manifest + ``.npy`` segment directory.
+
+        The payload is the same schema-versioned format
+        :class:`~repro.serve.store.FactorStore` publishes registry versions
+        in (see :func:`repro.serve.store.write_model`), so a model saved
+        here can be inspected, memmap-loaded, or copied into a registry
+        unchanged.  ``config`` (a
+        :class:`~repro.util.config.DecompositionConfig`) rides along in the
+        manifest, giving dtype *and* hyper-parameter round-trip.
+        """
+        from repro.serve.store import write_model
+
+        write_model(path, self, config=config)
+
+    @classmethod
+    def load(cls, path, *, mmap: bool = True) -> "Parafac2Result":
+        """Load a model saved by :meth:`save` (memmap-backed by default).
+
+        Use :func:`repro.serve.store.read_model` instead when the stored
+        config or manifest metadata is needed alongside the factors.
+        """
+        from repro.serve.store import read_model
+
+        return read_model(path, mmap=mmap).result

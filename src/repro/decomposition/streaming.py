@@ -374,3 +374,17 @@ class StreamingDpar2:
     def fitness(self, tensor: IrregularTensor) -> float:
         """Fitness of the current model against externally held raw slices."""
         return self.result().fitness(tensor)
+
+    def publish_to(self, store, *, extra: dict | None = None) -> int:
+        """Publish the current model as a new registry version.
+
+        ``store`` is a :class:`~repro.serve.store.FactorStore`.  The model
+        is refreshed if needed (see :meth:`result`) and published with the
+        stream's config, so a serving process polling the registry picks up
+        online updates as immutable, hot-swappable snapshots — absorb new
+        slices, publish, and the query layer follows without restarts.
+        Returns the new version number.
+        """
+        meta = {"source": "streaming", "n_slices": self.n_slices}
+        meta.update(extra or {})
+        return store.publish(self.result(), config=self.config, extra=meta)

@@ -14,6 +14,9 @@ pickle's serialize/deserialize copy for the bulk data.  Two transports:
 
 Only the arrays are intercepted: the surrounding structure (tuples, lists,
 dicts, RNGs, …) still travels by pickle, which is cheap because it is small.
+:class:`~repro.sparse.csr.CsrMatrix` slices decompose into their three
+component buffers (:class:`CsrRef`), so sparse slices ride the same
+zero-copy transports instead of whole-object pickle.
 """
 
 from __future__ import annotations
@@ -23,6 +26,8 @@ from dataclasses import dataclass
 from multiprocessing import shared_memory
 
 import numpy as np
+
+from repro.sparse.csr import CsrMatrix
 
 
 @dataclass(frozen=True)
@@ -42,6 +47,22 @@ class MmapArrayRef:
     shape: tuple
     dtype: str
     offset: int
+
+
+@dataclass(frozen=True)
+class CsrRef:
+    """Descriptor of a CSR slice shipped as its three component buffers.
+
+    Each component is itself an array ref (or a tiny inline array), so a
+    CSR slice travels as ``O(nnz)`` shared-memory/memmap bytes instead of a
+    whole-object pickle — and store-backed components (memmaps) ship as
+    path descriptors without transiting the parent at all.
+    """
+
+    shape: tuple
+    indptr: object
+    indices: object
+    data: object
 
 
 def _is_shippable_memmap(array: np.ndarray) -> bool:
@@ -74,6 +95,15 @@ class ArrayShipment:
         """Deep-copy ``obj`` with every ndarray replaced by a ref."""
         if isinstance(obj, np.ndarray):
             return self._pack_array(obj)
+        if isinstance(obj, CsrMatrix):
+            # Components ship individually: store-backed ones (memmaps) go
+            # as path descriptors, in-RAM ones through shared memory.
+            return CsrRef(
+                shape=obj.shape,
+                indptr=self._pack_array(obj.indptr),
+                indices=self._pack_array(obj.indices),
+                data=self._pack_array(obj.data),
+            )
         if isinstance(obj, tuple):
             return tuple(self.pack(value) for value in obj)
         if isinstance(obj, list):
@@ -162,6 +192,16 @@ class AttachedArrays:
             )
             self.views.append(view)
             return view
+        if isinstance(obj, CsrRef):
+            # Structure was validated when the parent built the CsrMatrix;
+            # re-validating here would page through every worker's indices.
+            return CsrMatrix(
+                obj.shape,
+                self.resolve(obj.indptr),
+                self.resolve(obj.indices),
+                self.resolve(obj.data),
+                validate=False,
+            )
         if isinstance(obj, tuple):
             return tuple(self.resolve(value) for value in obj)
         if isinstance(obj, list):
@@ -182,6 +222,14 @@ class AttachedArrays:
             if any(np.may_share_memory(obj, view) for view in self.views):
                 return np.array(obj)
             return obj
+        if isinstance(obj, CsrMatrix):
+            return CsrMatrix(
+                obj.shape,
+                self.copy_if_shared(obj.indptr),
+                self.copy_if_shared(obj.indices),
+                self.copy_if_shared(obj.data),
+                validate=False,
+            )
         if isinstance(obj, tuple):
             return tuple(self.copy_if_shared(value) for value in obj)
         if isinstance(obj, list):

@@ -1,0 +1,34 @@
+"""Model serving: persist, version, and answer queries against fitted models.
+
+The paper's end goal is not the factor matrices themselves but what they
+answer — Table 3 ranks similar stocks by comparing rows of the learned
+factors.  This package turns a fitted :class:`~repro.decomposition.result.Parafac2Result`
+into a queryable system, in three layers:
+
+* :mod:`repro.serve.store` — :class:`FactorStore`, a versioned on-disk model
+  registry (manifest + ``.npy`` segments in the
+  :class:`~repro.tensor.mmap_store.MmapSliceStore` idiom, memmap-backed
+  load, atomic publish).
+* :mod:`repro.serve.queries` — :class:`QueryEngine`, batched similar-entity
+  ranking, slice reconstruction, fold-in projection of unseen slices, and
+  reconstruction-error anomaly scores over one model snapshot.
+* :mod:`repro.serve.service` — a stdlib-only asyncio HTTP service with
+  request micro-batching, an LRU of per-version engines, and zero-downtime
+  hot swap when the registry publishes a new version.
+"""
+
+from repro.serve.queries import FoldInResult, QueryEngine
+from repro.serve.store import FactorStore, ModelArtifact, read_model, write_model
+from repro.serve.service import ModelHost, ServeApp, start_server_in_thread
+
+__all__ = [
+    "FactorStore",
+    "FoldInResult",
+    "ModelArtifact",
+    "ModelHost",
+    "QueryEngine",
+    "ServeApp",
+    "read_model",
+    "start_server_in_thread",
+    "write_model",
+]

@@ -1,0 +1,438 @@
+"""Batched query kernels over one fitted PARAFAC2 model snapshot.
+
+The paper's Table 3 application ranks similar stocks by comparing the
+learned factors; :class:`QueryEngine` generalizes that to a serving-shaped
+API over a frozen :class:`~repro.decomposition.result.Parafac2Result`:
+
+* **Similar entities** — top-``k`` cosine ranking over the normalized rows
+  of a factor matrix, in either mode (``"slice"``: rows of ``S``, one per
+  slice/stock; ``"feature"``: rows of ``V``, one per column/feature).  A
+  batch of queries is one contraction against the cached normalized
+  factors, not one per request.
+* **Slice reconstruction** — ``X̂k = Qk H Sk Vᵀ`` (whole or row subset).
+* **Fold-in** — project an *unseen* slice onto the frozen model: stage-1
+  sketch via the existing randomized-SVD kernels, then a few alternating
+  ``(Qk, Sk)`` updates against frozen ``H``/``V`` — ``H`` and ``V`` are
+  never touched, so serving stays read-only.
+* **Anomaly scores** — per-slice relative reconstruction error, for the
+  training tensor (Gram trick, no reconstruction materialized) or for an
+  unseen slice (fold-in residual).
+
+Determinism contract: on the numpy backend every query kernel is invariant
+to batch composition — the similarity scores are computed with a
+non-optimized ``einsum`` (fixed per-element reduction order, independent of
+how many queries share the call) and the fold-in sketch goes through
+:func:`~repro.linalg.kernels.batched_randomized_svd`, which is bitwise
+identical to per-slice execution.  The service layer's micro-batching
+therefore returns bit-for-bit the same answers as single-request execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.decomposition.result import Parafac2Result
+from repro.linalg.array_module import ArrayModule, get_xp
+from repro.linalg.kernels import batched_randomized_svd
+from repro.linalg.pinv import solve_gram
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.ops import check_finite_csr, slice_squared_norm
+from repro.util.config import DecompositionConfig
+from repro.util.validation import check_matrix
+
+#: Factor-row spaces a similarity query can rank over.
+SIMILARITY_MODES = ("slice", "feature")
+
+
+def _as_float64(matrix) -> np.ndarray:
+    """C-contiguous float64 working copy of a factor matrix.
+
+    Factors may arrive F-ordered (ALS solves return transposes) or
+    memmap-backed (registry loads); canonicalizing the layout here makes
+    every downstream kernel iterate identically, so an engine over a saved
+    model answers bit-for-bit like one over the in-RAM original.
+    """
+    return np.ascontiguousarray(matrix, dtype=np.float64)
+
+
+def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Unit-normalize rows; zero rows stay zero (they match nothing)."""
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return matrix / np.where(norms > 0.0, norms, 1.0)
+
+
+@dataclass(frozen=True)
+class FoldInResult:
+    """Projection of one unseen slice onto a frozen model.
+
+    ``weights`` is the slice's new ``S``-row (length ``R``) — its coordinates
+    in the model's latent space, directly comparable to the training slices'
+    rows of ``S``.  ``residual_squared``/``norm_squared`` give the
+    reconstruction quality, and ``Q`` (when requested) the slice's
+    column-orthogonal temporal factor.
+    """
+
+    weights: np.ndarray
+    residual_squared: float
+    norm_squared: float
+    Q: np.ndarray | None = None
+
+    @property
+    def relative_residual(self) -> float:
+        """``‖X − X̂‖ / ‖X‖`` — the anomaly score of the slice."""
+        if self.norm_squared == 0.0:
+            return 0.0
+        return float(np.sqrt(self.residual_squared / self.norm_squared))
+
+
+class QueryEngine:
+    """Derived, cached query state over one immutable model snapshot.
+
+    Construction precomputes everything queries share — row-normalized
+    factor matrices per mode, the float64 ``H``/``V`` working copies, and
+    the Gram matrices the fold-in solves need — so per-request work is one
+    contraction plus top-``k`` selection.  Engines are cheap to hold per
+    registry version (the service keeps an LRU of them) and safe to share
+    across concurrent requests: all state is read-only after ``__init__``.
+
+    Parameters
+    ----------
+    result:
+        The fitted model (typically a memmap-backed registry load).
+    config:
+        Optional training config; supplies the fold-in sketch parameters
+        (oversampling, power iterations) so projections use the same
+        Algorithm-1 settings the model was trained with.
+    version:
+        Registry version tag echoed in :meth:`metadata` (informational).
+    fold_in_sweeps:
+        Alternating ``(Qk, Sk)`` refinement sweeps per fold-in.
+    compute_backend:
+        Array library for the bulk kernels.  ``"numpy"`` (default) is the
+        bitwise-stable path; device backends accelerate reconstruction and
+        sketching but waive the batch-invariance guarantee.
+    """
+
+    def __init__(
+        self,
+        result: Parafac2Result,
+        *,
+        config: DecompositionConfig | None = None,
+        version: int | None = None,
+        fold_in_sweeps: int = 8,
+        compute_backend: "str | ArrayModule" = "numpy",
+    ) -> None:
+        if fold_in_sweeps < 1:
+            raise ValueError(f"fold_in_sweeps must be >= 1, got {fold_in_sweeps}")
+        self.result = result
+        self.config = config
+        self.version = version
+        self.fold_in_sweeps = fold_in_sweeps
+        self._xp = get_xp(compute_backend)
+        self._oversampling = config.oversampling if config is not None else 5
+        self._power_iterations = config.power_iterations if config is not None else 1
+
+        # Cached derived state (read-only after construction).
+        self._unit = {
+            "slice": _normalize_rows(_as_float64(result.S)),
+            "feature": _normalize_rows(_as_float64(result.V)),
+        }
+        self._H64 = _as_float64(result.H)
+        self._V64 = _as_float64(result.V)
+        self._VtV = self._V64.T @ self._V64
+        self._HtH = self._H64.T @ self._H64
+
+    # ------------------------------------------------------------------ #
+    # metadata
+    # ------------------------------------------------------------------ #
+
+    @property
+    def rank(self) -> int:
+        return self.result.rank
+
+    @property
+    def n_slices(self) -> int:
+        return self.result.n_slices
+
+    @property
+    def n_columns(self) -> int:
+        return int(self.result.V.shape[0])
+
+    def mode_size(self, mode: str) -> int:
+        """Number of rankable entities in ``mode``."""
+        return self._unit_rows(mode).shape[0]
+
+    def metadata(self) -> dict:
+        """JSON-safe description of the snapshot (the ``/v1/model`` body)."""
+        return {
+            "version": self.version,
+            "method": self.result.method,
+            "rank": self.rank,
+            "n_slices": self.n_slices,
+            "n_columns": self.n_columns,
+            "dtype": np.dtype(self.result.H.dtype).name,
+            "n_iterations": self.result.n_iterations,
+            "converged": bool(self.result.converged),
+            "modes": {mode: self.mode_size(mode) for mode in SIMILARITY_MODES},
+        }
+
+    def _unit_rows(self, mode: str) -> np.ndarray:
+        try:
+            return self._unit[mode]
+        except KeyError:
+            raise ValueError(
+                f"unknown similarity mode {mode!r}; "
+                f"available: {', '.join(SIMILARITY_MODES)}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # similar-entity ranking (Table 3 generalized)
+    # ------------------------------------------------------------------ #
+
+    def similar(
+        self, indices, k: int = 10, *, mode: str = "slice"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` most similar entities for a *batch* of query indices.
+
+        Returns ``(neighbors, scores)`` of shape ``(B, k_eff)`` where
+        ``k_eff = min(k, n - 1)`` — the query entity itself is excluded.
+        Scores are cosine similarities of the normalized factor rows,
+        descending; ties break on the lower index, so rankings are fully
+        deterministic.  The whole batch is one contraction against the
+        cached normalized factors.
+        """
+        unit = self._unit_rows(mode)
+        n = unit.shape[0]
+        idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        if idx.ndim != 1:
+            raise ValueError(f"indices must be a 1-D batch, got shape {idx.shape}")
+        if idx.size and (idx.min() < 0 or idx.max() >= n):
+            raise IndexError(
+                f"query index out of range [0, {n}) for mode {mode!r}: {idx}"
+            )
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        # One batched contraction for all B queries.  Non-optimized einsum
+        # reduces each output element over r in a fixed order regardless of
+        # B, which is what makes micro-batched answers bitwise identical to
+        # single-request ones (a BLAS gemm would not guarantee that).
+        scores = np.einsum("nr,br->bn", unit, unit[idx])
+        scores[np.arange(idx.size), idx] = -np.inf  # exclude self
+        return self._top_k(scores, min(k, n - 1))
+
+    def similar_to(
+        self, vectors, k: int = 10, *, mode: str = "slice"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` entities most similar to external latent ``vectors``.
+
+        ``vectors`` is ``(B, R)`` (or a single length-``R`` vector) in the
+        model's latent row space — e.g. :class:`FoldInResult.weights` for
+        ``mode="slice"``.  No self-exclusion (the query is not an entity).
+        """
+        unit = self._unit_rows(mode)
+        q = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if q.ndim != 2 or q.shape[1] != self.rank:
+            raise ValueError(
+                f"vectors must be (B, {self.rank}), got {np.shape(vectors)}"
+            )
+        scores = np.einsum("nr,br->bn", unit, _normalize_rows(q))
+        return self._top_k(scores, min(k, unit.shape[0]))
+
+    @staticmethod
+    def _top_k(scores: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Deterministic per-row top-``k``: descending score, index tiebreak.
+
+        A stable sort on the negated scores already breaks ties toward the
+        lower index, so one vectorized argsort covers the whole batch.
+        """
+        k = max(min(k, scores.shape[1]), 0)
+        order = np.argsort(-scores, axis=1, kind="stable")[:, :k]
+        return order.astype(np.int64), np.take_along_axis(scores, order, axis=1)
+
+    # ------------------------------------------------------------------ #
+    # reconstruction
+    # ------------------------------------------------------------------ #
+
+    def reconstruct(self, k: int, rows=None) -> np.ndarray:
+        """``X̂k = Qk H Sk Vᵀ`` for slice ``k``, optionally a row subset.
+
+        ``rows`` is a sequence of row indices into slice ``k``; the
+        contraction touches only those rows of the (memmap-backed) ``Qk``,
+        so serving a few rows of a tall slice reads a few pages, not the
+        whole factor.
+        """
+        if not 0 <= k < self.n_slices:
+            raise IndexError(f"slice {k} out of range [0, {self.n_slices})")
+        Qk = self.result.Q[k]
+        if rows is not None:
+            rows = np.asarray(rows, dtype=np.int64)
+            if rows.size and (rows.min() < 0 or rows.max() >= Qk.shape[0]):
+                raise IndexError(
+                    f"row index out of range [0, {Qk.shape[0]}) for slice {k}"
+                )
+            Qk = np.asarray(Qk)[rows]
+        xp = self._xp
+        middle = np.asarray(Qk) @ (self.result.H * self.result.S[k])
+        return xp.to_numpy(
+            xp.matmul(xp.asarray(middle), xp.asarray(self.result.V.T))
+        )
+
+    # ------------------------------------------------------------------ #
+    # fold-in of unseen slices
+    # ------------------------------------------------------------------ #
+
+    def fold_in(
+        self, slice_matrix, *, seed: int = 0, sweeps: int | None = None,
+        return_q: bool = False,
+    ) -> FoldInResult:
+        """Project one unseen slice onto the frozen model (see class docs)."""
+        return self.fold_in_many(
+            [slice_matrix], seeds=[seed], sweeps=sweeps, return_q=return_q
+        )[0]
+
+    def fold_in_many(
+        self, slices, *, seeds=None, sweeps: int | None = None,
+        return_q: bool = False,
+    ) -> list[FoldInResult]:
+        """Fold in a batch of unseen slices.
+
+        The expensive part — the stage-1 randomized-SVD sketch, ``O(I J R)``
+        per slice — runs through
+        :func:`~repro.linalg.kernels.batched_randomized_svd`, which stacks
+        equal-row-count slices into one batched LAPACK pipeline and is
+        bitwise identical to per-slice execution.  Each slice draws its
+        Gaussian sketch from its *own* seed (default 0), so a request's
+        answer never depends on which other requests shared the batch.  The
+        post-sketch refinement is ``O(J R² + R³)`` per slice and runs
+        per-item for the same reason.
+        """
+        mats = []
+        for i, Xk in enumerate(slices):
+            if isinstance(Xk, CsrMatrix):
+                Xk = check_finite_csr(Xk, f"slices[{i}]").astype(np.float64)
+            else:
+                Xk = check_matrix(Xk, f"slices[{i}]", dtype=np.float64)
+            if Xk.shape[1] != self.n_columns:
+                raise ValueError(
+                    f"slices[{i}] has {Xk.shape[1]} columns; "
+                    f"model has J={self.n_columns}"
+                )
+            mats.append(Xk)
+        if not mats:
+            return []
+        if seeds is None:
+            seeds = [0] * len(mats)
+        if len(seeds) != len(mats):
+            raise ValueError(
+                f"slices and seeds must align: {len(mats)} vs {len(seeds)}"
+            )
+        sweeps = self.fold_in_sweeps if sweeps is None else sweeps
+        if sweeps < 1:
+            raise ValueError(f"sweeps must be >= 1, got {sweeps}")
+
+        stage1 = batched_randomized_svd(
+            mats,
+            self.rank,
+            oversampling=self._oversampling,
+            power_iterations=self._power_iterations,
+            generators=[np.random.default_rng(int(s)) for s in seeds],
+            xp=self._xp if not self._xp.is_numpy else None,
+        )
+        return [
+            self._refine_fold_in(Xk, svd, sweeps, return_q)
+            for Xk, svd in zip(mats, stage1)
+        ]
+
+    def _refine_fold_in(self, Xk, svd, sweeps: int, return_q: bool) -> FoldInResult:
+        """Alternating ``(Qk, Sk)`` updates on the compressed slice.
+
+        With ``Xk ≈ A G`` from the sketch (``A`` column-orthonormal,
+        ``G = Bk Ckᵀ`` — and ``Aᵀ Xk = G`` exactly, by construction of the
+        truncated SVD), every update works on ``R×R`` quantities:
+
+        * Procrustes step: ``Qk = A Zk Pkᵀ`` with
+          ``Zk Σ Pkᵀ = svd(G V Sk Hᵀ)`` — the same Lemma the DPar2 sweep
+          uses, restricted to one slice with ``H, V`` frozen.
+        * Weight step: the Lemma-3 normal equations
+          ``(Hᵀ QkᵀQk H ∘ VᵀV) w = diag(Hᵀ (Qkᵀ Xk) V)``, with
+          ``Qkᵀ Xk = (Zk Pkᵀ)ᵀ G``.  ``QkᵀQk`` deviates from identity only
+          when the slice has fewer rows than the model rank, but carrying
+          it keeps that degenerate case correct too.
+        """
+        H, VtV = self._H64, self._VtV
+        A = np.asarray(svd.U, dtype=np.float64)
+        G = svd.singular_values[:, None].astype(np.float64) * np.asarray(
+            svd.V, dtype=np.float64
+        ).T  # R_eff x J
+        GV = G @ self._V64  # R_eff x R
+        w = np.ones(self.rank, dtype=np.float64)
+        Zp = None
+        for _ in range(sweeps):
+            Z, _, Pt = np.linalg.svd((GV * w) @ H.T, full_matrices=False)
+            Zp = Z @ Pt  # R_eff x R (columns orthonormal when R_eff >= R)
+            C = Zp.T @ GV  # R x R: Qkᵀ Xk V
+            g = np.einsum("ir,ir->r", H, C)
+            QtQ = Zp.T @ Zp
+            gram = (H.T @ (QtQ @ H)) * VtV
+            w = solve_gram(gram, g[None, :])[0]
+        HS = H * w
+        C = Zp.T @ GV
+        cross = float(np.einsum("ir,ir->", C, HS))
+        QtQ = Zp.T @ Zp
+        model_sq = float(np.einsum("ij,ij->", HS.T @ (QtQ @ HS), VtV))
+        norm_sq = float(slice_squared_norm(Xk))
+        residual_sq = max(norm_sq - 2.0 * cross + model_sq, 0.0)
+        return FoldInResult(
+            weights=w,
+            residual_squared=residual_sq,
+            norm_squared=norm_sq,
+            Q=(A @ Zp) if return_q else None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # anomaly scores
+    # ------------------------------------------------------------------ #
+
+    def anomaly_scores(self, tensor) -> np.ndarray:
+        """Per-slice relative reconstruction error against training data.
+
+        ``score_k = ‖Xk − X̂k‖ / ‖Xk‖`` via the Gram expansion — nothing is
+        reconstructed, so a whole tensor scores in ``O(Σ Ik R J)``.  Zero
+        slices score 0.
+        """
+        result = self.result
+        if tensor.n_slices != self.n_slices:
+            raise ValueError(
+                f"tensor has {tensor.n_slices} slices, model has {self.n_slices}"
+            )
+        if tensor.n_columns != self.n_columns:
+            raise ValueError(
+                f"tensor has J={tensor.n_columns}, model has J={self.n_columns}"
+            )
+        scores = np.empty(self.n_slices)
+        for k, Xk in enumerate(tensor):
+            norm_sq = float(slice_squared_norm(Xk))
+            if norm_sq == 0.0:
+                scores[k] = 0.0
+                continue
+            HS = self._H64 * np.asarray(result.S[k], dtype=np.float64)
+            Qk = np.asarray(result.Q[k], dtype=np.float64)
+            if isinstance(Xk, CsrMatrix):
+                QtX = Xk.rmatmul_dense(Qk)
+            else:
+                QtX = Qk.T @ np.asarray(Xk, dtype=np.float64)
+            cross = float(np.einsum("ij,ij->", (QtX @ self._V64), HS))
+            # Qkᵀ Qk ≠ I when a streaming model zero-padded a slice whose
+            # own rank ran below R — carry it, like the fold-in path does.
+            model_sq = float(
+                np.einsum("ij,ij->", HS.T @ (Qk.T @ Qk) @ HS, self._VtV)
+            )
+            residual_sq = max(norm_sq - 2.0 * cross + model_sq, 0.0)
+            scores[k] = np.sqrt(residual_sq / norm_sq)
+        return scores
+
+    def anomaly_score(self, slice_matrix, *, seed: int = 0) -> float:
+        """Anomaly score of one *unseen* slice: its fold-in residual."""
+        return self.fold_in(slice_matrix, seed=seed).relative_residual

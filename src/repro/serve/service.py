@@ -1,0 +1,641 @@
+"""Stdlib-only asyncio HTTP service over a :class:`FactorStore` registry.
+
+Three serving concerns live here:
+
+* :class:`ModelHost` — version resolution: holds an LRU of per-version
+  :class:`~repro.serve.queries.QueryEngine` derived state and the *current*
+  (hot) version.  :meth:`ModelHost.refresh` notices a newly published
+  registry version, builds its engine off the event loop, and swaps the
+  current pointer atomically — in-flight requests keep the engine reference
+  they resolved at arrival, so a publish never drops or corrupts them
+  (registry versions are immutable directories; the old memmaps stay
+  valid).
+* :class:`MicroBatcher` — request coalescing: concurrent similar-entity
+  queries that arrive within one batching window are answered by a single
+  batched :meth:`QueryEngine.similar` call instead of one kernel invocation
+  per request.  The kernels are batch-invariant on the numpy backend, so
+  coalescing is invisible in the answers (bitwise), only in the throughput.
+* :class:`ServeApp` — a minimal HTTP/1.1 server on ``asyncio.start_server``
+  (no third-party framework; the container ships none).  JSON in, JSON out,
+  ``Connection: close`` semantics — deliberately boring, so the interesting
+  parts stay testable.
+
+Endpoints (all bodies JSON)::
+
+    GET  /healthz                 liveness + serving version + batch counters
+    GET  /v1/model                model card of the serving (or ?version=) snapshot
+    GET  /v1/versions             published versions + which one is live
+    POST /v1/similar              {"mode","index"|"indices","k"?,"version"?}
+    POST /v1/reconstruct          {"slice","rows"?,"version"?}
+    POST /v1/fold-in              {"slice":[[..]],"seed"?,"sweeps"?,"neighbors"?,"version"?}
+    POST /v1/anomaly              {"slice":[[..]],"seed"?,"version"?}
+    POST /admin/reload            adopt the registry's latest version now
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from collections import OrderedDict
+from urllib.parse import parse_qs, urlsplit
+
+import numpy as np
+
+from repro.serve.queries import QueryEngine
+from repro.serve.store import FactorStore
+
+
+class ServiceError(Exception):
+    """A request error with an HTTP status attached."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ModelHost:
+    """Registry-backed engine cache with an atomically swappable current.
+
+    Thread-safe: ``refresh`` may run on an executor thread while the event
+    loop resolves engines for requests.  Engines are immutable once built,
+    so readers only ever need the lock to look up / insert cache entries —
+    never to use an engine.
+    """
+
+    def __init__(
+        self,
+        store: FactorStore,
+        *,
+        lru_size: int = 4,
+        engine_kwargs: dict | None = None,
+    ) -> None:
+        if lru_size < 1:
+            raise ValueError(f"lru_size must be >= 1, got {lru_size}")
+        self.store = store
+        self.lru_size = lru_size
+        self.engine_kwargs = dict(engine_kwargs or {})
+        self._lock = threading.Lock()
+        self._engines: "OrderedDict[int, QueryEngine]" = OrderedDict()
+        self._current: QueryEngine | None = None
+
+    # ------------------------------------------------------------------ #
+
+    def _build(self, version: int) -> QueryEngine:
+        artifact = self.store.get(version)
+        return QueryEngine(
+            artifact.result,
+            config=artifact.config,
+            version=version,
+            **self.engine_kwargs,
+        )
+
+    def engine(self, version: int | None = None) -> QueryEngine:
+        """The engine for ``version`` (None → the current serving version).
+
+        Explicit versions hit the LRU; misses load from the registry (a
+        pinned old version keeps answering even after newer publishes).
+        """
+        if version is None:
+            current = self._current
+            if current is None:
+                return self.refresh()
+            return current
+        version = int(version)
+        with self._lock:
+            cached = self._engines.get(version)
+            if cached is not None:
+                self._engines.move_to_end(version)
+                return cached
+        try:
+            engine = self._build(version)
+        except KeyError as exc:
+            raise ServiceError(404, str(exc.args[0] if exc.args else exc)) from exc
+        self._admit(engine)
+        return engine
+
+    def _admit(self, engine: QueryEngine) -> None:
+        with self._lock:
+            self._engines[engine.version] = engine
+            self._engines.move_to_end(engine.version)
+            current_version = None if self._current is None else self._current.version
+            while len(self._engines) > self.lru_size:
+                for candidate in self._engines:
+                    if candidate != current_version:
+                        del self._engines[candidate]
+                        break
+                else:  # pragma: no cover - only the current engine remains
+                    break
+
+    def refresh(self) -> QueryEngine:
+        """Adopt the registry's latest version; returns the current engine.
+
+        Building the new engine happens *before* the swap, so requests keep
+        being answered by the old version for the whole load; the final
+        pointer assignment is atomic.
+        """
+        latest = self.store.latest_version()
+        if latest is None:
+            raise ServiceError(503, f"registry {self.store.root} has no published versions")
+        current = self._current
+        if current is not None and current.version == latest:
+            return current
+        with self._lock:
+            cached = self._engines.get(latest)
+        engine = cached if cached is not None else self._build(latest)
+        self._current = engine  # the hot swap: a single reference assignment
+        self._admit(engine)  # after the swap, so eviction protects the new version
+        return engine
+
+    @property
+    def current_version(self) -> int | None:
+        current = self._current
+        return None if current is None else current.version
+
+    def cached_versions(self) -> list[int]:
+        with self._lock:
+            return list(self._engines)
+
+
+class MicroBatcher:
+    """Coalesce concurrent awaitable requests into batched kernel calls.
+
+    ``runner`` receives the list of pending payloads and returns one result
+    per payload, in order.  A submission flushes immediately once
+    ``max_batch`` requests are pending, otherwise after ``window`` seconds —
+    long enough for concurrent arrivals to pile up, short enough to be
+    invisible next to network latency.  Counters (`batches`, `requests`)
+    make the coalescing observable to health checks and benchmarks.
+    """
+
+    def __init__(self, runner, *, window: float = 0.002, max_batch: int = 64) -> None:
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._runner = runner
+        self.window = window
+        self.max_batch = max_batch
+        self._pending: list[tuple[object, asyncio.Future]] = []
+        self._timer: asyncio.TimerHandle | None = None
+        self.batches = 0
+        self.requests = 0
+
+    async def submit(self, payload):
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((payload, future))
+        if len(self._pending) >= self.max_batch:
+            self._flush()
+        elif self._timer is None:
+            self._timer = loop.call_later(self.window, self._flush)
+        return await future
+
+    def _flush(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch, self._pending = self._pending, []
+        if not batch:
+            return
+        self.batches += 1
+        self.requests += len(batch)
+        try:
+            results = self._runner([payload for payload, _ in batch])
+        except Exception as exc:
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        # A runner may fail some payloads without poisoning the rest by
+        # returning an Exception in that payload's slot.
+        for (_, future), result in zip(batch, results):
+            if future.done():
+                continue
+            if isinstance(result, Exception):
+                future.set_exception(result)
+            else:
+                future.set_result(result)
+
+
+def _json_default(obj):
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+
+
+class ServeApp:
+    """The HTTP front: routing, micro-batching, background registry polls."""
+
+    def __init__(
+        self,
+        host: ModelHost,
+        *,
+        batch_window: float = 0.002,
+        max_batch: int = 64,
+        poll_interval: float = 0.0,
+    ) -> None:
+        self.host = host
+        self.poll_interval = poll_interval
+        self.port: int | None = None
+        self._started = time.monotonic()
+        self._shutdown: asyncio.Event | None = None
+        self._batcher = MicroBatcher(
+            self._run_similar_batch, window=batch_window, max_batch=max_batch
+        )
+
+    # ------------------------------------------------------------------ #
+    # kernels behind the batcher
+    # ------------------------------------------------------------------ #
+
+    def _run_similar_batch(self, payloads: list[dict]) -> list:
+        """One batched ``similar`` kernel call per (engine, mode, k) group.
+
+        Payloads pinned to different versions (or asking different ``k``)
+        cannot share a contraction, so they group by engine identity + query
+        shape; within a group the whole batch is one kernel call.  A group
+        that fails (e.g. a bad index that slipped past request validation)
+        gets its exception in its own slots only — co-batched requests from
+        other clients are never poisoned by it.
+        """
+        results: list = [None] * len(payloads)
+        groups: dict[tuple, list[int]] = {}
+        for i, payload in enumerate(payloads):
+            key = (id(payload["engine"]), payload["mode"], payload["k"])
+            groups.setdefault(key, []).append(i)
+        for members in groups.values():
+            engine: QueryEngine = payloads[members[0]]["engine"]
+            mode = payloads[members[0]]["mode"]
+            k = payloads[members[0]]["k"]
+            indices = [payloads[i]["index"] for i in members]
+            try:
+                neighbors, scores = engine.similar(indices, k, mode=mode)
+            except Exception as exc:
+                for i in members:
+                    results[i] = exc
+                continue
+            for row, i in enumerate(members):
+                results[i] = self._similar_body(
+                    engine, mode, payloads[i]["index"], neighbors[row], scores[row]
+                )
+        return results
+
+    @staticmethod
+    def _similar_body(engine, mode, index, neighbors, scores) -> dict:
+        return {
+            "version": engine.version,
+            "mode": mode,
+            "index": int(index),
+            "neighbors": [
+                {"index": int(n), "score": float(s)}
+                for n, s in zip(neighbors, scores)
+            ],
+        }
+
+    # ------------------------------------------------------------------ #
+    # routes
+    # ------------------------------------------------------------------ #
+
+    async def _engine_for(self, body: dict) -> QueryEngine:
+        """Resolve the engine a request runs against.
+
+        A pinned version that misses the LRU loads the model from disk and
+        precomputes its derived state — that happens on an executor thread,
+        like ``refresh``, so one cold pinned query never stalls the event
+        loop (and everyone else's requests) behind registry I/O.
+        """
+        version = body.get("version")
+        if version is None:
+            return self.host.engine()
+        if not isinstance(version, int):
+            raise ServiceError(400, f"version must be an integer, got {version!r}")
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.host.engine, version)
+
+    async def _dispatch(self, method: str, target: str, body: dict) -> tuple[int, dict]:
+        parts = urlsplit(target)
+        path = parts.path.rstrip("/") or "/"
+        query = parse_qs(parts.query)
+
+        if method == "GET" and path == "/healthz":
+            return 200, {
+                "status": "ok",
+                "version": self.host.current_version,
+                "uptime_seconds": time.monotonic() - self._started,
+                "batches": self._batcher.batches,
+                "batched_requests": self._batcher.requests,
+            }
+        if method == "GET" and path == "/v1/model":
+            version = query.get("version", [None])[0]
+            engine = await self._engine_for(
+                {} if version is None else {"version": int(version)}
+            )
+            return 200, engine.metadata()
+        if method == "GET" and path == "/v1/versions":
+            return 200, {
+                "versions": self.host.store.versions(),
+                "latest": self.host.store.latest_version(),
+                "serving": self.host.current_version,
+                "cached": self.host.cached_versions(),
+            }
+        if method == "POST" and path == "/v1/similar":
+            return await self._handle_similar(body)
+        if method == "POST" and path == "/v1/reconstruct":
+            return await self._handle_reconstruct(body)
+        if method == "POST" and path == "/v1/fold-in":
+            return await self._handle_fold_in(body)
+        if method == "POST" and path == "/v1/anomaly":
+            engine = await self._engine_for(body)
+            fold = engine.fold_in(
+                self._slice_from(body), seed=int(body.get("seed", 0))
+            )
+            return 200, {
+                "version": engine.version,
+                "score": fold.relative_residual,
+                "residual_squared": fold.residual_squared,
+                "norm_squared": fold.norm_squared,
+            }
+        if method == "POST" and path == "/admin/reload":
+            loop = asyncio.get_running_loop()
+            before = self.host.current_version
+            engine = await loop.run_in_executor(None, self.host.refresh)
+            return 200, {
+                "version": engine.version,
+                "swapped": engine.version != before,
+            }
+        raise ServiceError(404, f"no route for {method} {path}")
+
+    async def _handle_similar(self, body: dict) -> tuple[int, dict]:
+        engine = await self._engine_for(body)
+        mode = body.get("mode", "slice")
+        k = int(body.get("k", 10))
+        if k < 1:
+            raise ServiceError(400, f"k must be >= 1, got {k}")
+        if "indices" in body:
+            indices = body["indices"]
+            if not isinstance(indices, list):
+                raise ServiceError(400, "indices must be a list of integers")
+            neighbors, scores = engine.similar(indices, k, mode=mode)
+            return 200, {
+                "version": engine.version,
+                "mode": mode,
+                "results": [
+                    self._similar_body(engine, mode, idx, neighbors[b], scores[b])
+                    for b, idx in enumerate(indices)
+                ],
+            }
+        if "index" not in body:
+            raise ServiceError(400, "similar query needs 'index' or 'indices'")
+        index = int(body["index"])
+        # Validate before joining a batch: a bad index must 400 here, not
+        # fail the kernel call it would share with other clients' requests.
+        n = engine.mode_size(mode)  # also rejects an unknown mode
+        if not 0 <= index < n:
+            raise ServiceError(
+                400, f"index {index} out of range [0, {n}) for mode {mode!r}"
+            )
+        payload = {"engine": engine, "mode": mode, "k": k, "index": index}
+        return 200, await self._batcher.submit(payload)
+
+    async def _handle_reconstruct(self, body: dict) -> tuple[int, dict]:
+        engine = await self._engine_for(body)
+        if "slice" not in body:
+            raise ServiceError(400, "reconstruct query needs 'slice' (an index)")
+        k = int(body["slice"])
+        rows = body.get("rows")
+        values = engine.reconstruct(k, rows=rows)
+        return 200, {
+            "version": engine.version,
+            "slice": k,
+            "rows": rows if rows is not None else "all",
+            "shape": list(values.shape),
+            "values": values.tolist(),
+        }
+
+    @staticmethod
+    def _slice_from(body: dict):
+        data = body.get("slice")
+        if not isinstance(data, list):
+            raise ServiceError(400, "'slice' must be a 2-D array (list of rows)")
+        try:
+            return np.asarray(data, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(400, f"'slice' is not numeric: {exc}") from exc
+
+    async def _handle_fold_in(self, body: dict) -> tuple[int, dict]:
+        engine = await self._engine_for(body)
+        fold = engine.fold_in(
+            self._slice_from(body),
+            seed=int(body.get("seed", 0)),
+            sweeps=body.get("sweeps"),
+        )
+        response = {
+            "version": engine.version,
+            "weights": fold.weights.tolist(),
+            "relative_residual": fold.relative_residual,
+            "residual_squared": fold.residual_squared,
+        }
+        neighbors = body.get("neighbors")
+        if neighbors is not None:
+            idx, scores = engine.similar_to(fold.weights, int(neighbors), mode="slice")
+            response["neighbors"] = [
+                {"index": int(n), "score": float(s)}
+                for n, s in zip(idx[0], scores[0])
+            ]
+        return 200, response
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        status, payload = 500, {"error": "internal error"}
+        try:
+            request_line = await reader.readline()
+            if not request_line:
+                writer.close()
+                return
+            try:
+                method, target, _ = request_line.decode("latin-1").split(" ", 2)
+            except ValueError:
+                raise ServiceError(400, "malformed request line") from None
+            content_length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    try:
+                        content_length = int(value.strip())
+                    except ValueError:
+                        raise ServiceError(400, "bad Content-Length") from None
+            body: dict = {}
+            if content_length:
+                raw = await reader.readexactly(content_length)
+                try:
+                    body = json.loads(raw)
+                except json.JSONDecodeError as exc:
+                    raise ServiceError(400, f"request body is not JSON: {exc}") from exc
+                if not isinstance(body, dict):
+                    raise ServiceError(400, "request body must be a JSON object")
+            status, payload = await self._dispatch(method.upper(), target, body)
+        except ServiceError as exc:
+            status, payload = exc.status, {"error": str(exc)}
+        except (ValueError, IndexError, TypeError) as exc:
+            status, payload = 400, {"error": str(exc)}
+        except (LookupError, FileNotFoundError) as exc:
+            status, payload = 404, {"error": str(exc)}
+        except (asyncio.IncompleteReadError, ConnectionError):
+            writer.close()
+            return
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        await self._write_response(writer, status, payload)
+
+    @staticmethod
+    async def _write_response(writer: asyncio.StreamWriter, status: int, payload: dict) -> None:
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                   500: "Internal Server Error", 503: "Service Unavailable"}
+        try:
+            body = json.dumps(payload, default=_json_default).encode()
+            head = (
+                f"HTTP/1.1 {status} {reasons.get(status, 'Error')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            writer.write(head + body)
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):  # client went away
+            pass
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def run(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        ready: "threading.Event | None" = None,
+    ) -> None:
+        """Serve until :meth:`stop` — the current model loads before binding."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.host.refresh)
+        self._shutdown = asyncio.Event()
+        server = await asyncio.start_server(self._handle_connection, host, port)
+        self.port = server.sockets[0].getsockname()[1]
+        poller = None
+        if self.poll_interval > 0:
+            poller = asyncio.ensure_future(self._poll_registry())
+        if ready is not None:
+            ready.set()
+        try:
+            async with server:
+                await self._shutdown.wait()
+        finally:
+            if poller is not None:
+                poller.cancel()
+
+    async def _poll_registry(self) -> None:
+        """Adopt newly published versions without an explicit reload call."""
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.poll_interval)
+            try:
+                await loop.run_in_executor(None, self.host.refresh)
+            except Exception:  # registry transiently unreadable: keep serving
+                pass
+
+    def stop(self) -> None:
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+
+class ServerHandle:
+    """A server running on a daemon thread (tests, benchmarks, notebooks)."""
+
+    def __init__(self, app: ServeApp, thread: threading.Thread, loop: asyncio.AbstractEventLoop) -> None:
+        self.app = app
+        self._thread = thread
+        self._loop = loop
+
+    @property
+    def port(self) -> int:
+        return self.app.port
+
+    @property
+    def base_url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._loop.call_soon_threadsafe(self.app.stop)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_server_in_thread(
+    registry,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    lru_size: int = 4,
+    batch_window: float = 0.002,
+    max_batch: int = 64,
+    poll_interval: float = 0.0,
+    engine_kwargs: dict | None = None,
+) -> ServerHandle:
+    """Spin up a serving thread over ``registry`` (a path or FactorStore).
+
+    Returns once the socket is bound and the initial model is loaded; the
+    handle exposes ``base_url`` and ``stop()`` (also a context manager).
+    """
+    store = registry if isinstance(registry, FactorStore) else FactorStore(registry)
+    model_host = ModelHost(store, lru_size=lru_size, engine_kwargs=engine_kwargs)
+    app = ServeApp(
+        model_host,
+        batch_window=batch_window,
+        max_batch=max_batch,
+        poll_interval=poll_interval,
+    )
+    ready = threading.Event()
+    failure: list[BaseException] = []
+    loop = asyncio.new_event_loop()
+
+    def _serve() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(app.run(host, port, ready=ready))
+        except BaseException as exc:  # surface startup failures to the caller
+            failure.append(exc)
+            ready.set()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=_serve, name="repro-serve", daemon=True)
+    thread.start()
+    ready.wait(timeout=30.0)
+    if failure:
+        raise failure[0]
+    if app.port is None:
+        thread_alive = thread.is_alive()
+        raise RuntimeError(
+            f"server failed to start (thread alive: {thread_alive})"
+        )
+    return ServerHandle(app, thread, loop)

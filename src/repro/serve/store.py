@@ -1,0 +1,399 @@
+"""Versioned on-disk model registry: manifest + ``.npy`` segment payloads.
+
+Two layers share one payload format:
+
+* :func:`write_model` / :func:`read_model` persist a single
+  :class:`~repro.decomposition.result.Parafac2Result` as a directory holding
+  a JSON manifest plus one ``.npy`` file per factor — the
+  :class:`~repro.tensor.mmap_store.MmapSliceStore` idiom.  Loading maps the
+  factors back as read-only ``np.memmap`` views, so opening a model touches
+  only the pages a query actually reads.  ``Parafac2Result.save``/``load``
+  delegate here.
+* :class:`FactorStore` stacks versioning on top: a registry directory whose
+  ``versions/v0000001, v0000002, …`` subdirectories are immutable model
+  payloads.  Publishing writes into a temporary sibling directory and
+  renames it into place, then flips the ``LATEST`` pointer file with an
+  atomic replace — readers either see the old complete version or the new
+  complete version, never a half-written one.  That is what lets a serving
+  process hot-swap models while requests are in flight.
+
+The manifest carries a ``schema_version`` so future layout changes stay
+detectable, the factor ``dtype``, and (optionally) the
+:class:`~repro.util.config.DecompositionConfig` the model was fitted with,
+so a registry entry is self-describing: rank, backend, dtype, and seed all
+round-trip.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.decomposition.result import IterationRecord, Parafac2Result
+from repro.util.config import DecompositionConfig
+
+MODEL_MANIFEST_NAME = "model.json"
+_MODEL_FORMAT = "repro-parafac2-model"
+#: Payload layout revision.  Bump when the segment naming or manifest keys
+#: change incompatibly; readers reject schema versions they do not know.
+SCHEMA_VERSION = 1
+
+_REGISTRY_MARKER = "registry.json"
+_REGISTRY_FORMAT = "repro-factor-registry"
+_LATEST_NAME = "LATEST"
+_VERSIONS_DIR = "versions"
+
+
+def _config_to_dict(config: DecompositionConfig) -> dict:
+    """JSON-safe view of a config; a non-seed ``random_state`` is dropped."""
+    payload = dataclasses.asdict(config)
+    state = payload.get("random_state")
+    if state is not None and not isinstance(state, int):
+        # A live Generator has no portable serialization; the fitted factors
+        # already embody its draws, so recording None loses nothing a reader
+        # could use.
+        payload["random_state"] = None
+    return payload
+
+
+def _config_from_dict(payload: dict) -> DecompositionConfig:
+    return DecompositionConfig(**payload)
+
+
+def _q_filename(index: int) -> str:
+    return f"Q_{index:06d}.npy"
+
+
+def write_model(
+    directory,
+    result: Parafac2Result,
+    *,
+    config: DecompositionConfig | None = None,
+    extra: dict | None = None,
+) -> Path:
+    """Persist ``result`` (and optionally its config) under ``directory``.
+
+    The directory must not already hold a model.  Every factor is written
+    C-contiguous in its own dtype, so :func:`read_model` can hand back
+    zero-copy memmap views.  ``extra`` is a JSON-safe dict merged into the
+    manifest's ``meta`` key (tags, dataset name, …).
+    """
+    directory = Path(directory)
+    manifest_path = directory / MODEL_MANIFEST_NAME
+    if manifest_path.exists():
+        raise FileExistsError(f"{manifest_path} already exists; model payloads are immutable")
+    directory.mkdir(parents=True, exist_ok=True)
+
+    files = {"H": "H.npy", "S": "S.npy", "V": "V.npy",
+             "Q": [_q_filename(k) for k in range(result.n_slices)]}
+    np.save(directory / files["H"], np.ascontiguousarray(result.H))
+    np.save(directory / files["S"], np.ascontiguousarray(result.S))
+    np.save(directory / files["V"], np.ascontiguousarray(result.V))
+    for k, Qk in enumerate(result.Q):
+        np.save(directory / files["Q"][k], np.ascontiguousarray(Qk))
+
+    manifest = {
+        "format": _MODEL_FORMAT,
+        "schema_version": SCHEMA_VERSION,
+        "dtype": np.dtype(result.H.dtype).name,
+        "method": result.method,
+        "rank": result.rank,
+        "n_slices": result.n_slices,
+        "n_columns": int(result.V.shape[0]),
+        "row_counts": [int(Qk.shape[0]) for Qk in result.Q],
+        "n_iterations": result.n_iterations,
+        "converged": bool(result.converged),
+        "preprocess_seconds": float(result.preprocess_seconds),
+        "iterate_seconds": float(result.iterate_seconds),
+        "preprocessed_bytes": int(result.preprocessed_bytes),
+        "history": [[r.iteration, r.criterion, r.seconds] for r in result.history],
+        "config": None if config is None else _config_to_dict(config),
+        "meta": dict(extra or {}),
+        "files": files,
+    }
+    manifest_path.write_text(json.dumps(manifest, indent=1))
+    return directory
+
+
+@dataclass(frozen=True)
+class ModelArtifact:
+    """One loaded registry entry: the model plus its self-description."""
+
+    result: Parafac2Result
+    config: DecompositionConfig | None
+    schema_version: int
+    meta: dict
+    version: int | None = None
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.result.H.dtype
+
+
+def read_model(directory, *, mmap: bool = True, version: int | None = None) -> ModelArtifact:
+    """Load a model payload written by :func:`write_model`.
+
+    With ``mmap=True`` (default) the factors come back as read-only
+    ``np.memmap`` views — a registry with many large versions costs pages,
+    not RAM.  Pass ``mmap=False`` for in-RAM copies (e.g. before deleting
+    the directory).
+    """
+    directory = Path(directory)
+    manifest_path = directory / MODEL_MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no model payload at {directory} ({MODEL_MANIFEST_NAME} missing)")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{manifest_path} is not valid JSON: {exc}") from exc
+    if manifest.get("format") != _MODEL_FORMAT:
+        raise ValueError(f"{manifest_path} is not a {_MODEL_FORMAT} manifest")
+    if manifest.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported model schema version {manifest.get('schema_version')!r} "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+
+    mode = "r" if mmap else None
+    files = manifest["files"]
+
+    def _load(name: str) -> np.ndarray:
+        path = directory / name
+        if not path.exists():
+            raise ValueError(f"model payload segment missing: {path}")
+        return np.load(path, mmap_mode=mode)
+
+    result = Parafac2Result(
+        Q=[_load(name) for name in files["Q"]],
+        H=_load(files["H"]),
+        S=_load(files["S"]),
+        V=_load(files["V"]),
+        method=manifest.get("method", "unknown"),
+        n_iterations=int(manifest.get("n_iterations", 0)),
+        converged=bool(manifest.get("converged", False)),
+        preprocess_seconds=float(manifest.get("preprocess_seconds", 0.0)),
+        iterate_seconds=float(manifest.get("iterate_seconds", 0.0)),
+        preprocessed_bytes=int(manifest.get("preprocessed_bytes", 0)),
+        history=[
+            IterationRecord(int(it), float(crit), float(sec))
+            for it, crit, sec in manifest.get("history", [])
+        ],
+    )
+    declared = np.dtype(manifest["dtype"])
+    if result.H.dtype != declared:
+        raise ValueError(
+            f"model manifest declares dtype {declared.name} but segments "
+            f"hold {result.H.dtype.name} — payload is corrupt"
+        )
+    config_payload = manifest.get("config")
+    config = None if config_payload is None else _config_from_dict(config_payload)
+    return ModelArtifact(
+        result=result,
+        config=config,
+        schema_version=int(manifest["schema_version"]),
+        meta=dict(manifest.get("meta", {})),
+        version=version,
+    )
+
+
+class FactorStore:
+    """A versioned registry of PARAFAC2 models under one directory.
+
+    Layout::
+
+        registry/
+          registry.json        # format marker
+          LATEST               # "3\\n" — atomic pointer to the live version
+          versions/
+            v0000001/model.json + *.npy
+            v0000002/…
+
+    Versions are immutable once published and numbered monotonically;
+    :meth:`publish` is atomic (temp directory + rename + pointer replace),
+    so concurrent readers — including a serving process mid-request — never
+    observe a partial model.  Old versions stay on disk until
+    :meth:`prune`, which is what makes zero-downtime hot swap safe: requests
+    started against version ``n`` keep their memmaps while ``n+1`` goes
+    live.
+
+    Example
+    -------
+    >>> import numpy as np, tempfile
+    >>> from repro import DecompositionConfig, dpar2, random_irregular_tensor
+    >>> tensor = random_irregular_tensor([20, 30], n_columns=12, random_state=0)
+    >>> result = dpar2(tensor, DecompositionConfig(rank=3, random_state=0))
+    >>> store = FactorStore(tempfile.mkdtemp())
+    >>> store.publish(result)
+    1
+    >>> store.latest().result.rank
+    3
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self._versions_dir = self.root / _VERSIONS_DIR
+        marker = self.root / _REGISTRY_MARKER
+        if marker.exists():
+            payload = json.loads(marker.read_text())
+            if payload.get("format") != _REGISTRY_FORMAT:
+                raise ValueError(f"{self.root} is not a {_REGISTRY_FORMAT} registry")
+            if payload.get("schema_version") != SCHEMA_VERSION:
+                raise ValueError(
+                    f"unsupported registry schema version "
+                    f"{payload.get('schema_version')!r} "
+                    f"(this build reads version {SCHEMA_VERSION})"
+                )
+        else:
+            self._versions_dir.mkdir(parents=True, exist_ok=True)
+            marker.write_text(json.dumps(
+                {"format": _REGISTRY_FORMAT, "schema_version": SCHEMA_VERSION}
+            ))
+
+    # ------------------------------------------------------------------ #
+    # version bookkeeping
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _version_name(version: int) -> str:
+        return f"v{version:07d}"
+
+    def version_dir(self, version: int) -> Path:
+        return self._versions_dir / self._version_name(int(version))
+
+    def versions(self) -> list[int]:
+        """All published version numbers, ascending."""
+        if not self._versions_dir.exists():
+            return []
+        out = []
+        for entry in self._versions_dir.iterdir():
+            name = entry.name
+            if entry.is_dir() and name.startswith("v") and name[1:].isdigit():
+                if (entry / MODEL_MANIFEST_NAME).exists():
+                    out.append(int(name[1:]))
+        return sorted(out)
+
+    def latest_version(self) -> int | None:
+        """The live version per the ``LATEST`` pointer (None when empty).
+
+        Falls back to the highest complete version directory when the
+        pointer is missing or stale (e.g. a publisher crashed between the
+        rename and the pointer flip — the rename already made the version
+        complete, so serving it is correct).
+        """
+        published = self.versions()
+        if not published:
+            return None
+        pointer = self.root / _LATEST_NAME
+        try:
+            pointed = int(pointer.read_text().strip())
+        except (FileNotFoundError, ValueError):
+            return published[-1]
+        return pointed if pointed in published else published[-1]
+
+    def __len__(self) -> int:
+        return len(self.versions())
+
+    def __repr__(self) -> str:
+        return (
+            f"FactorStore({str(self.root)!r}, {len(self)} versions, "
+            f"latest={self.latest_version()})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # publish / load
+    # ------------------------------------------------------------------ #
+
+    def publish(
+        self,
+        result: Parafac2Result,
+        *,
+        config: DecompositionConfig | None = None,
+        extra: dict | None = None,
+    ) -> int:
+        """Atomically add ``result`` as the next version; returns its number.
+
+        The payload is written into a temporary sibling directory, renamed
+        into ``versions/`` (atomic on POSIX: the version either fully exists
+        or not at all), and only then does the ``LATEST`` pointer move via
+        ``os.replace``.  A concurrent publisher racing for the same number
+        loses the rename and retries with the next one.
+        """
+        self._versions_dir.mkdir(parents=True, exist_ok=True)
+        meta = dict(extra or {})
+        meta.setdefault("published_at", time.strftime("%Y-%m-%dT%H:%M:%S%z"))
+        staging = Path(tempfile.mkdtemp(prefix=".publish-", dir=self._versions_dir))
+        try:
+            write_model(staging, result, config=config, extra=meta)
+            while True:
+                version = (self.versions() or [0])[-1] + 1
+                target = self.version_dir(version)
+                try:
+                    staging.rename(target)
+                    break
+                except OSError:
+                    if not target.exists():  # pragma: no cover - real failure
+                        raise
+                    # Lost the race for this number; try the next.
+        finally:
+            if staging.exists():  # rename failed — don't leak the staging dir
+                for child in staging.iterdir():
+                    child.unlink()
+                staging.rmdir()
+        self._point_latest(version)
+        return version
+
+    def _point_latest(self, version: int) -> None:
+        pointer = self.root / _LATEST_NAME
+        fd, tmp = tempfile.mkstemp(prefix=".latest-", dir=self.root)
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(f"{int(version)}\n")
+            os.replace(tmp, pointer)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def get(self, version: int, *, mmap: bool = True) -> ModelArtifact:
+        """Load one published version (memmap-backed by default)."""
+        version = int(version)
+        target = self.version_dir(version)
+        if not (target / MODEL_MANIFEST_NAME).exists():
+            raise KeyError(
+                f"version {version} not in registry {self.root} "
+                f"(published: {self.versions() or 'none'})"
+            )
+        return read_model(target, mmap=mmap, version=version)
+
+    def latest(self, *, mmap: bool = True) -> ModelArtifact:
+        """Load the live version; raises ``LookupError`` on an empty registry."""
+        version = self.latest_version()
+        if version is None:
+            raise LookupError(f"registry {self.root} has no published versions")
+        return self.get(version, mmap=mmap)
+
+    def prune(self, *, keep: int = 2) -> list[int]:
+        """Delete all but the newest ``keep`` versions; returns those removed.
+
+        The live (pointed-to) version is never removed.  Only call this when
+        no serving process still holds memmaps into the doomed versions.
+        """
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        live = self.latest_version()
+        doomed = [
+            v for v in self.versions()[:-keep] if v != live
+        ]
+        for version in doomed:
+            target = self.version_dir(version)
+            for child in target.iterdir():
+                child.unlink()
+            target.rmdir()
+        return doomed

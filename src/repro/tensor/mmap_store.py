@@ -168,7 +168,12 @@ class MmapSliceStore:
         manifest_path = directory / MANIFEST_NAME
         if not manifest_path.exists():
             raise FileNotFoundError(f"no slice store at {directory} ({MANIFEST_NAME} missing)")
-        manifest = json.loads(manifest_path.read_text())
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{manifest_path} is not valid JSON (truncated write?): {exc}"
+            ) from exc
         if manifest.get("format") != _FORMAT:
             raise ValueError(f"{manifest_path} is not a {_FORMAT} manifest")
         if manifest.get("version") not in _READABLE_VERSIONS:
@@ -176,6 +181,22 @@ class MmapSliceStore:
                 f"unsupported store version {manifest.get('version')!r} "
                 f"(this build reads versions "
                 f"{', '.join(str(v) for v in _READABLE_VERSIONS)})"
+            )
+        files = manifest.get("files", [])
+        row_counts = manifest.get("row_counts", [])
+        if len(files) != len(row_counts):
+            raise ValueError(
+                f"{manifest_path} is inconsistent: {len(files)} payload entries "
+                f"but {len(row_counts)} row counts"
+            )
+        if manifest.get("version") == 1 and any(
+            not isinstance(entry, str) for entry in files
+        ):
+            # Sparse payload dicts were introduced with version 2; a v1
+            # manifest carrying them was hand-edited or written corrupt.
+            raise ValueError(
+                f"{manifest_path} declares version 1 (dense-only) but holds "
+                "sparse payload entries — version/payload mismatch"
             )
         return cls(directory, manifest)
 
@@ -309,19 +330,40 @@ class MmapSliceStore:
     def load_slice(self, index: int, *, mmap: bool = True):
         """One slice: a read-only memmap (default) or in-RAM array for
         dense payloads, a :class:`~repro.sparse.csr.CsrMatrix` over
-        memory-mapped (or in-RAM) component arrays for sparse payloads."""
+        memory-mapped (or in-RAM) component arrays for sparse payloads.
+
+        Raises ``FileNotFoundError`` when a payload segment named by the
+        manifest is missing, and ``ValueError`` when a segment's on-disk
+        dtype contradicts the manifest (either means the store directory
+        was modified behind the manifest's back)."""
         entry = self._manifest["files"][index]
         mode = "r" if mmap else None
+
+        def _load(name: str) -> np.ndarray:
+            path = self._directory / name
+            if not path.exists():
+                raise FileNotFoundError(
+                    f"store segment missing: {path} (named by {MANIFEST_NAME})"
+                )
+            return np.load(path, mmap_mode=mode)
+
         if isinstance(entry, str):
-            return np.load(self._directory / entry, mmap_mode=mode)
-        rows = int(self._manifest["row_counts"][index])
-        return CsrMatrix(
-            (rows, self.n_columns),
-            np.load(self._directory / entry["indptr"], mmap_mode=mode),
-            np.load(self._directory / entry["indices"], mmap_mode=mode),
-            np.load(self._directory / entry["data"], mmap_mode=mode),
-            validate=False,
-        )
+            loaded = _load(entry)
+        else:
+            rows = int(self._manifest["row_counts"][index])
+            loaded = CsrMatrix(
+                (rows, self.n_columns),
+                _load(entry["indptr"]),
+                _load(entry["indices"]),
+                _load(entry["data"]),
+                validate=False,
+            )
+        if loaded.dtype != self.dtype:
+            raise ValueError(
+                f"slice {index} holds {loaded.dtype.name} values but the "
+                f"manifest declares {self.dtype.name} — store is corrupt"
+            )
+        return loaded
 
     def iter_slices(self, *, mmap: bool = True) -> Iterator[np.ndarray]:
         for index in range(len(self)):

@@ -72,6 +72,47 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--registry", "/tmp/r"])
+        assert args.port == 8080
+        assert args.batch_window_ms == 2.0
+        assert args.poll_interval == 2.0
+        assert args.lru_size == 4
+
+    def test_serve_requires_registry(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_publish_options(self):
+        args = build_parser().parse_args(
+            ["publish", "traffic", "--registry", "/tmp/r", "--rank", "6",
+             "--dtype", "float32"]
+        )
+        assert args.dataset == "traffic"
+        assert args.rank == 6
+        assert args.dtype == "float32"
+
+    def test_query_options(self):
+        args = build_parser().parse_args(
+            ["query", "similar", "--index", "3", "-k", "7",
+             "--mode", "feature", "--model-version", "2"]
+        )
+        assert args.what == "similar"
+        assert (args.index, args.k, args.mode, args.model_version) == \
+            (3, 7, "feature", 2)
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "teleport"])
+
+    def test_help_epilogue_mentions_serving(self, capsys):
+        """The --help epilogue advertises the serving quickstart (and the
+        console-script spelling, auditing the pyproject entry point)."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        assert "repro serve" in out
+        assert "repro query" in out
+        assert "repro publish" in out
+
 
 class TestCommands:
     def test_datasets_lists_all(self, capsys):
@@ -158,6 +199,45 @@ class TestCommands:
     def test_experiment_table2(self, capsys):
         assert main(["experiment", "table2"]) == 0
         assert "Datasets" in capsys.readouterr().out
+
+
+class TestServeCommands:
+    def test_publish_then_query_roundtrip(self, capsys, tmp_path):
+        registry = str(tmp_path / "registry")
+        code = main(["publish", "traffic", "--registry", registry,
+                     "--rank", "3", "--max-iterations", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "published version 1" in out
+
+        from repro.serve.service import start_server_in_thread
+
+        with start_server_in_thread(registry) as handle:
+            code = main(["query", "similar", "--url", handle.base_url,
+                         "--index", "0", "-k", "2"])
+            assert code == 0
+            assert '"neighbors"' in capsys.readouterr().out
+            code = main(["query", "health", "--url", handle.base_url])
+            assert code == 0
+            assert '"version": 1' in capsys.readouterr().out
+
+    def test_query_unreachable_server(self, capsys):
+        code = main(["query", "health", "--url", "http://127.0.0.1:1"])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_query_missing_arguments(self, capsys):
+        assert main(["query", "similar"]) == 2
+        assert "needs --index" in capsys.readouterr().err
+        assert main(["query", "reconstruct"]) == 2
+        assert "needs --slice" in capsys.readouterr().err
+        assert main(["query", "fold-in"]) == 2
+        assert "needs --npy" in capsys.readouterr().err
+
+    def test_serve_empty_registry_fails_fast(self, capsys, tmp_path):
+        code = main(["serve", "--registry", str(tmp_path / "empty")])
+        assert code == 2
+        assert "no published versions" in capsys.readouterr().err
 
 
 class TestExperimentIndexComplete:

@@ -1,0 +1,102 @@
+"""CSR slices ship to process workers as component buffers, not pickles."""
+
+import numpy as np
+import pytest
+
+from repro.decomposition.dpar2 import compress_tensor
+from repro.parallel.shm import (
+    ArrayShipment,
+    AttachedArrays,
+    CsrRef,
+    MmapArrayRef,
+    ShmArrayRef,
+)
+from repro.sparse.csr import CsrMatrix
+from repro.tensor.mmap_store import MmapSliceStore
+from repro.tensor.random import low_rank_irregular_tensor
+
+
+@pytest.fixture
+def csr(rng):
+    from repro.sparse.coo import CooMatrix
+
+    dense = rng.random((6, 8))
+    dense[dense < 0.7] = 0.0
+    return CooMatrix.from_dense(dense).to_csr()
+
+
+class TestPackResolve:
+    def test_in_ram_csr_ships_as_shared_memory(self, csr):
+        with ArrayShipment() as shipment:
+            packed = shipment.pack((csr, "tag"))
+            ref = packed[0]
+            assert isinstance(ref, CsrRef)
+            # The bulk components travel as segment refs — no CsrMatrix
+            # object (and no ndarray payload) left in the pickled structure.
+            assert isinstance(ref.data, ShmArrayRef)
+            assert isinstance(ref.indices, ShmArrayRef)
+            assert isinstance(ref.indptr, ShmArrayRef)
+
+            holder = AttachedArrays()
+            try:
+                resolved, tag = holder.resolve(packed)
+                assert tag == "tag"
+                assert isinstance(resolved, CsrMatrix)
+                assert resolved.shape == csr.shape
+                np.testing.assert_array_equal(resolved.indptr, csr.indptr)
+                np.testing.assert_array_equal(resolved.indices, csr.indices)
+                np.testing.assert_array_equal(resolved.data, csr.data)
+                np.testing.assert_array_equal(resolved.to_dense(), csr.to_dense())
+            finally:
+                holder.release()
+
+    def test_store_backed_data_ships_as_path_descriptor(self, csr, tmp_path):
+        """Memmap-backed CSR components never transit the parent at all."""
+        store = MmapSliceStore.create(tmp_path / "sp", [csr])
+        mapped = store.load_slice(0)
+        assert isinstance(mapped.data, np.memmap)
+        with ArrayShipment() as shipment:
+            ref = shipment.pack(mapped)
+            assert isinstance(ref, CsrRef)
+            assert isinstance(ref.data, MmapArrayRef)
+            holder = AttachedArrays()
+            try:
+                resolved = holder.resolve(ref)
+                np.testing.assert_array_equal(resolved.to_dense(), csr.to_dense())
+            finally:
+                holder.release()
+
+    def test_result_views_are_copied_before_release(self, csr):
+        """A worker result aliasing a segment must be deep-copied before the
+        segment unmaps — including CSR results."""
+        with ArrayShipment() as shipment:
+            packed = shipment.pack(csr)
+            holder = AttachedArrays()
+            resolved = holder.resolve(packed)
+            safe = holder.copy_if_shared(resolved)
+            holder.release()
+        # The original views are dead; the copy must still be readable.
+        np.testing.assert_array_equal(safe.to_dense(), csr.to_dense())
+
+
+class TestProcessBackendSparse:
+    def test_per_slice_process_compression_matches_serial(self):
+        """The per-slice stage-1 path (the one that actually ships slices to
+        workers) gives identical factors whether CSR slices travel through
+        shared memory or never leave the parent."""
+        tensor = low_rank_irregular_tensor(
+            [18, 26, 18, 22], n_columns=12, rank=3, noise=0.02, random_state=7
+        ).sparsify(1.0)  # force every slice to CSR
+        assert tensor.has_sparse_slices
+        reference = compress_tensor(
+            tensor, 3, random_state=5, backend="serial",
+            stage1_batching="per-slice",
+        )
+        shipped = compress_tensor(
+            tensor, 3, random_state=5, backend="process", n_threads=2,
+            stage1_batching="per-slice",
+        )
+        for Ak, Bk in zip(reference.A, shipped.A):
+            assert np.array_equal(Ak, Bk)
+        assert np.array_equal(reference.D, shipped.D)
+        assert np.array_equal(reference.F_blocks, shipped.F_blocks)

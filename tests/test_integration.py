@@ -157,7 +157,7 @@ class TestPublicApi:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_docstring_example(self):
         from repro import DecompositionConfig, dpar2, random_irregular_tensor

@@ -145,6 +145,89 @@ class TestOutOfCoreCompression:
             assert np.array_equal(Qa, Qb)
 
 
+class TestManifestErrorPaths:
+    """Corrupt or tampered stores must fail loudly, not serve garbage."""
+
+    def _edit_manifest(self, store, mutate):
+        import json
+
+        path = store.directory / MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        mutate(manifest)
+        path.write_text(json.dumps(manifest))
+
+    def test_truncated_manifest_json(self, store):
+        (store.directory / MANIFEST_NAME).write_text('{"format": "repro-mmap')
+        with pytest.raises(ValueError, match="not valid JSON"):
+            MmapSliceStore.open(store.directory)
+
+    def test_unsupported_version(self, store):
+        self._edit_manifest(store, lambda m: m.update(version=99))
+        with pytest.raises(ValueError, match="unsupported store version"):
+            MmapSliceStore.open(store.directory)
+
+    def test_v1_manifest_with_sparse_entries(self, store):
+        """A dense-only (v1) manifest carrying sparse payload dicts is a
+        version/payload mismatch, not something to guess about."""
+
+        def mutate(manifest):
+            manifest["version"] = 1
+            manifest["files"][0] = {
+                "kind": "csr", "nnz": 3,
+                "indptr": "x.npy", "indices": "y.npy", "data": "z.npy",
+            }
+
+        self._edit_manifest(store, mutate)
+        with pytest.raises(ValueError, match="version/payload mismatch"):
+            MmapSliceStore.open(store.directory)
+
+    def test_files_row_counts_mismatch(self, store):
+        self._edit_manifest(store, lambda m: m["row_counts"].pop())
+        with pytest.raises(ValueError, match="inconsistent"):
+            MmapSliceStore.open(store.directory)
+
+    def test_missing_dense_segment(self, store):
+        store.slice_path(2).unlink()
+        reopened = MmapSliceStore.open(store.directory)
+        assert reopened.load_slice(0).shape[0] == 30  # others still fine
+        with pytest.raises(FileNotFoundError, match="segment missing"):
+            reopened.load_slice(2)
+
+    def test_missing_sparse_segment(self, tmp_path):
+        from repro.sparse.csr import CsrMatrix
+
+        sparse_slice = CsrMatrix(
+            (3, 4), [0, 1, 2, 2], [0, 3], [1.0, 2.0]
+        )
+        sparse_store = MmapSliceStore.create(tmp_path / "sp", [sparse_slice])
+        (sparse_store.directory / "slice_000000.indices.npy").unlink()
+        with pytest.raises(FileNotFoundError, match="segment missing"):
+            MmapSliceStore.open(sparse_store.directory).load_slice(0)
+
+    def test_dense_segment_dtype_mismatch(self, store, rng):
+        """A float32 file behind a float64 manifest means the directory was
+        modified behind the manifest's back."""
+        np.save(store.slice_path(1), rng.random((45, 16)).astype(np.float32))
+        with pytest.raises(ValueError, match="manifest declares float64"):
+            MmapSliceStore.open(store.directory).load_slice(1)
+
+    def test_sparse_segment_dtype_mismatch(self, tmp_path):
+        from repro.sparse.csr import CsrMatrix
+
+        sparse_slice = CsrMatrix(
+            (3, 4), [0, 1, 2, 2], [0, 3], [1.0, 2.0]
+        )
+        sparse_store = MmapSliceStore.create(
+            tmp_path / "sp", [sparse_slice], dtype=np.float32
+        )
+        np.save(
+            sparse_store.directory / "slice_000000.data.npy",
+            np.array([1.0, 2.0], dtype=np.float64),
+        )
+        with pytest.raises(ValueError, match="manifest declares float32"):
+            MmapSliceStore.open(sparse_store.directory).load_slice(0)
+
+
 class TestOverwriteRobustness:
     def test_overwrite_replaces_corrupt_manifest(self, tmp_path, rng):
         """overwrite=True must replace a store whose manifest is unreadable

@@ -1,0 +1,290 @@
+"""Tests for QueryEngine: rankings, reconstruction, fold-in, anomaly.
+
+The acceptance-criteria tests live here: fold-in projections and
+similar-entity rankings are checked against *offline reference
+computations* — independent dense-numpy implementations of the same math —
+to 1e-8 in float64, and every batched path is checked bitwise against its
+single-request execution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.anomaly import slice_anomaly_scores
+from repro.decomposition.dpar2 import dpar2
+from repro.linalg.randomized_svd import randomized_svd
+from repro.serve.queries import QueryEngine
+from repro.tensor.random import low_rank_irregular_tensor
+from repro.util.config import DecompositionConfig
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return low_rank_irregular_tensor(
+        [30, 45, 25, 40, 35, 28], n_columns=16, rank=3, noise=0.02,
+        random_state=4,
+    )
+
+
+@pytest.fixture(scope="module")
+def config():
+    return DecompositionConfig(rank=4, max_iterations=10, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def result(tensor, config):
+    return dpar2(tensor, config)
+
+
+@pytest.fixture(scope="module")
+def engine(result, config):
+    return QueryEngine(result, config=config, version=1)
+
+
+class TestSimilar:
+    def test_matches_offline_reference(self, engine, result):
+        """Acceptance: rankings match a naive offline computation to 1e-8."""
+        S = np.asarray(result.S, dtype=np.float64)
+        for query in range(result.n_slices):
+            ref = []
+            for j in range(result.n_slices):
+                if j == query:
+                    continue
+                num = float(np.dot(S[query], S[j]))
+                den = float(np.linalg.norm(S[query]) * np.linalg.norm(S[j]))
+                ref.append((j, num / den))
+            ref.sort(key=lambda pair: (-pair[1], pair[0]))
+            neighbors, scores = engine.similar([query], k=3)
+            for rank_pos, (j, score) in enumerate(ref[:3]):
+                assert neighbors[0, rank_pos] == j
+                assert scores[0, rank_pos] == pytest.approx(score, abs=1e-8)
+
+    def test_feature_mode_reference(self, engine, result):
+        V = np.asarray(result.V, dtype=np.float64)
+        unit = V / np.linalg.norm(V, axis=1, keepdims=True)
+        query = 5
+        ref = unit @ unit[query]
+        ref[query] = -np.inf
+        order = np.lexsort((np.arange(ref.size), -ref))[:4]
+        neighbors, scores = engine.similar([query], k=4, mode="feature")
+        assert np.array_equal(neighbors[0], order)
+        np.testing.assert_allclose(scores[0], ref[order], atol=1e-8)
+
+    def test_batch_is_bitwise_identical_to_single(self, engine):
+        """The batch-invariance contract the micro-batcher relies on."""
+        indices = [0, 3, 1, 5, 2]
+        neighbors, scores = engine.similar(indices, k=4)
+        for row, idx in enumerate(indices):
+            n1, s1 = engine.similar([idx], k=4)
+            assert np.array_equal(neighbors[row], n1[0])
+            assert np.array_equal(scores[row], s1[0])  # bitwise
+
+    def test_self_excluded_and_k_capped(self, engine, result):
+        neighbors, scores = engine.similar([2], k=100)
+        assert neighbors.shape == (1, result.n_slices - 1)
+        assert 2 not in neighbors[0]
+        assert np.all(np.diff(scores[0]) <= 0)
+
+    def test_similar_to_vector(self, engine, result):
+        S = np.asarray(result.S, dtype=np.float64)
+        neighbors, scores = engine.similar_to(S[3], k=1)
+        assert neighbors[0, 0] == 3  # its own row is the perfect match
+        assert scores[0, 0] == pytest.approx(1.0, abs=1e-12)
+
+    def test_errors(self, engine):
+        with pytest.raises(ValueError, match="mode"):
+            engine.similar([0], mode="nope")
+        with pytest.raises(IndexError, match="out of range"):
+            engine.similar([99])
+        with pytest.raises(ValueError, match="k must be"):
+            engine.similar([0], k=0)
+        with pytest.raises(ValueError, match=r"vectors must be"):
+            engine.similar_to(np.ones((2, 3, 4)))
+
+
+class TestReconstruct:
+    def test_matches_result(self, engine, result):
+        np.testing.assert_array_equal(
+            engine.reconstruct(1), result.reconstruct_slice(1)
+        )
+
+    def test_row_subset(self, engine, result):
+        rows = [4, 0, 2]
+        np.testing.assert_array_equal(
+            engine.reconstruct(1, rows=rows),
+            result.reconstruct_slice(1)[rows],
+        )
+
+    def test_errors(self, engine):
+        with pytest.raises(IndexError, match="slice"):
+            engine.reconstruct(99)
+        with pytest.raises(IndexError, match="row index"):
+            engine.reconstruct(0, rows=[10_000])
+
+
+def _reference_fold_in(X, result, config, seed, sweeps):
+    """Independent dense implementation of the fold-in projection.
+
+    Materializes ``A``, ``G``, and ``Q`` explicitly and evaluates every
+    quantity against the dense slice (``Qᵀ X`` as an actual product, the
+    residual as an actual subtraction) — no shared code with the engine's
+    compressed-arithmetic path beyond the stage-1 sketch kernel itself.
+    """
+    H = np.asarray(result.H, dtype=np.float64)
+    V = np.asarray(result.V, dtype=np.float64)
+    R = H.shape[0]
+    svd = randomized_svd(
+        X, R,
+        oversampling=config.oversampling,
+        power_iterations=config.power_iterations,
+        random_state=np.random.default_rng(seed),
+    )
+    A = svd.U
+    Xs = (A * svd.singular_values) @ svd.V.T  # the sketch A G, densified
+    w = np.ones(R)
+    for _ in range(sweeps):
+        Z, _, Pt = np.linalg.svd(A.T @ Xs @ V @ np.diag(w) @ H.T, full_matrices=False)
+        Q = A @ (Z @ Pt)
+        C = Q.T @ Xs @ V
+        g = np.diag(H.T @ C)
+        gram = (H.T @ (Q.T @ Q) @ H) * (V.T @ V)
+        w = np.linalg.solve(gram, g)
+    residual = Xs - Q @ (H * w) @ V.T
+    # The engine's residual is vs the *actual* slice: add the sketch error
+    # (orthogonal complement), ‖X − X̂‖² = ‖X − Xs‖² + ‖Xs − X̂‖².
+    residual_sq = float(np.sum((X - Xs) ** 2)) + float(np.sum(residual**2))
+    return w, Q, residual_sq
+
+
+class TestFoldIn:
+    def test_matches_offline_reference(self, engine, result, config, tensor):
+        """Acceptance: fold-in matches the dense reference to 1e-8."""
+        rng = np.random.default_rng(99)
+        X = rng.standard_normal((33, tensor.n_columns))
+        fold = engine.fold_in(X, seed=11, return_q=True)
+        w_ref, Q_ref, res_ref = _reference_fold_in(
+            X, result, config, seed=11, sweeps=engine.fold_in_sweeps
+        )
+        np.testing.assert_allclose(fold.weights, w_ref, atol=1e-8)
+        np.testing.assert_allclose(fold.Q, Q_ref, atol=1e-8)
+        assert fold.residual_squared == pytest.approx(res_ref, rel=1e-8)
+
+    def test_training_slice_projects_close(self, engine, tensor, result):
+        """A training slice folded in should land near its own S-row."""
+        k = 2
+        fold = engine.fold_in(tensor[k], seed=0)
+        neighbors, scores = engine.similar_to(fold.weights, k=1)
+        assert neighbors[0, 0] == k
+        assert scores[0, 0] > 0.999
+        # and reconstruct about as well as the trained model does
+        trained_score = slice_anomaly_scores(result, tensor)[k]
+        assert fold.relative_residual == pytest.approx(
+            trained_score, abs=0.05
+        )
+
+    def test_batched_is_bitwise_identical(self, engine, tensor):
+        """Equal-row-count slices share one stacked sketch; answers must
+        not depend on batch membership."""
+        rng = np.random.default_rng(5)
+        batch = [
+            rng.standard_normal((20, tensor.n_columns)) for _ in range(3)
+        ] + [rng.standard_normal((31, tensor.n_columns))]
+        seeds = [3, 1, 4, 1]
+        together = engine.fold_in_many(batch, seeds=seeds)
+        for X, seed, folded in zip(batch, seeds, together):
+            alone = engine.fold_in(X, seed=seed)
+            assert np.array_equal(folded.weights, alone.weights)
+            assert folded.residual_squared == alone.residual_squared
+
+    def test_q_is_orthonormal(self, engine, tensor, rng):
+        fold = engine.fold_in(
+            rng.standard_normal((25, tensor.n_columns)), return_q=True
+        )
+        QtQ = fold.Q.T @ fold.Q
+        np.testing.assert_allclose(QtQ, np.eye(engine.rank), atol=1e-10)
+
+    def test_short_slice_handled(self, engine, tensor):
+        """Fewer rows than the model rank: Qᵀ Q ≠ I, still well-defined."""
+        rng = np.random.default_rng(6)
+        fold = engine.fold_in(rng.standard_normal((2, tensor.n_columns)))
+        assert fold.weights.shape == (engine.rank,)
+        assert np.isfinite(fold.relative_residual)
+
+    def test_errors(self, engine, tensor, rng):
+        with pytest.raises(ValueError, match="columns"):
+            engine.fold_in(rng.standard_normal((10, tensor.n_columns + 1)))
+        with pytest.raises(ValueError, match="seeds"):
+            engine.fold_in_many([rng.standard_normal((5, tensor.n_columns))],
+                                seeds=[1, 2])
+        with pytest.raises(ValueError, match="sweeps"):
+            engine.fold_in(rng.standard_normal((5, tensor.n_columns)), sweeps=0)
+
+
+class TestAnomaly:
+    def test_matches_analysis_module(self, engine, result, tensor):
+        """The Gram-trick scores equal the materialized-reconstruction ones."""
+        np.testing.assert_allclose(
+            engine.anomaly_scores(tensor),
+            slice_anomaly_scores(result, tensor),
+            atol=1e-10,
+        )
+
+    def test_planted_anomaly_scores_highest(self, engine, tensor):
+        rng = np.random.default_rng(3)
+        outlier = rng.standard_normal((30, tensor.n_columns)) * 10.0
+        normal_scores = [
+            engine.anomaly_score(tensor[k]) for k in range(tensor.n_slices)
+        ]
+        assert engine.anomaly_score(outlier) > max(normal_scores)
+
+    def test_shape_mismatch(self, engine, tensor):
+        with pytest.raises(ValueError, match="slices"):
+            engine.anomaly_scores(tensor.subset([0, 1]))
+
+    def test_non_orthonormal_q_scored_correctly(self, rng):
+        """A streaming model can zero-pad a slice whose own rank ran below
+        R, leaving Qkᵀ Qk ≠ I; the Gram-trick score must still agree with
+        the materialized residual."""
+        from repro.decomposition.result import Parafac2Result
+        from repro.tensor.irregular import IrregularTensor
+
+        R, J = 3, 6
+        Q_full, _ = np.linalg.qr(rng.standard_normal((8, R)))
+        Q_padded = np.zeros((2, R))
+        Q_padded[:, :2], _ = np.linalg.qr(rng.standard_normal((2, 2)))
+        result = Parafac2Result(
+            Q=[Q_full, Q_padded],
+            H=rng.standard_normal((R, R)),
+            S=rng.standard_normal((2, R)),
+            V=rng.standard_normal((J, R)),
+        )
+        tensor = IrregularTensor(
+            [rng.standard_normal((8, J)), rng.standard_normal((2, J))]
+        )
+        np.testing.assert_allclose(
+            QueryEngine(result).anomaly_scores(tensor),
+            slice_anomaly_scores(result, tensor),
+            atol=1e-10,
+        )
+
+
+class TestMetadata:
+    def test_metadata_card(self, engine, result):
+        card = engine.metadata()
+        assert card["rank"] == result.rank
+        assert card["n_slices"] == result.n_slices
+        assert card["modes"] == {
+            "slice": result.n_slices, "feature": result.V.shape[0]
+        }
+        assert card["version"] == 1
+
+    def test_float32_model_serves_float64_queries(self, tensor):
+        config = DecompositionConfig(
+            rank=3, max_iterations=4, dtype="float32", random_state=1
+        )
+        result = dpar2(tensor, config)
+        engine = QueryEngine(result, config=config)
+        neighbors, scores = engine.similar([0], k=2)
+        assert scores.dtype == np.float64
+        fold = engine.fold_in(np.asarray(tensor[0], dtype=np.float64))
+        assert np.isfinite(fold.relative_residual)

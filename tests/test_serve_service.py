@@ -1,0 +1,334 @@
+"""Tests for the asyncio HTTP service: routing, micro-batching, hot swap."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.decomposition.dpar2 import dpar2
+from repro.serve.queries import QueryEngine
+from repro.serve.service import MicroBatcher, ModelHost, ServiceError, start_server_in_thread
+from repro.serve.store import FactorStore
+from repro.tensor.random import low_rank_irregular_tensor
+from repro.util.config import DecompositionConfig
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return low_rank_irregular_tensor(
+        [30, 45, 25, 40, 35], n_columns=16, rank=3, noise=0.02, random_state=4
+    )
+
+
+@pytest.fixture(scope="module")
+def config():
+    return DecompositionConfig(rank=4, max_iterations=6, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def result(tensor, config):
+    return dpar2(tensor, config)
+
+
+@pytest.fixture
+def store(result, config, tmp_path):
+    registry = FactorStore(tmp_path / "registry")
+    registry.publish(result, config=config)
+    return registry
+
+
+def _call(base_url, method, path, body=None, timeout=15):
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(base_url + path, data=data, method=method)
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+class TestModelHost:
+    def test_refresh_and_current(self, store):
+        host = ModelHost(store)
+        engine = host.refresh()
+        assert engine.version == 1
+        assert host.current_version == 1
+        assert host.engine() is engine  # no reload between publishes
+
+    def test_lru_eviction_spares_current(self, store, result):
+        host = ModelHost(store, lru_size=1)
+        host.refresh()
+        store.publish(result)
+        store.publish(result)
+        host.refresh()
+        assert host.current_version == 3
+        host.engine(1)  # load a pinned old version into the cache
+        assert host.current_version == 3
+        assert 3 in host.cached_versions()  # the live engine never evicts
+        assert len(host.cached_versions()) == 1
+
+    def test_unknown_version_maps_to_404(self, store):
+        host = ModelHost(store)
+        with pytest.raises(ServiceError) as err:
+            host.engine(42)
+        assert err.value.status == 404
+
+    def test_empty_registry_maps_to_503(self, tmp_path):
+        host = ModelHost(FactorStore(tmp_path / "empty"))
+        with pytest.raises(ServiceError) as err:
+            host.refresh()
+        assert err.value.status == 503
+
+
+class TestMicroBatcher:
+    def test_coalesces_concurrent_submits(self):
+        import asyncio
+
+        calls = []
+
+        def runner(payloads):
+            calls.append(list(payloads))
+            return [p * 10 for p in payloads]
+
+        async def scenario():
+            batcher = MicroBatcher(runner, window=0.01)
+            return await asyncio.gather(*[batcher.submit(i) for i in range(5)])
+
+        results = asyncio.run(scenario())
+        assert results == [0, 10, 20, 30, 40]
+        assert len(calls) == 1  # five submissions, one kernel call
+        assert calls[0] == [0, 1, 2, 3, 4]
+
+    def test_max_batch_flushes_immediately(self):
+        import asyncio
+
+        calls = []
+
+        def runner(payloads):
+            calls.append(list(payloads))
+            return payloads
+
+        async def scenario():
+            batcher = MicroBatcher(runner, window=60.0, max_batch=2)
+            return await asyncio.gather(*[batcher.submit(i) for i in range(4)])
+
+        assert asyncio.run(scenario()) == [0, 1, 2, 3]
+        assert [len(c) for c in calls] == [2, 2]  # never waited for the window
+
+    def test_runner_failure_propagates(self):
+        import asyncio
+
+        def runner(payloads):
+            raise RuntimeError("kernel exploded")
+
+        async def scenario():
+            batcher = MicroBatcher(runner, window=0.0)
+            await batcher.submit(1)
+
+        with pytest.raises(RuntimeError, match="exploded"):
+            asyncio.run(scenario())
+
+    def test_per_slot_exception_does_not_poison_batch(self):
+        """A runner can fail one payload (an Exception in its slot) without
+        failing the co-batched ones."""
+        import asyncio
+
+        def runner(payloads):
+            return [
+                ValueError(f"bad {p}") if p == 1 else p * 10 for p in payloads
+            ]
+
+        async def scenario():
+            batcher = MicroBatcher(runner, window=0.01)
+            return await asyncio.gather(
+                *[batcher.submit(i) for i in range(3)],
+                return_exceptions=True,
+            )
+
+        results = asyncio.run(scenario())
+        assert results[0] == 0
+        assert isinstance(results[1], ValueError)
+        assert results[2] == 20
+
+
+class TestHttpEndpoints:
+    def test_health_model_versions(self, store):
+        with start_server_in_thread(store) as handle:
+            health = _call(handle.base_url, "GET", "/healthz")
+            assert health["status"] == "ok"
+            assert health["version"] == 1
+            model = _call(handle.base_url, "GET", "/v1/model")
+            assert model["rank"] == 4
+            assert model["n_slices"] == 5
+            versions = _call(handle.base_url, "GET", "/v1/versions")
+            assert versions == {
+                "versions": [1], "latest": 1, "serving": 1, "cached": [1],
+            }
+
+    def test_query_endpoints_match_engine(self, store, result, config, tensor):
+        engine = QueryEngine(result, config=config, version=1)
+        with start_server_in_thread(store) as handle:
+            sim = _call(handle.base_url, "POST", "/v1/similar",
+                        {"index": 0, "k": 3})
+            neighbors, scores = engine.similar([0], k=3)
+            assert [n["index"] for n in sim["neighbors"]] == neighbors[0].tolist()
+            assert [n["score"] for n in sim["neighbors"]] == scores[0].tolist()
+
+            batch = _call(handle.base_url, "POST", "/v1/similar",
+                          {"indices": [1, 2], "k": 2, "mode": "feature"})
+            neighbors, _ = engine.similar([1, 2], k=2, mode="feature")
+            assert [n["index"] for n in batch["results"][1]["neighbors"]] == \
+                neighbors[1].tolist()
+
+            rec = _call(handle.base_url, "POST", "/v1/reconstruct",
+                        {"slice": 1, "rows": [0, 2]})
+            np.testing.assert_array_equal(
+                np.asarray(rec["values"]), engine.reconstruct(1, rows=[0, 2])
+            )
+
+            X = np.asarray(tensor[2], dtype=np.float64)
+            fold = _call(handle.base_url, "POST", "/v1/fold-in",
+                         {"slice": X.tolist(), "seed": 3, "neighbors": 2})
+            offline = engine.fold_in(X, seed=3)
+            assert fold["weights"] == offline.weights.tolist()
+            assert fold["neighbors"][0]["index"] == 2
+
+            anomaly = _call(handle.base_url, "POST", "/v1/anomaly",
+                            {"slice": X.tolist(), "seed": 3})
+            assert anomaly["score"] == offline.relative_residual
+
+    def test_error_statuses(self, store, tensor):
+        with start_server_in_thread(store) as handle:
+            cases = [
+                ("GET", "/nope", None, 404),
+                ("POST", "/v1/similar", {"k": 3}, 400),
+                ("POST", "/v1/similar", {"index": 99}, 400),
+                ("POST", "/v1/similar", {"index": 0, "version": 42}, 404),
+                ("POST", "/v1/reconstruct", {}, 400),
+                ("POST", "/v1/fold-in", {"slice": "nope"}, 400),
+                ("POST", "/v1/fold-in",
+                 {"slice": [[1.0] * (tensor.n_columns + 1)]}, 400),
+            ]
+            for method, path, body, expected in cases:
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    _call(handle.base_url, method, path, body)
+                assert err.value.code == expected, (method, path)
+                assert "error" in json.loads(err.value.read())
+
+    def test_micro_batched_answers_bitwise_equal_sequential(self, store):
+        """Acceptance: coalesced concurrent requests return bit-for-bit the
+        answers of one-at-a-time execution, while sharing kernel calls."""
+        indices = [0, 1, 2, 3, 4, 0, 2]
+        with start_server_in_thread(store, batch_window=0.25) as handle:
+            barrier = threading.Barrier(len(indices))
+            outcomes: dict[int, dict] = {}
+
+            def fire(slot: int, index: int) -> None:
+                barrier.wait()
+                outcomes[slot] = _call(
+                    handle.base_url, "POST", "/v1/similar",
+                    {"index": index, "k": 3},
+                )
+
+            threads = [
+                threading.Thread(target=fire, args=(slot, index))
+                for slot, index in enumerate(indices)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert len(outcomes) == len(indices)
+            health = _call(handle.base_url, "GET", "/healthz")
+            assert health["batched_requests"] == len(indices)
+            assert health["batches"] < len(indices)  # actually coalesced
+
+        # Sequential reference on a batching-free server.
+        with start_server_in_thread(store, batch_window=0.0) as handle:
+            for slot, index in enumerate(indices):
+                solo = _call(handle.base_url, "POST", "/v1/similar",
+                             {"index": index, "k": 3})
+                assert outcomes[slot] == solo  # bitwise: JSON floats round-trip
+
+    def test_hot_swap_serves_both_versions_without_drops(
+        self, store, result, config
+    ):
+        """Acceptance: publishing v2 must not drop in-flight v1 requests."""
+        stop = threading.Event()
+        failures: list[Exception] = []
+        versions_seen: set[int] = set()
+
+        with start_server_in_thread(store, poll_interval=0.05) as handle:
+            def hammer() -> None:
+                while not stop.is_set():
+                    try:
+                        body = _call(handle.base_url, "POST", "/v1/similar",
+                                     {"index": 1, "k": 2})
+                        versions_seen.add(body["version"])
+                    except Exception as exc:  # any drop fails the test
+                        failures.append(exc)
+                        return
+
+            workers = [threading.Thread(target=hammer) for _ in range(4)]
+            for w in workers:
+                w.start()
+            try:
+                store.publish(result, config=config)  # v2 goes live mid-traffic
+                deadline = threading.Event()
+                for _ in range(100):  # wait (≤5 s) for the poller to swap
+                    if 2 in versions_seen:
+                        break
+                    deadline.wait(0.05)
+            finally:
+                stop.set()
+                for w in workers:
+                    w.join(timeout=10)
+            assert not failures, failures
+            assert versions_seen == {1, 2}  # served v1 throughout, then v2
+
+            # The old version stays queryable when pinned explicitly.
+            pinned = _call(handle.base_url, "POST", "/v1/similar",
+                           {"index": 1, "k": 2, "version": 1})
+            assert pinned["version"] == 1
+
+    def test_bad_request_never_poisons_cobatched_ones(self, store, result):
+        """An out-of-range index 400s on its own; a valid request sharing
+        the same batching window still gets its answer."""
+        with start_server_in_thread(store, batch_window=0.25) as handle:
+            barrier = threading.Barrier(2)
+            outcomes: dict[str, object] = {}
+
+            def good() -> None:
+                barrier.wait()
+                outcomes["good"] = _call(handle.base_url, "POST", "/v1/similar",
+                                         {"index": 0, "k": 2})
+
+            def bad() -> None:
+                barrier.wait()
+                try:
+                    _call(handle.base_url, "POST", "/v1/similar",
+                          {"index": result.n_slices + 50, "k": 2})
+                except urllib.error.HTTPError as exc:
+                    outcomes["bad"] = exc.code
+
+            threads = [threading.Thread(target=good),
+                       threading.Thread(target=bad)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert outcomes["bad"] == 400
+            assert outcomes["good"]["neighbors"]  # unaffected by the 400
+
+    def test_explicit_reload_endpoint(self, store, result):
+        with start_server_in_thread(store) as handle:  # no polling
+            store.publish(result)
+            reply = _call(handle.base_url, "POST", "/admin/reload", {})
+            assert reply == {"version": 2, "swapped": True}
+            again = _call(handle.base_url, "POST", "/admin/reload", {})
+            assert again == {"version": 2, "swapped": False}
+            assert _call(handle.base_url, "GET", "/healthz")["version"] == 2
+
+    def test_registry_path_accepted(self, store):
+        with start_server_in_thread(store.root) as handle:
+            assert _call(handle.base_url, "GET", "/healthz")["status"] == "ok"
