@@ -58,7 +58,7 @@ serving quickstart:
   repro query health                                        # version + batching stats
 
 The same commands work as `python -m repro ...` when the console script is
-not on PATH.  See README.md § Serving for the full HTTP API.
+not on PATH.  See docs/serving.md for the full HTTP API and tuning knobs.
 """
 
 
@@ -146,8 +146,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument(
         "--batch-window-ms", type=float, default=2.0, metavar="MS",
-        help="micro-batching window: concurrent similar-queries arriving "
-        "within it are answered by one batched kernel call (default: 2)",
+        help="micro-batching window cap: under queue pressure, concurrent "
+        "similar/fold-in/anomaly queries arriving within it are answered "
+        "by one batched kernel call; the window adapts down to ~0 when "
+        "the queue is empty (default: 2)",
+    )
+    serve.add_argument(
+        "--fixed-batch-window", action="store_true",
+        help="disable adaptive batching: every batch waits the full "
+        "--batch-window-ms regardless of load (higher latency when idle; "
+        "mostly useful for debugging coalescing)",
     )
     serve.add_argument(
         "--max-batch", type=int, default=64,
@@ -361,6 +369,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         batch_window=args.batch_window_ms / 1000.0,
         max_batch=args.max_batch,
         poll_interval=args.poll_interval,
+        adaptive_batching=not args.fixed_batch_window,
     )
     print(f"serving {store} on http://{args.host}:{args.port}")
     try:

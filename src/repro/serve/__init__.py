@@ -13,21 +13,35 @@ into a queryable system, in three layers:
   ranking, slice reconstruction, fold-in projection of unseen slices, and
   reconstruction-error anomaly scores over one model snapshot.
 * :mod:`repro.serve.service` — a stdlib-only asyncio HTTP service with
-  request micro-batching, an LRU of per-version engines, and zero-downtime
-  hot swap when the registry publishes a new version.
+  adaptive request micro-batching (the coalescing window opens only under
+  queue pressure), HTTP/1.1 keep-alive, an LRU of per-version engines, and
+  zero-downtime hot swap when the registry publishes a new version.
+
+See ``docs/architecture.md`` for how this layer sits on the kernels and
+``docs/serving.md`` for the operator guide.
 """
 
 from repro.serve.queries import FoldInResult, QueryEngine
 from repro.serve.store import FactorStore, ModelArtifact, read_model, write_model
-from repro.serve.service import ModelHost, ServeApp, start_server_in_thread
+from repro.serve.service import (
+    MicroBatcher,
+    ModelHost,
+    ServeApp,
+    ServerHandle,
+    ServiceError,
+    start_server_in_thread,
+)
 
 __all__ = [
     "FactorStore",
     "FoldInResult",
+    "MicroBatcher",
     "ModelArtifact",
     "ModelHost",
     "QueryEngine",
     "ServeApp",
+    "ServerHandle",
+    "ServiceError",
     "read_model",
     "start_server_in_thread",
     "write_model",

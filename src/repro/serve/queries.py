@@ -150,14 +150,17 @@ class QueryEngine:
 
     @property
     def rank(self) -> int:
+        """Decomposition rank ``R`` of the served model."""
         return self.result.rank
 
     @property
     def n_slices(self) -> int:
+        """Number of slices ``K`` the model was fitted on."""
         return self.result.n_slices
 
     @property
     def n_columns(self) -> int:
+        """Shared column count ``J`` — required width of fold-in slices."""
         return int(self.result.V.shape[0])
 
     def mode_size(self, mode: str) -> int:

@@ -10,19 +10,29 @@ Three serving concerns live here:
   they resolved at arrival, so a publish never drops or corrupts them
   (registry versions are immutable directories; the old memmaps stay
   valid).
-* :class:`MicroBatcher` — request coalescing: concurrent similar-entity
-  queries that arrive within one batching window are answered by a single
-  batched :meth:`QueryEngine.similar` call instead of one kernel invocation
-  per request.  The kernels are batch-invariant on the numpy backend, so
-  coalescing is invisible in the answers (bitwise), only in the throughput.
+* :class:`MicroBatcher` — request coalescing: concurrent queries that
+  arrive within one batching window are answered by a single batched
+  :class:`~repro.serve.queries.QueryEngine` call instead of one kernel
+  invocation per request.  The window is *adaptive*: it stays at zero
+  while the queue is idle (a lone request never waits) and opens toward a
+  configurable cap as observed batch depth rises, so coalescing only pays
+  for itself under genuine queue pressure.  ``/v1/similar`` batches
+  through the similarity kernel; ``/v1/fold-in`` and ``/v1/anomaly``
+  coalesce through :meth:`QueryEngine.fold_in_many`.  All three kernels
+  are batch-invariant on the numpy backend, so coalescing is invisible in
+  the answers (bitwise), only in the throughput.
 * :class:`ServeApp` — a minimal HTTP/1.1 server on ``asyncio.start_server``
-  (no third-party framework; the container ships none).  JSON in, JSON out,
-  ``Connection: close`` semantics — deliberately boring, so the interesting
-  parts stay testable.
+  (no third-party framework; the container ships none).  JSON in, JSON
+  out, with HTTP/1.1 keep-alive semantics: a connection serves requests
+  until the client sends ``Connection: close`` (or an HTTP/1.0 client
+  omits ``keep-alive``), so steady traffic pays the TCP handshake once.
+  Hot read-only responses are pre-serialized: the current model card is
+  cached as encoded bytes per engine, and ``/healthz`` renders through a
+  constant format string instead of ``json.dumps``.
 
 Endpoints (all bodies JSON)::
 
-    GET  /healthz                 liveness + serving version + batch counters
+    GET  /healthz                 liveness + serving version + transport counters
     GET  /v1/model                model card of the serving (or ?version=) snapshot
     GET  /v1/versions             published versions + which one is live
     POST /v1/similar              {"mode","index"|"indices","k"?,"version"?}
@@ -30,6 +40,11 @@ Endpoints (all bodies JSON)::
     POST /v1/fold-in              {"slice":[[..]],"seed"?,"sweeps"?,"neighbors"?,"version"?}
     POST /v1/anomaly              {"slice":[[..]],"seed"?,"version"?}
     POST /admin/reload            adopt the registry's latest version now
+
+Malformed payloads (missing keys, wrong types, out-of-range values) are
+rejected with HTTP 400 and a JSON ``{"error": ...}`` body *before* the
+request joins a batch, so one bad request can never poison the kernel
+call it would have shared with other clients.
 """
 
 from __future__ import annotations
@@ -46,13 +61,79 @@ import numpy as np
 from repro.serve.queries import QueryEngine
 from repro.serve.store import FactorStore
 
+#: Hard cap on header lines per request — a framing sanity bound, not a
+#: tunable (real clients send a handful).
+_MAX_HEADER_LINES = 256
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
 
 class ServiceError(Exception):
-    """A request error with an HTTP status attached."""
+    """A request error with an HTTP status attached.
 
-    def __init__(self, status: int, message: str) -> None:
+    Parameters
+    ----------
+    status:
+        HTTP status code the error maps to (400, 404, 503, ...).
+    message:
+        Human-readable description, returned as the JSON ``error`` body.
+    close:
+        When True the connection cannot be kept alive after responding —
+        used for framing errors (bad request line, bad ``Content-Length``)
+        where the next request boundary is unknowable.
+    """
+
+    def __init__(self, status: int, message: str, *, close: bool = False) -> None:
         super().__init__(message)
         self.status = status
+        self.close = close
+
+
+def _int_field(body: dict, key: str, default=None, *, minimum: int | None = None):
+    """Read an optional integer field out of a JSON request body.
+
+    Parameters
+    ----------
+    body:
+        Decoded JSON request body.
+    key:
+        Field name to read.
+    default:
+        Value used when the field is absent; ``None`` means "optional" and
+        is returned as-is.
+    minimum:
+        Inclusive lower bound enforced on present values.
+
+    Returns
+    -------
+    int or None
+        The validated integer (or ``None`` when absent without default).
+
+    Raises
+    ------
+    ServiceError
+        With status 400 when the value is not integer-like (booleans are
+        rejected — JSON ``true`` is never a valid count) or below
+        ``minimum``.
+    """
+    value = body.get(key, default)
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        raise ServiceError(400, f"{key!r} must be an integer, got a boolean")
+    try:
+        value = int(value)
+    except (TypeError, ValueError):
+        raise ServiceError(400, f"{key!r} must be an integer, got {value!r}") from None
+    if minimum is not None and value < minimum:
+        raise ServiceError(400, f"{key!r} must be >= {minimum}, got {value}")
+    return value
 
 
 class ModelHost:
@@ -62,6 +143,22 @@ class ModelHost:
     loop resolves engines for requests.  Engines are immutable once built,
     so readers only ever need the lock to look up / insert cache entries —
     never to use an engine.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.serve.store.FactorStore` registry to serve.
+    lru_size:
+        How many per-version :class:`QueryEngine` instances to keep warm;
+        the current serving version is never evicted.
+    engine_kwargs:
+        Extra keyword arguments forwarded to every ``QueryEngine``
+        construction (e.g. ``fold_in_sweeps``, ``compute_backend``).
+
+    Raises
+    ------
+    ValueError
+        If ``lru_size`` is below 1.
     """
 
     def __init__(
@@ -92,10 +189,26 @@ class ModelHost:
         )
 
     def engine(self, version: int | None = None) -> QueryEngine:
-        """The engine for ``version`` (None → the current serving version).
+        """Resolve the engine for ``version`` (None → the current serving one).
 
         Explicit versions hit the LRU; misses load from the registry (a
         pinned old version keeps answering even after newer publishes).
+
+        Parameters
+        ----------
+        version:
+            Published registry version to pin, or ``None`` for the live one.
+
+        Returns
+        -------
+        QueryEngine
+            The (possibly cached) engine for that version.
+
+        Raises
+        ------
+        ServiceError
+            404 when the pinned version is not in the registry; 503 (via
+            :meth:`refresh`) when the registry is empty.
         """
         if version is None:
             current = self._current
@@ -129,11 +242,21 @@ class ModelHost:
                     break
 
     def refresh(self) -> QueryEngine:
-        """Adopt the registry's latest version; returns the current engine.
+        """Adopt the registry's latest version; return the current engine.
 
         Building the new engine happens *before* the swap, so requests keep
         being answered by the old version for the whole load; the final
         pointer assignment is atomic.
+
+        Returns
+        -------
+        QueryEngine
+            The engine serving after the (possible) swap.
+
+        Raises
+        ------
+        ServiceError
+            503 when the registry has no published versions.
         """
         latest = self.store.latest_version()
         if latest is None:
@@ -150,10 +273,12 @@ class ModelHost:
 
     @property
     def current_version(self) -> int | None:
+        """Version number of the serving engine (None before first refresh)."""
         current = self._current
         return None if current is None else current.version
 
     def cached_versions(self) -> list[int]:
+        """Return the version numbers currently held in the engine LRU."""
         with self._lock:
             return list(self._engines)
 
@@ -163,13 +288,69 @@ class MicroBatcher:
 
     ``runner`` receives the list of pending payloads and returns one result
     per payload, in order.  A submission flushes immediately once
-    ``max_batch`` requests are pending, otherwise after ``window`` seconds —
-    long enough for concurrent arrivals to pile up, short enough to be
-    invisible next to network latency.  Counters (`batches`, `requests`)
-    make the coalescing observable to health checks and benchmarks.
+    ``max_batch`` requests are pending, otherwise after the *current*
+    coalescing window elapses.
+
+    The window is adaptive by default: it is zero while the queue is idle
+    — a lone request is flushed on the next event-loop tick, adding no
+    latency beyond the loop iteration it already pays — and opens toward
+    the ``window`` cap as the observed batch depth (an exponentially
+    weighted moving average over recent flushes) rises above one.  Depth
+    decays the same way, so when the burst ends the window closes again;
+    after ``idle_reset`` seconds without a flush the pressure estimate is
+    discarded outright.  Even at window zero, requests woken in the same
+    event-loop tick still coalesce, because the flush is scheduled behind
+    them with ``call_soon``.
+
+    An open window is a *cap*, not a sentence: while it is pending, a
+    per-iteration stagnation watch flushes as soon as one event-loop pass
+    adds no new submission.  Clients that wait for their response before
+    sending the next request (every keep-alive client does) go quiet once
+    their in-flight requests are queued — at that point more waiting can
+    only add latency, never depth.  The full window is only ever served
+    under open-loop pressure, where new requests genuinely keep arriving
+    every pass.
+
+    Counters (``batches``, ``requests``, :meth:`stats`) make the
+    coalescing observable to health checks and benchmarks.
+
+    Parameters
+    ----------
+    runner:
+        Callable taking the list of pending payloads, returning one result
+        per payload in order.  A slot may hold an ``Exception`` instance to
+        fail that payload alone without poisoning the rest of the batch.
+    window:
+        Coalescing window cap in seconds (the fixed window when
+        ``adaptive=False``).  Zero disables waiting entirely.
+    max_batch:
+        Flush immediately once this many requests are pending.
+    adaptive:
+        When True (default) the wait scales with queue pressure as
+        described above; when False every batch waits the full ``window``.
+    ramp_depth:
+        Average batch depth at which the adaptive window saturates at
+        ``window``.  Defaults to ``max(2, max_batch / 4)``.
+    idle_reset:
+        Seconds without a flush after which the pressure estimate resets
+        to idle.
+
+    Raises
+    ------
+    ValueError
+        If ``window`` is negative or ``max_batch`` below 1.
     """
 
-    def __init__(self, runner, *, window: float = 0.002, max_batch: int = 64) -> None:
+    def __init__(
+        self,
+        runner,
+        *,
+        window: float = 0.002,
+        max_batch: int = 64,
+        adaptive: bool = True,
+        ramp_depth: float | None = None,
+        idle_reset: float = 0.25,
+    ) -> None:
         if window < 0:
             raise ValueError(f"window must be >= 0, got {window}")
         if max_batch < 1:
@@ -177,30 +358,111 @@ class MicroBatcher:
         self._runner = runner
         self.window = window
         self.max_batch = max_batch
+        self.adaptive = adaptive
+        self.ramp_depth = (
+            max(2.0, max_batch / 4.0) if ramp_depth is None else float(ramp_depth)
+        )
+        self.idle_reset = idle_reset
         self._pending: list[tuple[object, asyncio.Future]] = []
-        self._timer: asyncio.TimerHandle | None = None
+        self._timer: "asyncio.TimerHandle | asyncio.Handle | None" = None
         self.batches = 0
         self.requests = 0
+        self.last_batch_size = 0
+        self._ewma_depth = 0.0
+        self._last_flush = float("-inf")
+        self._epoch = 0
+        self._watch_count = 0
+
+    def current_window(self) -> float:
+        """Return the delay (seconds) the next burst-opening submit waits.
+
+        Zero while idle (pressure at or below one request per flush, or no
+        flush within ``idle_reset``); ramps linearly toward the ``window``
+        cap as the moving-average batch depth approaches ``ramp_depth``.
+        """
+        if not self.adaptive:
+            return self.window
+        if self.window <= 0.0:
+            return 0.0
+        if time.monotonic() - self._last_flush > self.idle_reset:
+            return 0.0
+        pressure = self._ewma_depth
+        if pressure <= 1.0:
+            return 0.0
+        fraction = min(1.0, (pressure - 1.0) / max(self.ramp_depth - 1.0, 1.0))
+        return self.window * fraction
 
     async def submit(self, payload):
+        """Enqueue ``payload`` and await its slot of the batched result.
+
+        Parameters
+        ----------
+        payload:
+            Opaque request object handed to ``runner`` in arrival order.
+
+        Returns
+        -------
+        object
+            The runner's result for this payload.
+
+        Raises
+        ------
+        Exception
+            Whatever the runner raised for the whole batch, or placed in
+            this payload's result slot.
+        """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._pending.append((payload, future))
         if len(self._pending) >= self.max_batch:
             self._flush()
         elif self._timer is None:
-            self._timer = loop.call_later(self.window, self._flush)
+            delay = self.current_window()
+            if delay <= 0.0:
+                # call_soon, not an inline flush: submissions already woken
+                # in this event-loop tick run before the callback and still
+                # join the batch — coalescing at zero added latency.
+                self._timer = loop.call_soon(self._flush)
+            else:
+                self._timer = loop.call_later(delay, self._flush)
+                if self.adaptive:  # fixed-window mode serves the full window
+                    self._watch_count = len(self._pending)
+                    loop.call_soon(self._stagnation_check, loop, self._epoch)
         return await future
+
+    def _stagnation_check(self, loop: asyncio.AbstractEventLoop, epoch: int) -> None:
+        """Flush an open window early once arrivals cease.
+
+        Re-scheduled with ``call_soon`` every loop pass while the window
+        timer is pending: a pass that grows the queue keeps watching, a
+        pass that doesn't means every in-flight client has submitted —
+        flush now, the rest of the window could only add latency.
+        """
+        if epoch != self._epoch or self._timer is None:
+            return  # that batch already flushed
+        if len(self._pending) == self._watch_count:
+            self._flush()
+        else:
+            self._watch_count = len(self._pending)
+            loop.call_soon(self._stagnation_check, loop, epoch)
 
     def _flush(self) -> None:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+        self._epoch += 1  # retires any stagnation watch on this batch
         batch, self._pending = self._pending, []
         if not batch:
             return
+        depth = len(batch)
         self.batches += 1
-        self.requests += len(batch)
+        self.requests += depth
+        self.last_batch_size = depth
+        # Queue-pressure estimate: EWMA of flush depths.  Half-life of one
+        # flush — grows within a couple of bursts, decays as fast once
+        # traffic thins back to singles.
+        self._ewma_depth = 0.5 * depth + 0.5 * self._ewma_depth
+        self._last_flush = time.monotonic()
         try:
             results = self._runner([payload for payload, _ in batch])
         except Exception as exc:
@@ -218,8 +480,32 @@ class MicroBatcher:
             else:
                 future.set_result(result)
 
+    def stats(self) -> dict:
+        """Return a JSON-safe counter snapshot (surfaced under ``/healthz``)."""
+        return {
+            "batches": self.batches,
+            "requests": self.requests,
+            "queue_depth": len(self._pending),
+            "last_batch": self.last_batch_size,
+            "ewma_depth": round(self._ewma_depth, 3),
+            "window_cap_ms": self.window * 1000.0,
+            "current_window_ms": self.current_window() * 1000.0,
+        }
+
+    def stats_json(self) -> str:
+        """Return :meth:`stats` pre-serialized (the ``/healthz`` hot path)."""
+        return (
+            f'{{"batches":{self.batches},"requests":{self.requests},'
+            f'"queue_depth":{len(self._pending)},'
+            f'"last_batch":{self.last_batch_size},'
+            f'"ewma_depth":{self._ewma_depth:.3f},'
+            f'"window_cap_ms":{self.window * 1000.0:.3f},'
+            f'"current_window_ms":{self.current_window() * 1000.0:.3f}}}'
+        )
+
 
 def _json_default(obj):
+    """Convert numpy scalars/arrays for ``json.dumps``; reject the rest."""
     if isinstance(obj, (np.integer,)):
         return int(obj)
     if isinstance(obj, (np.floating,)):
@@ -230,7 +516,23 @@ def _json_default(obj):
 
 
 class ServeApp:
-    """The HTTP front: routing, micro-batching, background registry polls."""
+    """The HTTP front: routing, micro-batching, background registry polls.
+
+    Parameters
+    ----------
+    host:
+        The :class:`ModelHost` that resolves versions to engines.
+    batch_window:
+        Micro-batching window cap in seconds (see :class:`MicroBatcher`).
+    max_batch:
+        Immediate-flush threshold for both batchers.
+    poll_interval:
+        Seconds between registry polls for newly published versions;
+        0 disables polling (``/admin/reload`` still works).
+    adaptive_batching:
+        When True (default) the batching window adapts to queue pressure;
+        when False every batch waits the full ``batch_window``.
+    """
 
     def __init__(
         self,
@@ -239,6 +541,7 @@ class ServeApp:
         batch_window: float = 0.002,
         max_batch: int = 64,
         poll_interval: float = 0.0,
+        adaptive_batching: bool = True,
     ) -> None:
         self.host = host
         self.poll_interval = poll_interval
@@ -246,11 +549,24 @@ class ServeApp:
         self._started = time.monotonic()
         self._shutdown: asyncio.Event | None = None
         self._batcher = MicroBatcher(
-            self._run_similar_batch, window=batch_window, max_batch=max_batch
+            self._run_similar_batch,
+            window=batch_window,
+            max_batch=max_batch,
+            adaptive=adaptive_batching,
         )
+        self._fold_batcher = MicroBatcher(
+            self._run_fold_batch,
+            window=batch_window,
+            max_batch=max_batch,
+            adaptive=adaptive_batching,
+        )
+        self._connections = 0
+        self._requests_served = 0
+        self._model_cache: "tuple[QueryEngine, bytes] | None" = None
+        self._open_writers: "set[asyncio.StreamWriter]" = set()
 
     # ------------------------------------------------------------------ #
-    # kernels behind the batcher
+    # kernels behind the batchers
     # ------------------------------------------------------------------ #
 
     def _run_similar_batch(self, payloads: list[dict]) -> list:
@@ -285,8 +601,70 @@ class ServeApp:
                 )
         return results
 
+    def _run_fold_batch(self, payloads: list[dict]) -> list:
+        """One ``fold_in_many`` call per (engine, sweeps) group.
+
+        ``/v1/fold-in`` and ``/v1/anomaly`` requests share batches — both
+        run the same projection kernel, and each slice draws its Gaussian
+        sketch from its own seed, so answers are bitwise independent of
+        batch composition.  Sweeps differ per request, so payloads group by
+        (engine identity, resolved sweep count); a group that fails gets
+        its exception in its own slots only.
+        """
+        results: list = [None] * len(payloads)
+        groups: dict[tuple, list[int]] = {}
+        for i, payload in enumerate(payloads):
+            engine: QueryEngine = payload["engine"]
+            sweeps = payload["sweeps"]
+            if sweeps is None:
+                sweeps = engine.fold_in_sweeps
+            groups.setdefault((id(engine), sweeps), []).append(i)
+        for (_, sweeps), members in groups.items():
+            engine = payloads[members[0]]["engine"]
+            try:
+                folds = engine.fold_in_many(
+                    [payloads[i]["slice"] for i in members],
+                    seeds=[payloads[i]["seed"] for i in members],
+                    sweeps=sweeps,
+                )
+            except Exception as exc:
+                for i in members:
+                    results[i] = exc
+                continue
+            for i, fold in zip(members, folds):
+                try:
+                    results[i] = self._fold_body(engine, payloads[i], fold)
+                except Exception as exc:  # e.g. a bad neighbors lookup
+                    results[i] = exc
+        return results
+
+    def _fold_body(self, engine: QueryEngine, payload: dict, fold) -> dict:
+        """Render one fold-in/anomaly response from its ``FoldInResult``."""
+        if payload["kind"] == "anomaly":
+            return {
+                "version": engine.version,
+                "score": fold.relative_residual,
+                "residual_squared": fold.residual_squared,
+                "norm_squared": fold.norm_squared,
+            }
+        response = {
+            "version": engine.version,
+            "weights": fold.weights.tolist(),
+            "relative_residual": fold.relative_residual,
+            "residual_squared": fold.residual_squared,
+        }
+        neighbors = payload["neighbors"]
+        if neighbors is not None:
+            idx, scores = engine.similar_to(fold.weights, neighbors, mode="slice")
+            response["neighbors"] = [
+                {"index": int(n), "score": float(s)}
+                for n, s in zip(idx[0], scores[0])
+            ]
+        return response
+
     @staticmethod
     def _similar_body(engine, mode, index, neighbors, scores) -> dict:
+        """Render one similar-query response row."""
         return {
             "version": engine.version,
             "mode": mode,
@@ -296,6 +674,45 @@ class ServeApp:
                 for n, s in zip(neighbors, scores)
             ],
         }
+
+    # ------------------------------------------------------------------ #
+    # pre-serialized hot responses
+    # ------------------------------------------------------------------ #
+
+    def _healthz_body(self) -> bytes:
+        """Render ``/healthz`` through a constant format string.
+
+        The health endpoint is the highest-rate route in any deployment
+        (load balancers poll it), so it avoids ``json.dumps`` and dict
+        building entirely — every value interpolates into a pre-written
+        JSON skeleton.
+        """
+        version = self.host.current_version
+        return (
+            f'{{"status":"ok",'
+            f'"version":{"null" if version is None else version},'
+            f'"uptime_seconds":{time.monotonic() - self._started:.3f},'
+            f'"connections":{self._connections},'
+            f'"requests_served":{self._requests_served},'
+            f'"batches":{self._batcher.batches},'
+            f'"batched_requests":{self._batcher.requests},'
+            f'"batching":{{"similar":{self._batcher.stats_json()},'
+            f'"fold_in":{self._fold_batcher.stats_json()}}}}}'
+        ).encode()
+
+    def _model_body(self, engine: QueryEngine) -> bytes:
+        """Serve the model card from a per-engine cache of encoded bytes.
+
+        Engine metadata is immutable, so the JSON is serialized once per
+        engine object; a hot swap installs a different engine and thereby
+        invalidates the cache by identity.
+        """
+        cached = self._model_cache
+        if cached is not None and cached[0] is engine:
+            return cached[1]
+        body = json.dumps(engine.metadata(), default=_json_default).encode()
+        self._model_cache = (engine, body)
+        return body
 
     # ------------------------------------------------------------------ #
     # routes
@@ -309,32 +726,35 @@ class ServeApp:
         like ``refresh``, so one cold pinned query never stalls the event
         loop (and everyone else's requests) behind registry I/O.
         """
-        version = body.get("version")
+        version = _int_field(body, "version")
         if version is None:
             return self.host.engine()
-        if not isinstance(version, int):
-            raise ServiceError(400, f"version must be an integer, got {version!r}")
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(None, self.host.engine, version)
 
-    async def _dispatch(self, method: str, target: str, body: dict) -> tuple[int, dict]:
+    async def _dispatch(self, method: str, target: str, body: dict):
+        """Route one parsed request; return ``(status, payload)``.
+
+        ``payload`` is either a JSON-safe dict or pre-encoded ``bytes``
+        (the hot-path responses).
+        """
         parts = urlsplit(target)
         path = parts.path.rstrip("/") or "/"
         query = parse_qs(parts.query)
 
         if method == "GET" and path == "/healthz":
-            return 200, {
-                "status": "ok",
-                "version": self.host.current_version,
-                "uptime_seconds": time.monotonic() - self._started,
-                "batches": self._batcher.batches,
-                "batched_requests": self._batcher.requests,
-            }
+            return 200, self._healthz_body()
         if method == "GET" and path == "/v1/model":
             version = query.get("version", [None])[0]
-            engine = await self._engine_for(
-                {} if version is None else {"version": int(version)}
-            )
+            if version is None:
+                return 200, self._model_body(self.host.engine())
+            try:
+                pinned = int(version)
+            except ValueError:
+                raise ServiceError(
+                    400, f"version must be an integer, got {version!r}"
+                ) from None
+            engine = await self._engine_for({"version": pinned})
             return 200, engine.metadata()
         if method == "GET" and path == "/v1/versions":
             return 200, {
@@ -348,18 +768,9 @@ class ServeApp:
         if method == "POST" and path == "/v1/reconstruct":
             return await self._handle_reconstruct(body)
         if method == "POST" and path == "/v1/fold-in":
-            return await self._handle_fold_in(body)
+            return await self._handle_fold_in(body, kind="fold-in")
         if method == "POST" and path == "/v1/anomaly":
-            engine = await self._engine_for(body)
-            fold = engine.fold_in(
-                self._slice_from(body), seed=int(body.get("seed", 0))
-            )
-            return 200, {
-                "version": engine.version,
-                "score": fold.relative_residual,
-                "residual_squared": fold.residual_squared,
-                "norm_squared": fold.norm_squared,
-            }
+            return await self._handle_fold_in(body, kind="anomaly")
         if method == "POST" and path == "/admin/reload":
             loop = asyncio.get_running_loop()
             before = self.host.current_version
@@ -370,15 +781,18 @@ class ServeApp:
             }
         raise ServiceError(404, f"no route for {method} {path}")
 
-    async def _handle_similar(self, body: dict) -> tuple[int, dict]:
+    async def _handle_similar(self, body: dict):
+        """Answer ``/v1/similar``: batch lists inline, singles via batcher."""
         engine = await self._engine_for(body)
         mode = body.get("mode", "slice")
-        k = int(body.get("k", 10))
-        if k < 1:
-            raise ServiceError(400, f"k must be >= 1, got {k}")
+        if not isinstance(mode, str):
+            raise ServiceError(400, f"mode must be a string, got {mode!r}")
+        k = _int_field(body, "k", 10, minimum=1)
         if "indices" in body:
             indices = body["indices"]
-            if not isinstance(indices, list):
+            if not isinstance(indices, list) or not all(
+                isinstance(i, int) and not isinstance(i, bool) for i in indices
+            ):
                 raise ServiceError(400, "indices must be a list of integers")
             neighbors, scores = engine.similar(indices, k, mode=mode)
             return 200, {
@@ -389,9 +803,9 @@ class ServeApp:
                     for b, idx in enumerate(indices)
                 ],
             }
-        if "index" not in body:
+        index = _int_field(body, "index")
+        if index is None:
             raise ServiceError(400, "similar query needs 'index' or 'indices'")
-        index = int(body["index"])
         # Validate before joining a batch: a bad index must 400 here, not
         # fail the kernel call it would share with other clients' requests.
         n = engine.mode_size(mode)  # also rejects an unknown mode
@@ -402,12 +816,18 @@ class ServeApp:
         payload = {"engine": engine, "mode": mode, "k": k, "index": index}
         return 200, await self._batcher.submit(payload)
 
-    async def _handle_reconstruct(self, body: dict) -> tuple[int, dict]:
+    async def _handle_reconstruct(self, body: dict):
+        """Answer ``/v1/reconstruct`` for one slice (optionally row subset)."""
         engine = await self._engine_for(body)
-        if "slice" not in body:
+        k = _int_field(body, "slice")
+        if k is None:
             raise ServiceError(400, "reconstruct query needs 'slice' (an index)")
-        k = int(body["slice"])
         rows = body.get("rows")
+        if rows is not None and (
+            not isinstance(rows, list)
+            or not all(isinstance(r, int) and not isinstance(r, bool) for r in rows)
+        ):
+            raise ServiceError(400, "rows must be a list of integers")
         values = engine.reconstruct(k, rows=rows)
         return 200, {
             "version": engine.version,
@@ -418,36 +838,48 @@ class ServeApp:
         }
 
     @staticmethod
-    def _slice_from(body: dict):
+    def _slice_for(body: dict, engine: QueryEngine) -> np.ndarray:
+        """Validate and decode the ``slice`` payload of fold-in/anomaly.
+
+        Everything that could fail the shared kernel call — wrong type,
+        ragged rows, non-finite values, column-count mismatch — 400s here,
+        before the request joins a batch.
+        """
         data = body.get("slice")
         if not isinstance(data, list):
             raise ServiceError(400, "'slice' must be a 2-D array (list of rows)")
         try:
-            return np.asarray(data, dtype=np.float64)
+            matrix = np.asarray(data, dtype=np.float64)
         except (TypeError, ValueError) as exc:
             raise ServiceError(400, f"'slice' is not numeric: {exc}") from exc
+        if matrix.ndim != 2:
+            raise ServiceError(
+                400, f"'slice' must be 2-D (list of rows), got {matrix.ndim}-D"
+            )
+        if matrix.shape[1] != engine.n_columns:
+            raise ServiceError(
+                400,
+                f"'slice' has {matrix.shape[1]} columns; "
+                f"model has J={engine.n_columns}",
+            )
+        if not np.isfinite(matrix).all():
+            raise ServiceError(400, "'slice' contains NaN or infinite values")
+        return matrix
 
-    async def _handle_fold_in(self, body: dict) -> tuple[int, dict]:
+    async def _handle_fold_in(self, body: dict, *, kind: str):
+        """Answer ``/v1/fold-in`` / ``/v1/anomaly`` through the fold batcher."""
         engine = await self._engine_for(body)
-        fold = engine.fold_in(
-            self._slice_from(body),
-            seed=int(body.get("seed", 0)),
-            sweeps=body.get("sweeps"),
-        )
-        response = {
-            "version": engine.version,
-            "weights": fold.weights.tolist(),
-            "relative_residual": fold.relative_residual,
-            "residual_squared": fold.residual_squared,
+        payload = {
+            "engine": engine,
+            "kind": kind,
+            "slice": self._slice_for(body, engine),
+            "seed": _int_field(body, "seed", 0),
+            "sweeps": _int_field(body, "sweeps", minimum=1) if kind == "fold-in" else None,
+            "neighbors": (
+                _int_field(body, "neighbors", minimum=1) if kind == "fold-in" else None
+            ),
         }
-        neighbors = body.get("neighbors")
-        if neighbors is not None:
-            idx, scores = engine.similar_to(fold.weights, int(neighbors), mode="slice")
-            response["neighbors"] = [
-                {"index": int(n), "score": float(s)}
-                for n, s in zip(idx[0], scores[0])
-            ]
-        return 200, response
+        return 200, await self._fold_batcher.submit(payload)
 
     # ------------------------------------------------------------------ #
     # HTTP plumbing
@@ -456,27 +888,70 @@ class ServeApp:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """Serve one client connection: a keep-alive loop of requests."""
+        self._connections += 1
+        self._open_writers.add(writer)
+        try:
+            while await self._serve_one(reader, writer):
+                pass
+        except (ConnectionError, BrokenPipeError):  # client went away
+            pass
+        finally:
+            self._open_writers.discard(writer)
+            if not writer.is_closing():
+                writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _serve_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Read, dispatch, and answer one request.
+
+        Returns
+        -------
+        bool
+            True when the connection should be kept open for the next
+            request (HTTP/1.1 default; HTTP/1.0 only with an explicit
+            ``Connection: keep-alive``); False on EOF, close semantics, or
+            a framing error that loses the request boundary.
+        """
+        request_line = await reader.readline()
+        if not request_line or request_line in (b"\r\n", b"\n"):
+            return False
+        self._requests_served += 1  # pre-dispatch: /healthz counts itself
+        keep_alive = True
         status, payload = 500, {"error": "internal error"}
         try:
-            request_line = await reader.readline()
-            if not request_line:
-                writer.close()
-                return
             try:
-                method, target, _ = request_line.decode("latin-1").split(" ", 2)
+                method, target, proto = request_line.decode("latin-1").split(" ", 2)
             except ValueError:
-                raise ServiceError(400, "malformed request line") from None
+                raise ServiceError(400, "malformed request line", close=True) from None
+            http11 = proto.strip().upper().startswith("HTTP/1.1")
             content_length = 0
-            while True:
+            connection_token = None
+            for _ in range(_MAX_HEADER_LINES):
                 line = await reader.readline()
                 if line in (b"\r\n", b"\n", b""):
                     break
                 name, _, value = line.decode("latin-1").partition(":")
-                if name.strip().lower() == "content-length":
+                name = name.strip().lower()
+                if name == "content-length":
                     try:
                         content_length = int(value.strip())
                     except ValueError:
-                        raise ServiceError(400, "bad Content-Length") from None
+                        raise ServiceError(400, "bad Content-Length", close=True) from None
+                    if content_length < 0:
+                        raise ServiceError(400, "bad Content-Length", close=True)
+                elif name == "connection":
+                    connection_token = value.strip().lower()
+            else:
+                raise ServiceError(400, "too many request headers", close=True)
+            keep_alive = (
+                connection_token != "close" if http11 else connection_token == "keep-alive"
+            )
             body: dict = {}
             if content_length:
                 raw = await reader.readexactly(content_length)
@@ -489,33 +964,43 @@ class ServeApp:
             status, payload = await self._dispatch(method.upper(), target, body)
         except ServiceError as exc:
             status, payload = exc.status, {"error": str(exc)}
+            keep_alive = keep_alive and not exc.close
         except (ValueError, IndexError, TypeError) as exc:
             status, payload = 400, {"error": str(exc)}
         except (LookupError, FileNotFoundError) as exc:
             status, payload = 404, {"error": str(exc)}
         except (asyncio.IncompleteReadError, ConnectionError):
-            writer.close()
-            return
+            return False
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        await self._write_response(writer, status, payload)
+        await self._write_response(writer, status, payload, keep_alive=keep_alive)
+        return keep_alive and not writer.is_closing()
 
     @staticmethod
-    async def _write_response(writer: asyncio.StreamWriter, status: int, payload: dict) -> None:
-        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                   500: "Internal Server Error", 503: "Service Unavailable"}
+    async def _write_response(
+        writer: asyncio.StreamWriter, status: int, payload, *, keep_alive: bool
+    ) -> None:
+        """Write one response; leave the connection open when keep-alive."""
+        if isinstance(payload, (bytes, bytearray)):
+            body = bytes(payload)
+        else:
+            try:
+                body = json.dumps(payload, default=_json_default).encode()
+            except (TypeError, ValueError):  # pragma: no cover - defensive
+                status = 500
+                body = b'{"error": "response not serializable"}'
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
+        ).encode("latin-1")
         try:
-            body = json.dumps(payload, default=_json_default).encode()
-            head = (
-                f"HTTP/1.1 {status} {reasons.get(status, 'Error')}\r\n"
-                f"Content-Type: application/json\r\n"
-                f"Content-Length: {len(body)}\r\n"
-                f"Connection: close\r\n\r\n"
-            ).encode("latin-1")
             writer.write(head + body)
             await writer.drain()
-            writer.close()
-            await writer.wait_closed()
+            if not keep_alive:
+                writer.close()
+                await writer.wait_closed()
         except (ConnectionError, BrokenPipeError):  # client went away
             pass
 
@@ -530,7 +1015,16 @@ class ServeApp:
         *,
         ready: "threading.Event | None" = None,
     ) -> None:
-        """Serve until :meth:`stop` — the current model loads before binding."""
+        """Serve until :meth:`stop` — the current model loads before binding.
+
+        Parameters
+        ----------
+        host, port:
+            Bind address; port 0 picks a free one (read it from ``.port``).
+        ready:
+            Optional event set once the socket is bound and the initial
+            model is loaded (used by :func:`start_server_in_thread`).
+        """
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, self.host.refresh)
         self._shutdown = asyncio.Event()
@@ -547,6 +1041,15 @@ class ServeApp:
         finally:
             if poller is not None:
                 poller.cancel()
+            # Kick idle keep-alive connections loose so their handler tasks
+            # unwind before the loop closes (they are parked on readline).
+            for open_writer in list(self._open_writers):
+                if not open_writer.is_closing():
+                    open_writer.close()
+            for _ in range(20):
+                if not self._open_writers:
+                    break
+                await asyncio.sleep(0.01)
 
     async def _poll_registry(self) -> None:
         """Adopt newly published versions without an explicit reload call."""
@@ -559,34 +1062,52 @@ class ServeApp:
                 pass
 
     def stop(self) -> None:
+        """Signal :meth:`run` to shut the server down."""
         if self._shutdown is not None:
             self._shutdown.set()
 
 
 class ServerHandle:
-    """A server running on a daemon thread (tests, benchmarks, notebooks)."""
+    """A server running on a daemon thread (tests, benchmarks, notebooks).
 
-    def __init__(self, app: ServeApp, thread: threading.Thread, loop: asyncio.AbstractEventLoop) -> None:
+    Parameters
+    ----------
+    app:
+        The running :class:`ServeApp`.
+    thread:
+        The daemon thread executing its event loop.
+    loop:
+        That thread's event loop (used to signal shutdown).
+    """
+
+    def __init__(
+        self, app: ServeApp, thread: threading.Thread, loop: asyncio.AbstractEventLoop
+    ) -> None:
         self.app = app
         self._thread = thread
         self._loop = loop
 
     @property
     def port(self) -> int:
+        """TCP port the server is bound to."""
         return self.app.port
 
     @property
     def base_url(self) -> str:
+        """Base URL (http://127.0.0.1:port) of the running server."""
         return f"http://127.0.0.1:{self.port}"
 
     def stop(self, timeout: float = 5.0) -> None:
+        """Stop the server and join its thread (bounded by ``timeout``)."""
         self._loop.call_soon_threadsafe(self.app.stop)
         self._thread.join(timeout=timeout)
 
     def __enter__(self) -> "ServerHandle":
+        """Return self; the server is already running."""
         return self
 
     def __exit__(self, *exc_info) -> None:
+        """Stop the server on context exit."""
         self.stop()
 
 
@@ -599,12 +1120,44 @@ def start_server_in_thread(
     batch_window: float = 0.002,
     max_batch: int = 64,
     poll_interval: float = 0.0,
+    adaptive_batching: bool = True,
     engine_kwargs: dict | None = None,
 ) -> ServerHandle:
     """Spin up a serving thread over ``registry`` (a path or FactorStore).
 
     Returns once the socket is bound and the initial model is loaded; the
     handle exposes ``base_url`` and ``stop()`` (also a context manager).
+
+    Parameters
+    ----------
+    registry:
+        A :class:`~repro.serve.store.FactorStore` or a registry directory.
+    host, port:
+        Bind address; the default port 0 picks a free one.
+    lru_size:
+        Per-version engine cache size (see :class:`ModelHost`).
+    batch_window:
+        Micro-batching window cap in seconds.
+    max_batch:
+        Immediate-flush batch size threshold.
+    poll_interval:
+        Registry poll cadence in seconds; 0 disables polling.
+    adaptive_batching:
+        False pins the batching window at ``batch_window`` regardless of
+        load (the pre-adaptive behavior; useful for forcing coalescing in
+        tests).
+    engine_kwargs:
+        Extra keyword arguments for every ``QueryEngine`` construction.
+
+    Returns
+    -------
+    ServerHandle
+        Handle with ``base_url``, ``port``, and ``stop()``.
+
+    Raises
+    ------
+    RuntimeError
+        When the server thread fails to bind within the startup timeout.
     """
     store = registry if isinstance(registry, FactorStore) else FactorStore(registry)
     model_host = ModelHost(store, lru_size=lru_size, engine_kwargs=engine_kwargs)
@@ -613,6 +1166,7 @@ def start_server_in_thread(
         batch_window=batch_window,
         max_batch=max_batch,
         poll_interval=poll_interval,
+        adaptive_batching=adaptive_batching,
     )
     ready = threading.Event()
     failure: list[BaseException] = []

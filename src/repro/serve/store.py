@@ -134,6 +134,7 @@ class ModelArtifact:
 
     @property
     def dtype(self) -> np.dtype:
+        """Working dtype of the stored factors."""
         return self.result.H.dtype
 
 
@@ -265,6 +266,7 @@ class FactorStore:
         return f"v{version:07d}"
 
     def version_dir(self, version: int) -> Path:
+        """Directory holding ``version``'s immutable payload."""
         return self._versions_dir / self._version_name(int(version))
 
     def versions(self) -> list[int]:
@@ -298,9 +300,11 @@ class FactorStore:
         return pointed if pointed in published else published[-1]
 
     def __len__(self) -> int:
+        """Number of published versions."""
         return len(self.versions())
 
     def __repr__(self) -> str:
+        """Summarize root path, version count, and latest version."""
         return (
             f"FactorStore({str(self.root)!r}, {len(self)} versions, "
             f"latest={self.latest_version()})"

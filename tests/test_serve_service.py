@@ -1,7 +1,10 @@
 """Tests for the asyncio HTTP service: routing, micro-batching, hot swap."""
 
+import http.client
 import json
+import socket
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -219,7 +222,9 @@ class TestHttpEndpoints:
         """Acceptance: coalesced concurrent requests return bit-for-bit the
         answers of one-at-a-time execution, while sharing kernel calls."""
         indices = [0, 1, 2, 3, 4, 0, 2]
-        with start_server_in_thread(store, batch_window=0.25) as handle:
+        with start_server_in_thread(
+            store, batch_window=0.25, adaptive_batching=False
+        ) as handle:
             barrier = threading.Barrier(len(indices))
             outcomes: dict[int, dict] = {}
 
@@ -294,7 +299,9 @@ class TestHttpEndpoints:
     def test_bad_request_never_poisons_cobatched_ones(self, store, result):
         """An out-of-range index 400s on its own; a valid request sharing
         the same batching window still gets its answer."""
-        with start_server_in_thread(store, batch_window=0.25) as handle:
+        with start_server_in_thread(
+            store, batch_window=0.25, adaptive_batching=False
+        ) as handle:
             barrier = threading.Barrier(2)
             outcomes: dict[str, object] = {}
 
@@ -332,3 +339,283 @@ class TestHttpEndpoints:
     def test_registry_path_accepted(self, store):
         with start_server_in_thread(store.root) as handle:
             assert _call(handle.base_url, "GET", "/healthz")["status"] == "ok"
+
+    def test_endpoint_error_paths_return_json_400(self, store, tensor):
+        """Every endpoint rejects malformed payloads with a JSON 400 body."""
+        n = tensor.n_columns
+        with start_server_in_thread(store) as handle:
+            cases = [
+                ("POST", "/v1/similar", {"index": "zero"}),
+                ("POST", "/v1/similar", {"index": 0, "k": 0}),
+                ("POST", "/v1/similar", {"index": 0, "k": True}),
+                ("POST", "/v1/similar", {"index": 0, "mode": 7}),
+                ("POST", "/v1/similar", {"index": 0, "mode": "galaxy"}),
+                ("POST", "/v1/similar", {"indices": "nope"}),
+                ("POST", "/v1/similar", {"indices": [0, "one"]}),
+                ("POST", "/v1/similar", {"index": 0, "version": "x"}),
+                ("GET", "/v1/model?version=abc", None),
+                ("POST", "/v1/reconstruct", {"slice": "one"}),
+                ("POST", "/v1/reconstruct", {"slice": 1, "rows": "x"}),
+                ("POST", "/v1/fold-in", {}),
+                ("POST", "/v1/fold-in", {"slice": [1.0, 2.0]}),
+                ("POST", "/v1/fold-in", {"slice": [[float("nan")] * n]}),
+                ("POST", "/v1/fold-in", {"slice": [[1.0] * n], "sweeps": 0}),
+                ("POST", "/v1/fold-in", {"slice": [[1.0] * n], "seed": "x"}),
+                ("POST", "/v1/anomaly", {}),
+                ("POST", "/v1/anomaly", {"slice": "nope"}),
+            ]
+            for method, path, body in cases:
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    _call(handle.base_url, method, path, body)
+                assert err.value.code == 400, (method, path, body)
+                assert "error" in json.loads(err.value.read()), (method, path)
+
+    def test_model_cache_invalidates_on_hot_swap(self, store, result):
+        """/v1/model is pre-serialized per engine; a reload must refresh it."""
+        with start_server_in_thread(store) as handle:
+            assert _call(handle.base_url, "GET", "/v1/model")["version"] == 1
+            store.publish(result)
+            _call(handle.base_url, "POST", "/admin/reload", {})
+            assert _call(handle.base_url, "GET", "/v1/model")["version"] == 2
+
+
+class TestAdaptiveWindow:
+    def test_window_zero_when_idle_grows_under_pressure_resets(self):
+        import asyncio
+
+        def runner(payloads):
+            return list(payloads)
+
+        async def scenario():
+            batcher = MicroBatcher(
+                runner, window=0.01, max_batch=64, idle_reset=0.2
+            )
+            observed = {}
+            observed["idle"] = batcher.current_window()
+            # A deep burst: all submits land in one event-loop tick, so even
+            # a zero window coalesces them into a single flush.
+            await asyncio.gather(*[batcher.submit(i) for i in range(16)])
+            observed["batches_after_burst"] = batcher.batches
+            observed["after_burst"] = batcher.current_window()
+            # Sustained bursts drive the EWMA toward the cap.
+            for _ in range(4):
+                await asyncio.gather(*[batcher.submit(i) for i in range(16)])
+            observed["saturated"] = batcher.current_window()
+            # A thin trickle of singles decays the pressure back down.
+            for _ in range(6):
+                await batcher.submit(0)
+            observed["after_decay"] = batcher.current_window()
+            # Past idle_reset with no flush at all, pressure is forgotten.
+            await asyncio.sleep(0.25)
+            observed["after_idle"] = batcher.current_window()
+            return observed
+
+        seen = asyncio.run(scenario())
+        assert seen["idle"] == 0.0
+        assert seen["batches_after_burst"] == 1  # same-tick coalescing at window 0
+        assert seen["after_burst"] > 0.0
+        assert seen["saturated"] > 0.009  # essentially at the cap
+        assert seen["after_decay"] < seen["saturated"]
+        assert seen["after_idle"] == 0.0
+
+    def test_fixed_window_mode_ignores_pressure(self):
+        def runner(payloads):
+            return list(payloads)
+
+        batcher = MicroBatcher(runner, window=0.25, adaptive=False)
+        assert batcher.current_window() == 0.25  # idle, still the full window
+
+    def test_stats_snapshot_matches_pre_serialized_json(self):
+        def runner(payloads):
+            return list(payloads)
+
+        batcher = MicroBatcher(runner, window=0.002)
+        assert json.loads(batcher.stats_json()) == batcher.stats()
+
+
+class TestFoldBatching:
+    def test_fold_in_and_anomaly_coalesce_bitwise_equal(
+        self, store, result, config, tensor
+    ):
+        """Concurrent fold-in/anomaly requests share fold_in_many calls and
+        still answer bit-for-bit like one-at-a-time execution."""
+        engine = QueryEngine(result, config=config, version=1)
+        slices = [np.asarray(tensor[i], dtype=np.float64) for i in range(4)]
+        with start_server_in_thread(
+            store, batch_window=0.25, adaptive_batching=False
+        ) as handle:
+            barrier = threading.Barrier(2 * len(slices))
+            outcomes: dict[tuple, dict] = {}
+
+            def fire(kind: str, slot: int) -> None:
+                body = {"slice": slices[slot].tolist(), "seed": slot}
+                barrier.wait()
+                outcomes[(kind, slot)] = _call(
+                    handle.base_url, "POST", f"/v1/{kind}", body
+                )
+
+            threads = [
+                threading.Thread(target=fire, args=(kind, slot))
+                for kind in ("fold-in", "anomaly")
+                for slot in range(len(slices))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert len(outcomes) == 2 * len(slices)
+            health = _call(handle.base_url, "GET", "/healthz")
+            fold_stats = health["batching"]["fold_in"]
+            assert fold_stats["requests"] == 2 * len(slices)
+            assert fold_stats["batches"] < 2 * len(slices)  # actually coalesced
+
+        for slot, X in enumerate(slices):
+            offline = engine.fold_in(X, seed=slot)
+            fold = outcomes[("fold-in", slot)]
+            assert fold["weights"] == offline.weights.tolist()  # bitwise
+            assert fold["relative_residual"] == offline.relative_residual
+            anomaly = outcomes[("anomaly", slot)]
+            assert anomaly["score"] == offline.relative_residual
+            assert anomaly["residual_squared"] == offline.residual_squared
+
+
+class TestTransport:
+    def test_keep_alive_reuses_one_connection(self, store):
+        with start_server_in_thread(store) as handle:
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port, timeout=15)
+            try:
+                sockets = set()
+                for _ in range(5):
+                    conn.request("GET", "/healthz")
+                    response = conn.getresponse()
+                    body = json.loads(response.read())
+                    assert response.status == 200
+                    assert response.getheader("Connection") == "keep-alive"
+                    sockets.add(id(conn.sock))
+                assert len(sockets) == 1  # never re-dialed
+                assert body["connections"] == 1
+                assert body["requests_served"] == 5
+            finally:
+                conn.close()
+
+    def test_post_over_keep_alive_connection(self, store):
+        with start_server_in_thread(store) as handle:
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port, timeout=15)
+            try:
+                for index in (0, 1, 0):
+                    conn.request(
+                        "POST", "/v1/similar",
+                        body=json.dumps({"index": index, "k": 2}),
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = conn.getresponse()
+                    body = json.loads(response.read())
+                    assert response.status == 200
+                    assert body["index"] == index
+            finally:
+                conn.close()
+
+    def test_connection_close_is_honored(self, store):
+        with start_server_in_thread(store) as handle:
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port, timeout=15)
+            try:
+                conn.request("GET", "/healthz", headers={"Connection": "close"})
+                response = conn.getresponse()
+                assert response.status == 200
+                assert response.getheader("Connection") == "close"
+                assert response.read()  # server closes after the body
+            finally:
+                conn.close()
+
+    def test_error_responses_keep_connection_alive(self, store):
+        """A 400 is the client's problem, not the connection's: the next
+        request on the same socket still works."""
+        with start_server_in_thread(store) as handle:
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port, timeout=15)
+            try:
+                conn.request(
+                    "POST", "/v1/similar", body=json.dumps({"k": 2}),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                assert response.status == 400
+                assert "error" in json.loads(response.read())
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                assert response.status == 200
+                assert json.loads(response.read())["status"] == "ok"
+            finally:
+                conn.close()
+
+    def test_malformed_framing_gets_400_and_close(self, store):
+        with start_server_in_thread(store) as handle:
+            with socket.create_connection(("127.0.0.1", handle.port), timeout=15) as raw:
+                raw.sendall(b"NOT-HTTP\r\n\r\n")
+                reply = b""
+                while True:
+                    chunk = raw.recv(4096)
+                    if not chunk:
+                        break  # server closed: framing is unrecoverable
+                    reply += chunk
+            assert reply.startswith(b"HTTP/1.1 400")
+            assert b"Connection: close" in reply
+
+    def test_non_json_body_gets_400(self, store):
+        with start_server_in_thread(store) as handle:
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port, timeout=15)
+            try:
+                conn.request("POST", "/v1/similar", body=b"not json at all")
+                response = conn.getresponse()
+                assert response.status == 400
+                assert "error" in json.loads(response.read())
+            finally:
+                conn.close()
+
+    def test_healthz_counter_reference(self, store):
+        """The counters documented in docs/serving.md exist and make sense."""
+        with start_server_in_thread(store) as handle:
+            _call(handle.base_url, "POST", "/v1/similar", {"index": 0, "k": 2})
+            health = _call(handle.base_url, "GET", "/healthz")
+        assert health["status"] == "ok"
+        assert health["version"] == 1
+        assert health["uptime_seconds"] >= 0.0
+        assert health["connections"] >= 2
+        assert health["requests_served"] >= 2
+        # Back-compat top-level aliases of the similar batcher.
+        assert health["batches"] == health["batching"]["similar"]["batches"]
+        assert health["batched_requests"] == health["batching"]["similar"]["requests"]
+        for name in ("similar", "fold_in"):
+            stats = health["batching"][name]
+            for key in (
+                "batches", "requests", "queue_depth", "last_batch",
+                "ewma_depth", "window_cap_ms", "current_window_ms",
+            ):
+                assert key in stats, (name, key)
+        assert health["batching"]["similar"]["requests"] == 1
+
+    def test_idle_latency_close_to_unbatched(self, store):
+        """Adaptive batching must not tax a quiet server: sequential keep-alive
+        requests at the default window cap stay close to a window-0 server."""
+
+        def p50(handle):
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port, timeout=15)
+            try:
+                samples = []
+                body = json.dumps({"index": 0, "k": 3})
+                for _ in range(60):
+                    start = time.perf_counter()
+                    conn.request("POST", "/v1/similar", body=body)
+                    conn.getresponse().read()
+                    samples.append(time.perf_counter() - start)
+            finally:
+                conn.close()
+            samples.sort()
+            return samples[len(samples) // 2]
+
+        with start_server_in_thread(store, batch_window=0.0) as handle:
+            unbatched = p50(handle)
+        with start_server_in_thread(store, batch_window=0.002) as handle:
+            adaptive = p50(handle)
+        # Generous bound for a shared CI box; the 2ms fixed window it
+        # replaces would blow well past this.
+        assert adaptive < unbatched + 0.0015, (adaptive, unbatched)
