@@ -24,8 +24,15 @@ non-zero when iterate, preprocess, *or sparse stage-1* seconds regress
 more than ``--max-regression`` (default 2x) against a checked-in baseline.
 ``--backend`` selects the compute backend (numpy/torch/torch-cuda/cupy) —
 the record carries a ``compute_backend`` field so baselines from different
-backends are never compared against each other (v1/v2 baselines without
+backends are never compared against each other (v1-v3 baselines without
 the newer fields still check cleanly: absent metrics are skipped).
+
+Schema v4 adds ``timing_stats``: per timed metric, the full
+``{best, median, spread}`` distribution over the ``--repeats`` runs
+(``spread = (max - min) / median``), so a recorded trajectory carries its
+own noise estimate.  The flat ``*_seconds`` keys keep their best-of-N
+meaning, which is what the regression gate compares — old baselines read
+and check unchanged.
 """
 
 import argparse
@@ -118,15 +125,36 @@ def test_batched_small_svd(benchmark):
 # --------------------------------------------------------------------- #
 
 
+def _timing_stats(samples) -> dict:
+    """Summarize repeat wall-clocks: best, median, and relative spread.
+
+    ``spread`` is ``(max - min) / median`` — a scale-free noise indicator
+    that lets a reader judge how trustworthy the best/median numbers are
+    without rerunning the benchmark (schema v4).
+    """
+    ordered = sorted(samples)
+    n = len(ordered)
+    median = (
+        ordered[n // 2]
+        if n % 2
+        else 0.5 * (ordered[n // 2 - 1] + ordered[n // 2])
+    )
+    return {
+        "best": ordered[0],
+        "median": median,
+        "spread": (ordered[-1] - ordered[0]) / median if median > 0 else 0.0,
+    }
+
+
 def _best_of(repeats, fn):
-    """Best (minimum) wall-clock of ``repeats`` runs — noise-robust."""
-    best = float("inf")
+    """Wall-clock stats over ``repeats`` runs: ``(stats dict, last value)``."""
+    samples = []
     value = None
     for _ in range(repeats):
         start = time.perf_counter()
         value = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, value
+        samples.append(time.perf_counter() - start)
+    return _timing_stats(samples), value
 
 
 def _peak_tracemalloc(fn) -> tuple[int, object]:
@@ -175,12 +203,18 @@ def run_sparse_axis(
             backend="serial", stage1_batching="batched",
         )
 
-    sparse_seconds, _ = _best_of(repeats, lambda: run(sparse_tensor))
-    dense_seconds, _ = _best_of(repeats, lambda: run(dense_tensor))
+    sparse_stats, _ = _best_of(repeats, lambda: run(sparse_tensor))
+    dense_stats, _ = _best_of(repeats, lambda: run(dense_tensor))
+    sparse_seconds = sparse_stats["best"]
+    dense_seconds = dense_stats["best"]
     sparse_peak, _ = _peak_tracemalloc(lambda: run(sparse_tensor))
     dense_peak, _ = _peak_tracemalloc(lambda: run(dense_tensor))
 
     return {
+        "timing_stats": {
+            "stage1_sparse_seconds": sparse_stats,
+            "stage1_sparse_dense_seconds": dense_stats,
+        },
         "sparse_spmm": spmm_backend(),
         "sparse_n_slices": sparse_tensor.n_slices,
         "sparse_rows": n_rows,
@@ -228,14 +262,14 @@ def run_kernel_bench(
         48, n_columns, n_slices, min_rows=16, random_state=seed
     )
 
-    per_slice_seconds, _ = _best_of(
+    per_slice_stats, _ = _best_of(
         repeats,
         lambda: compress_tensor(
             tensor, rank, random_state=seed,
             backend="serial", stage1_batching="per-slice",
         ),
     )
-    batched_seconds, _ = _best_of(
+    batched_stats, _ = _best_of(
         repeats,
         lambda: compress_tensor(
             tensor, rank, random_state=seed,
@@ -243,9 +277,18 @@ def run_kernel_bench(
             compute_backend=compute_backend,
         ),
     )
+    per_slice_seconds = per_slice_stats["best"]
+    batched_seconds = batched_stats["best"]
 
+    # Schema v4: every flat ``*_seconds`` key keeps its best-of-N meaning
+    # (so v1-v3 baselines compare unchanged), and ``timing_stats`` carries
+    # the per-metric {best, median, spread} distribution alongside.
     record = {
-        "schema_version": 3,
+        "schema_version": 4,
+        "timing_stats": {
+            "stage1_per_slice_seconds": per_slice_stats,
+            "stage1_batched_seconds": batched_stats,
+        },
         "compute_backend": compute_backend,
         "platform": platform.platform(),
         "n_slices": tensor.n_slices,
@@ -268,13 +311,17 @@ def run_kernel_bench(
         # numbers across machines, so a single noisy sample must not decide.
         results = [dpar2(tensor, config) for _ in range(repeats)]
         key = "" if dtype == "float64" else "_float32"
-        record[f"preprocess_seconds{key}"] = min(
-            r.preprocess_seconds for r in results
-        )
-        record[f"iterate_seconds{key}"] = min(r.iterate_seconds for r in results)
+        preprocess = _timing_stats([r.preprocess_seconds for r in results])
+        iterate = _timing_stats([r.iterate_seconds for r in results])
+        record[f"preprocess_seconds{key}"] = preprocess["best"]
+        record[f"iterate_seconds{key}"] = iterate["best"]
         record[f"preprocessed_bytes{key}"] = results[0].preprocessed_bytes
+        record["timing_stats"][f"preprocess_seconds{key}"] = preprocess
+        record["timing_stats"][f"iterate_seconds{key}"] = iterate
     if compute_backend == "numpy":
-        record.update(run_sparse_axis(rank=rank, repeats=repeats, seed=seed))
+        sparse = run_sparse_axis(rank=rank, repeats=repeats, seed=seed)
+        record["timing_stats"].update(sparse.pop("timing_stats"))
+        record.update(sparse)
     return record
 
 

@@ -102,6 +102,25 @@ def build_parser() -> argparse.ArgumentParser:
         "compression and sweeps resident on the GPU",
     )
     decompose.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="run DPar2 through the shard coordinator with N workers: "
+        "stage-1 compression and the sweep contractions run shard-local "
+        "and only R x R Gram statistics cross shard boundaries each sweep; "
+        "final factors are bitwise-identical for any N (dpar2 only)",
+    )
+    decompose.add_argument(
+        "--shard-backend", default="process", choices=list(BACKEND_NAMES),
+        help="transport for shard workers (default: process; serial and "
+        "thread exist for debugging and overhead measurement)",
+    )
+    decompose.add_argument(
+        "--shard-cells", type=int, default=8, metavar="C",
+        help="fixed reduction-cell count the slices are grouped into "
+        "(clamped to the slice count); cells are the unit of floating-"
+        "point accumulation, which is what makes the factors invariant "
+        "to --shards (default: 8)",
+    )
+    decompose.add_argument(
         "--out-of-core", action="store_true",
         help="stage the dataset into a temporary on-disk slice store and "
         "decompose it memory-mapped (demonstrates the streaming path)",
@@ -132,6 +151,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     publish.add_argument(
         "--dtype", default="float64", choices=["float64", "float32"],
+    )
+    publish.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="fit through the shard coordinator with N workers "
+        "(see decompose --shards)",
+    )
+    publish.add_argument(
+        "--shard-backend", default="process", choices=list(BACKEND_NAMES),
     )
     publish.add_argument("--seed", type=int, default=0)
 
@@ -238,6 +265,13 @@ def cmd_decompose(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.shards is not None and args.method != "dpar2":
+        print(
+            f"error: --shards is only supported by --method dpar2; "
+            f"{args.method} has no shard coordinator",
+            file=sys.stderr,
+        )
+        return 2
     tensor = load_dataset(args.dataset, random_state=args.seed)
     if args.density_threshold is not None:
         if not 0.0 <= args.density_threshold <= 1.0:
@@ -279,15 +313,23 @@ def cmd_decompose(args: argparse.Namespace) -> int:
             random_state=args.seed,
             dtype=args.dtype,
             compute_backend=args.compute_backend,
+            shards=args.shards,
+            shard_backend=args.shard_backend,
+            shard_cells=args.shard_cells,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     solver = get_solver(args.method)
     print(f"dataset : {args.dataset} -> {tensor}")
+    sharded = (
+        f", {config.shards} shards via {config.shard_backend}"
+        if config.shards is not None
+        else ""
+    )
     print(f"solver  : {DISPLAY_NAMES[args.method]} (rank {config.rank}, "
           f"backend {config.backend} x{config.n_threads}, {config.dtype}, "
-          f"compute {config.compute_backend})")
+          f"compute {config.compute_backend}{sharded})")
     if not args.out_of_core:
         return _run_decompose(solver, tensor, config)
     # The store must outlive the run: slices are read lazily during stage 1.
@@ -315,6 +357,13 @@ def _run_decompose(solver, tensor, config: DecompositionConfig) -> int:
           f" ({result.n_iterations} sweeps)")
     ratio = tensor.nbytes / max(result.preprocessed_bytes, 1)
     print(f"memory  : preprocessed data {ratio:.1f}x smaller than input")
+    sharding = result.stats.get("sharding")
+    if sharding:
+        print(
+            f"shards  : {sharding['shards']} over {sharding['cells']} cells "
+            f"(imbalance {sharding['imbalance']:.2f}), allreduce "
+            f"{sharding['allreduce_bytes_per_sweep']:.0f} B/sweep"
+        )
     return 0
 
 
@@ -330,6 +379,8 @@ def cmd_publish(args: argparse.Namespace) -> int:
             backend=args.backend,
             random_state=args.seed,
             dtype=args.dtype,
+            shards=args.shards,
+            shard_backend=args.shard_backend,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -486,6 +486,26 @@ def dpar2(
         )
     R = min(config.rank, tensor.n_columns, min(tensor.row_counts))
 
+    if config.shards is not None:
+        if exact_convergence:
+            raise ValueError(
+                "exact_convergence re-reads the raw slices every sweep and "
+                "is not available on the sharded path; unset config.shards "
+                "for the ablation"
+            )
+        if not use_greedy_partition:
+            raise ValueError(
+                "use_greedy_partition=False is the Algorithm-4 ablation of "
+                "the single-process path; the shard planner always balances "
+                "greedily — unset config.shards to run the ablation"
+            )
+        # Imported lazily: sharded.py imports this module's CompressedTensor.
+        from repro.decomposition.sharded import sharded_dpar2
+
+        return sharded_dpar2(
+            tensor, config, compressed=compressed, target_rank=R
+        )
+
     # One backend instance serves compression and every sweep, so a process
     # pool pays its fork cost once per dpar2() call.
     with get_backend(config.backend, config.n_threads) as engine:

@@ -54,6 +54,12 @@ class Parafac2Result:
         (Fig. 10); for methods without preprocessing this is the input size.
     history:
         Per-iteration convergence-criterion trace.
+    stats:
+        Solver-specific execution statistics (plain JSON-able dict).  The
+        sharded DPar2 coordinator records its ``"sharding"`` entry here:
+        the cell/shard layout, the load-imbalance ratio, and the measured
+        allreduce bytes per sweep.  Empty for solvers with nothing to
+        report; not persisted by :meth:`save`.
     """
 
     Q: list[np.ndarray]
@@ -67,6 +73,7 @@ class Parafac2Result:
     iterate_seconds: float = 0.0
     preprocessed_bytes: int = 0
     history: list[IterationRecord] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         rank = self.H.shape[0]

@@ -211,6 +211,16 @@ class StreamingDpar2:
 
         With ``refresh=False`` the factor refresh is skipped (call
         :meth:`result` when done batching).
+
+        When ``config.shards`` is set the batch is stage-1 compressed
+        through the shard coordinator instead
+        (:func:`~repro.decomposition.sharded.sharded_stage1`): each shard
+        sketches the cells it owns and the full per-slice factors are
+        gathered back into this stream's state.  The private per-slice
+        generators make the result bitwise-identical to the in-process
+        batched path for dense slices, and invariant to the shard count
+        for all slice types; the refresh solve shards automatically
+        through :func:`~repro.decomposition.dpar2.dpar2`.
         """
         matrices = [
             _check_stream_slice(Xk, f"slices[{idx}]", self._dtype)
@@ -230,6 +240,25 @@ class StreamingDpar2:
         self._n_columns = n_columns
 
         generators = spawn_generators(self._rng, len(matrices))
+        if self.config.shards is not None:
+            from repro.decomposition.sharded import sharded_stage1
+
+            stage1 = sharded_stage1(
+                matrices,
+                generators,
+                rank=self.config.rank,
+                oversampling=self.config.oversampling,
+                power_iterations=self.config.power_iterations,
+                n_shards=self.config.shards,
+                shard_backend=self.config.shard_backend,
+                n_cells=self.config.shard_cells,
+            )
+            for svd in stage1:
+                self._absorb_stage1(svd)
+            self._last_result = None
+            if refresh:
+                self._refresh()
+            return
         xp = get_xp(self.config.compute_backend)
         with get_backend(self.config.backend, self.config.n_threads) as engine:
             if not xp.is_numpy:

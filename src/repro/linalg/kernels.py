@@ -61,6 +61,7 @@ from repro.sparse.csr import CsrMatrix
 from repro.sparse.stacked import StackedCsr
 
 __all__ = [
+    "CellSweepWorkspace",
     "DeviceSweepWorkspace",
     "SweepWorkspace",
     "acquire_sweep_workspace",
@@ -582,6 +583,149 @@ class SweepWorkspace:
             np.einsum(_MODEL, self.HS, self.HS, self.VtV, optimize=self.path_model)
         )
         return max(self.data_term - 2.0 * cross + model, 0.0)
+
+
+class CellSweepWorkspace:
+    """Shard-local sweep kernels for one reduction *cell* of slices.
+
+    The sharded DPar2 coordinator (:mod:`repro.decomposition.sharded`)
+    partitions the K slices into a fixed set of cells; each cell computes
+    its own slice-local contractions with this workspace and ships back
+    only ``O(R²)`` partial reductions.  The cell — not the shard — is the
+    unit of floating-point accumulation: a cell's partials are a pure
+    function of its slices, and the coordinator sums them in cell order,
+    so the final factors are bitwise-invariant to how cells are assigned
+    to shards (see ``docs/distributed.md``).
+
+    Geometry is ``(Kc, R, Rc, dtype)`` — the cell's slice count, target
+    rank, and compression rank.  Contraction paths are resolved once per
+    cell with ``np.einsum_path`` exactly like :class:`SweepWorkspace`;
+    because a cell's membership never changes, each slice always computes
+    under its own cell's path, whatever the shard count.  The convergence
+    criterion partials (``TE``/``HS`` and the scalar reductions)
+    accumulate in float64 regardless of the working dtype, mirroring the
+    single-process workspace.
+    """
+
+    def __init__(self, Kc: int, R: int, Rc: int | None = None, dtype=np.float64) -> None:
+        Rc = R if Rc is None else Rc
+        if Rc < R:
+            raise ValueError(f"compression rank {Rc} below target rank {R}")
+        if Kc <= 0:
+            raise ValueError(f"cell must hold at least one slice, got {Kc}")
+        dt = np.dtype(dtype)
+        if dt not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(f"dtype must be float32 or float64, got {dt}")
+        self.Kc, self.R, self.Rc = Kc, R, Rc
+        self.dtype = dt
+
+        # Working-dtype buffers (per-cell partials of the SweepWorkspace set).
+        self.small = np.empty((Kc, Rc, R), dt)
+        self.T = np.empty((Kc, R, Rc), dt)
+        self.G1 = np.empty((R, R), dt)
+        self.WtW = np.empty((R, R), dt)
+        self.inner = np.empty((Rc, R), dt)
+        self.G3 = np.empty((Kc, R), dt)
+        # Criterion partials accumulate in float64.
+        self.TE = np.empty((Kc, R, Rc), np.float64)
+        self.HS = np.empty((Kc, R, R), np.float64)
+
+        F = np.empty((Kc, Rc, Rc), dt)  # shape proxies for path search only
+        EDtV = np.empty((Rc, R), dt)
+        square = np.empty((R, R), dt)
+        VtD = np.empty((R, Rc), np.float64)
+        self.path_small = np.einsum_path(
+            _SMALL, F, EDtV, self.G3, square, optimize=True
+        )[0]
+        self.path_T = np.einsum_path(_T, self.small, F, optimize=True)[0]
+        self.path_G1 = np.einsum_path(_G1, self.G3, self.T, EDtV, optimize=True)[0]
+        self.path_inner = np.einsum_path(
+            _INNER, self.G3, self.T, square, optimize=True
+        )[0]
+        self.path_G3 = np.einsum_path(_G3, square, self.T, EDtV, optimize=True)[0]
+        self.path_cross = np.einsum_path(
+            _CROSS, self.TE, self.HS, VtD, optimize=True
+        )[0]
+        self.path_model = np.einsum_path(
+            _MODEL, self.HS, self.HS, VtD[:, :R], optimize=True
+        )[0]
+
+        # Bound per solve, not per geometry.
+        self.E: np.ndarray | None = None
+        self.F: np.ndarray | None = None
+        self.W: np.ndarray | None = None  # this cell's (Kc, R) rows of W
+        self.data_term: float = 0.0
+
+    def bind(self, E: np.ndarray, F: np.ndarray, W: np.ndarray) -> float:
+        """Attach the cell's compressed blocks and its rows of ``W``.
+
+        Returns the cell's float64 partial of the criterion's constant
+        data term ``Σk ‖F(k) E‖²`` (the coordinator sums cell partials in
+        cell order).
+        """
+        if F.shape != (self.Kc, self.Rc, self.Rc):
+            raise ValueError(
+                f"F must be ({self.Kc}, {self.Rc}, {self.Rc}), got {F.shape}"
+            )
+        if W.shape != (self.Kc, self.R):
+            raise ValueError(f"W must be ({self.Kc}, {self.R}), got {W.shape}")
+        self.E, self.F = E, F
+        self.W = np.ascontiguousarray(W, dtype=self.dtype)
+        FE = F.astype(np.float64) * E.astype(np.float64)
+        self.data_term = float(np.sum(FE * FE))
+        return self.data_term
+
+    def compute_small(self, EDtV: np.ndarray, H: np.ndarray) -> np.ndarray:
+        """``small_k = F(k) (E Dᵀ V) Sk Hᵀ`` over the cell's slices."""
+        return np.einsum(
+            _SMALL, self.F, EDtV, self.W, H,
+            optimize=self.path_small, out=self.small,
+        )
+
+    def compute_T(self, polar: np.ndarray) -> np.ndarray:
+        """``Tk = (Zk Pkᵀ)ᵀ F(k)`` over the cell's slices."""
+        return np.einsum(_T, polar, self.F, optimize=self.path_T, out=self.T)
+
+    def mttkrp_H(self, EDtV: np.ndarray) -> np.ndarray:
+        """The cell's partial of Lemma 1's ``G1`` (uses current ``W``)."""
+        return np.einsum(
+            _G1, self.W, self.T, EDtV, optimize=self.path_G1, out=self.G1
+        )
+
+    def gram_W(self) -> np.ndarray:
+        """``Wcᵀ Wc`` — the cell's partial of the ``WᵀW`` Gram."""
+        return np.matmul(self.W.T, self.W, out=self.WtW)
+
+    def mttkrp_V_inner(self, H: np.ndarray) -> np.ndarray:
+        """The cell's partial of Lemma 2's inner sum ``Σk Tkᵀ H diag(Sk)``."""
+        return np.einsum(
+            _INNER, self.W, self.T, H, optimize=self.path_inner, out=self.inner
+        )
+
+    def mttkrp_W(self, EDtV: np.ndarray, H: np.ndarray) -> np.ndarray:
+        """Lemma 3's ``G3`` rows for the cell's slices."""
+        return np.einsum(
+            _G3, H, self.T, EDtV, optimize=self.path_G3, out=self.G3
+        )
+
+    def criterion_partials(
+        self, VtD: np.ndarray, VtV: np.ndarray, H: np.ndarray
+    ) -> tuple[float, float]:
+        """The cell's float64 ``(cross, model)`` criterion partials.
+
+        Reads the ``Tk`` buffer of this sweep and the cell's updated ``W``
+        rows; mirrors :meth:`SweepWorkspace.compressed_error` term for
+        term, minus the constant data term handled at :meth:`bind`.
+        """
+        np.multiply(self.T, self.E, out=self.TE)
+        np.multiply(H[None, :, :], self.W[:, None, :], out=self.HS)
+        cross = float(
+            np.einsum(_CROSS, self.TE, self.HS, VtD, optimize=self.path_cross)
+        )
+        model = float(
+            np.einsum(_MODEL, self.HS, self.HS, VtV, optimize=self.path_model)
+        )
+        return cross, model
 
 
 class DeviceSweepWorkspace:

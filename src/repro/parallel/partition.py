@@ -5,6 +5,11 @@ The cost of compressing slice ``Xk`` is proportional to its row count
 Algorithm 4 is greedy number partitioning (longest-processing-time first):
 sort slices by row count descending, and repeatedly hand the next slice to
 the thread with the smallest accumulated load.
+
+The shard coordinator (:mod:`repro.parallel.sharding`) builds on these
+primitives, so their edge cases are pinned down precisely: empty groups
+when ``n_parts > len(weights)``, all-zero weights spread round-robin
+instead of piling onto part 0, and fully deterministic tie-breaking.
 """
 
 from __future__ import annotations
@@ -27,7 +32,11 @@ def greedy_partition(weights: Sequence[float], n_parts: int) -> list[list[int]]:
     list of lists
         ``parts[t]`` holds the item indices assigned to thread ``t``.
         Every index appears exactly once; empty groups are possible when
-        ``n_parts > len(weights)``.
+        ``n_parts > len(weights)``.  The result is fully deterministic:
+        items are processed in (descending weight, ascending index) order
+        and load ties break by (fewest items, lowest part index), so
+        equal-weight — including all-zero-weight — items spread across
+        parts instead of collapsing onto part 0.
     """
     if n_parts <= 0:
         raise ValueError(f"n_parts must be positive, got {n_parts}")
@@ -41,7 +50,9 @@ def greedy_partition(weights: Sequence[float], n_parts: int) -> list[list[int]]:
     # original index for determinism.
     order = sorted(range(len(costs)), key=lambda idx: (-costs[idx], idx))
     for idx in order:
-        target = min(range(n_parts), key=lambda t: (loads[t], t))
+        # Tie-break equal loads by item count so zero-weight items (which
+        # never change the load) still spread across parts.
+        target = min(range(n_parts), key=lambda t: (loads[t], len(parts[t]), t))
         parts[target].append(idx)
         loads[target] += costs[idx]
     return parts
@@ -64,7 +75,12 @@ def partition_imbalance(weights: Sequence[float], parts: Sequence[Sequence[int]]
 
     The completion time of the parallel compression stage is the max load, so
     this ratio is exactly the slowdown versus a perfectly balanced split.
+    Empty groups are legitimate (``n_parts > len(weights)``) and count
+    toward the mean; an empty ``parts`` sequence is rejected because the
+    ratio is undefined.
     """
+    if len(parts) == 0:
+        raise ValueError("parts must contain at least one group")
     costs = [float(w) for w in weights]
     loads = [sum(costs[idx] for idx in group) for group in parts]
     total = sum(loads)

@@ -61,6 +61,26 @@ class DecompositionConfig:
         ``"process"`` execution backend is rejected outright: device
         arrays cannot cross process boundaries, and discovering that deep
         inside ``compress_tensor`` helps nobody.
+    shards:
+        ``None`` (default) runs the classic single-process DPar2 path,
+        byte-for-byte unchanged.  An integer ``N >= 1`` routes the solve
+        through the shard coordinator (:mod:`repro.parallel.sharding`):
+        stage-1 compression and the per-slice sweep contractions run
+        shard-local and only O(R^2) Gram statistics cross shard
+        boundaries each sweep.  Final factors are bitwise-identical for
+        any shard count (see ``docs/distributed.md``); the sharded path
+        requires the numpy compute backend.
+    shard_backend:
+        Transport for shard workers: ``"process"`` (default — worker
+        processes fed via shared memory), ``"thread"``, or ``"serial"``
+        (in-process, for debugging and overhead measurement).  All three
+        produce bitwise-identical factors.
+    shard_cells:
+        Number of fixed reduction cells the K slices are grouped into
+        (clamped to K).  Cells — not shards — are the unit of floating
+        point accumulation, which is what makes the factors invariant to
+        the shard count; more cells give the balancer finer granularity
+        at slightly higher per-sweep message count.
     """
 
     rank: int = 10
@@ -73,6 +93,9 @@ class DecompositionConfig:
     random_state: object = None
     dtype: str = "float64"
     compute_backend: str = "numpy"
+    shards: int | None = None
+    shard_backend: str = "process"
+    shard_cells: int = 8
 
     def __post_init__(self) -> None:
         check_positive_int(self.rank, "rank")
@@ -123,6 +146,27 @@ class DecompositionConfig:
                 "process boundaries, and the batched device kernels run "
                 "in-process anyway — use backend='serial' or 'thread'"
             )
+        if self.shards is not None:
+            check_positive_int(self.shards, "shards")
+            if compute != "numpy":
+                raise ValueError(
+                    "sharded decomposition requires compute_backend='numpy': "
+                    "shard workers exchange host arrays, and device-resident "
+                    f"sweeps do not shard (got compute_backend={compute!r})"
+                )
+        if not isinstance(self.shard_backend, str):
+            raise TypeError(
+                "shard_backend must be a string, "
+                f"got {type(self.shard_backend).__name__}"
+            )
+        shard_backend = self.shard_backend.strip().lower()
+        if shard_backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"shard_backend must be one of {', '.join(BACKEND_NAMES)}; "
+                f"got {self.shard_backend!r}"
+            )
+        object.__setattr__(self, "shard_backend", shard_backend)
+        check_positive_int(self.shard_cells, "shard_cells")
         if self.oversampling < 0:
             raise ValueError(f"oversampling must be >= 0, got {self.oversampling}")
         if self.power_iterations < 0:

@@ -62,6 +62,28 @@ class TestGreedyPartition:
         b = greedy_partition([5, 5, 3, 3, 2], 2)
         assert a == b
 
+    def test_more_parts_than_items_leaves_empty_groups(self):
+        parts = greedy_partition([7, 3], 5)
+        assert len(parts) == 5
+        assert sorted(idx for group in parts for idx in group) == [0, 1]
+        assert sum(1 for group in parts if not group) == 3
+
+    def test_zero_weights_spread_across_parts(self):
+        # All-zero weights never change any load; the item-count tie-break
+        # must still spread them instead of piling everything on part 0.
+        parts = greedy_partition([0.0] * 6, 3)
+        assert [len(group) for group in parts] == [2, 2, 2]
+
+    def test_zero_weight_tail_spreads(self):
+        # Mixed case: the zero-weight tail lands on the emptiest parts.
+        parts = greedy_partition([5, 0, 0, 0], 2)
+        assert max(len(group) for group in parts) <= 3
+        assert all(group for group in parts)
+
+    def test_equal_weight_ties_break_by_part_index(self):
+        parts = greedy_partition([2, 2, 2], 3)
+        assert parts == [[0], [1], [2]]
+
 
 class TestRoundRobin:
     def test_assignment(self):
@@ -85,6 +107,15 @@ class TestImbalance:
 
     def test_zero_weights(self):
         assert partition_imbalance([0, 0], [[0], [1]]) == 1.0
+
+    def test_empty_groups_count_toward_mean(self):
+        # n_parts > len(weights) is legitimate; the idle part is real lost
+        # parallelism and must show up in the ratio.
+        assert partition_imbalance([4], [[0], []]) == 2.0
+
+    def test_empty_parts_rejected(self):
+        with pytest.raises(ValueError, match="at least one group"):
+            partition_imbalance([1, 2], [])
 
 
 class TestParallelMap:
