@@ -33,6 +33,14 @@ Schema v4 adds ``timing_stats``: per timed metric, the full
 own noise estimate.  The flat ``*_seconds`` keys keep their best-of-N
 meaning, which is what the regression gate compares — old baselines read
 and check unchanged.
+
+Schema v5 adds the ``sparse_backend`` axis, recorded on *every* compute
+backend now that CSR stage 1 routes through the ``xp`` sparse surface:
+sparse sketch seconds on the selected backend plus a small row-count sweep
+recording where sparse overtakes dense sketching there.  Purely
+informational — the gate math is unchanged (device timings are
+machine-dependent, and the CUDA crossover point stays ungated), and v3/v4
+baselines read and check exactly as before.
 """
 
 import argparse
@@ -232,6 +240,72 @@ def run_sparse_axis(
     }
 
 
+def run_sparse_backend_axis(
+    *,
+    compute_backend: str = "numpy",
+    n_slices: int = 32,
+    n_columns: int = 256,
+    density: float = 0.02,
+    rank: int = 8,
+    repeats: int = 3,
+    seed: int = 0,
+    crossover_rows: tuple = (128, 512),
+) -> dict:
+    """Schema v5 ``sparse_backend`` axis: sparse sketching per backend.
+
+    Batched stage-1 compression of a CSR tensor with ``compute_backend``
+    routing the SpMM sketch (device handles upload once, the panel QRs and
+    the small SVDs stay resident), at each row count in
+    ``crossover_rows`` — the sweep records where sparse sketching
+    overtakes densify-and-sketch *on that backend*, which is the number an
+    operator picking ``--density-threshold`` for a device run needs.
+    Purely informational: the regression gate never reads these keys
+    (wall-clocks on device backends are machine-dependent).
+    """
+    from repro.data.synthetic import sparse_irregular_tensor
+    from repro.decomposition.dpar2 import compress_tensor
+
+    def run(tensor):
+        return compress_tensor(
+            tensor, rank, random_state=seed,
+            backend="serial", stage1_batching="batched",
+            compute_backend=compute_backend,
+        )
+
+    crossover = []
+    for n_rows in crossover_rows:
+        sparse_tensor = sparse_irregular_tensor(
+            n_rows, n_columns, n_slices,
+            density=density, min_rows=n_rows, random_state=seed,
+        )
+        dense_tensor = sparse_tensor.densified()
+        sparse_stats, _ = _best_of(repeats, lambda: run(sparse_tensor))
+        dense_stats, _ = _best_of(repeats, lambda: run(dense_tensor))
+        crossover.append({
+            "rows": n_rows,
+            "nnz": sparse_tensor.n_entries,
+            "sparse_seconds": sparse_stats["best"],
+            "dense_seconds": dense_stats["best"],
+            "speedup": dense_stats["best"] / sparse_stats["best"],
+            "timing_stats": {
+                "sparse_seconds": sparse_stats,
+                "dense_seconds": dense_stats,
+            },
+        })
+    largest = crossover[-1]
+    return {
+        "compute_backend": compute_backend,
+        "n_slices": n_slices,
+        "n_columns": n_columns,
+        "density": density,
+        "rank": rank,
+        "sketch_seconds": largest["sparse_seconds"],
+        "dense_sketch_seconds": largest["dense_seconds"],
+        "speedup": largest["speedup"],
+        "crossover": crossover,
+    }
+
+
 def run_kernel_bench(
     *,
     n_slices: int = 240,
@@ -246,9 +320,12 @@ def run_kernel_bench(
 
     Returns the record written to ``BENCH_kernels.json``: stage-1 seconds
     per dispatch strategy, preprocess/iterate seconds and bytes for a full
-    ``dpar2`` run, the float32 pipeline's timings for comparison, and (on
-    the numpy backend) the sparse axis of :func:`run_sparse_axis` — the
-    sparse SpMM fast path is host-only, so device records skip it.
+    ``dpar2`` run, the float32 pipeline's timings for comparison, the
+    per-backend ``sparse_backend`` axis of :func:`run_sparse_backend_axis`,
+    and (on the numpy backend) the gated sparse axis of
+    :func:`run_sparse_axis` — the host sparse-vs-dense comparison the
+    regression gate reads; its floors are host facts, so device records
+    skip it and stay ungated.
     ``compute_backend`` re-runs the whole matrix through the ``xp`` layer
     (the per-slice reference dispatch is host-only, so on a non-numpy
     backend the stage-1 comparison is host-per-slice vs device-batched —
@@ -284,7 +361,7 @@ def run_kernel_bench(
     # (so v1-v3 baselines compare unchanged), and ``timing_stats`` carries
     # the per-metric {best, median, spread} distribution alongside.
     record = {
-        "schema_version": 4,
+        "schema_version": 5,
         "timing_stats": {
             "stage1_per_slice_seconds": per_slice_stats,
             "stage1_batched_seconds": batched_stats,
@@ -322,6 +399,11 @@ def run_kernel_bench(
         sparse = run_sparse_axis(rank=rank, repeats=repeats, seed=seed)
         record["timing_stats"].update(sparse.pop("timing_stats"))
         record.update(sparse)
+    # Schema v5: sparse sketching on the *selected* backend (every
+    # backend, numpy included) — informational only, never gated.
+    record["sparse_backend"] = run_sparse_backend_axis(
+        compute_backend=compute_backend, rank=rank, repeats=repeats, seed=seed
+    )
     return record
 
 
@@ -451,6 +533,13 @@ def main(argv=None) -> int:
               f" -> {record['stage1_sparse_speedup']:.2f}x,"
               f" peak {record['sparse_peak_bytes']} vs"
               f" {record['sparse_dense_peak_bytes']} bytes")
+    axis = record["sparse_backend"]
+    for point in axis["crossover"]:
+        print(f"sparse/{axis['compute_backend']}: "
+              f"{point['rows']}x{axis['n_columns']}x{axis['n_slices']} at "
+              f"{axis['density']:.0%}: csr {point['sparse_seconds']:.4f}s"
+              f" dense {point['dense_seconds']:.4f}s"
+              f" -> {point['speedup']:.2f}x")
 
     if args.json:
         with open(args.json, "w") as handle:

@@ -129,8 +129,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--density-threshold", type=float, default=None, metavar="FRACTION",
         help="convert dense slices whose nonzero fraction is at or below "
         "this threshold to CSR before decomposing — DPar2 then sketches "
-        "them through the sparse SpMM fast path (numpy compute backend "
-        "only); CSR-native datasets take that path regardless",
+        "them through the sparse SpMM fast path on any --compute-backend; "
+        "CSR-native datasets take that path regardless",
     )
     decompose.add_argument("--seed", type=int, default=0)
 
@@ -196,6 +196,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--poll-interval", type=float, default=2.0, metavar="SECONDS",
         help="how often to check the registry for newly published versions "
         "and hot-swap to them; 0 disables polling (default: 2)",
+    )
+    serve.add_argument(
+        "--compute-backend", default="numpy",
+        choices=list(COMPUTE_BACKEND_NAMES),
+        help="array library for the query kernels: numpy (default, the "
+        "batch-invariant reference), torch, torch-cuda, or cupy; device "
+        "backends upload each served model's factors once per engine and "
+        "answer similarity/reconstruction/fold-in/anomaly queries "
+        "device-resident (/healthz reports the backend and transfer "
+        "counters)",
     )
 
     query = sub.add_parser(
@@ -283,13 +293,6 @@ def cmd_decompose(args: argparse.Namespace) -> int:
             return 2
         tensor = tensor.sparsify(args.density_threshold)
     if tensor.has_sparse_slices:
-        if args.compute_backend != "numpy":
-            print(
-                f"error: sparse (CSR) slices cannot run on --compute-backend "
-                f"{args.compute_backend}: the SpMM fast path is host-only",
-                file=sys.stderr,
-            )
-            return 2
         if args.method not in ("dpar2", "spartan"):
             print(
                 f"error: --method {args.method} does not support sparse "
@@ -403,9 +406,17 @@ def cmd_publish(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.linalg.array_module import BackendUnavailableError, get_xp
     from repro.serve.service import ModelHost, ServeApp
     from repro.serve.store import FactorStore
 
+    try:
+        # Resolve up front: a missing accelerator library should fail here
+        # with the install hint, not on the first model load.
+        get_xp(args.compute_backend)
+    except BackendUnavailableError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     store = FactorStore(args.registry)
     if store.latest_version() is None:
         print(
@@ -414,7 +425,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    host = ModelHost(store, lru_size=args.lru_size)
+    host = ModelHost(
+        store,
+        lru_size=args.lru_size,
+        engine_kwargs={"compute_backend": args.compute_backend},
+    )
     app = ServeApp(
         host,
         batch_window=args.batch_window_ms / 1000.0,
@@ -422,7 +437,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         poll_interval=args.poll_interval,
         adaptive_batching=not args.fixed_batch_window,
     )
-    print(f"serving {store} on http://{args.host}:{args.port}")
+    backend_note = (
+        "" if args.compute_backend == "numpy"
+        else f" ({args.compute_backend} engine)"
+    )
+    print(f"serving {store} on http://{args.host}:{args.port}{backend_note}")
     try:
         asyncio.run(app.run(args.host, args.port))
     except KeyboardInterrupt:

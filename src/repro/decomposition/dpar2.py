@@ -235,8 +235,10 @@ def compress_tensor(
     through batched SpMM (``O(nnz·R)`` work, only the ``(R+s)``-column
     panels dense) and the raw slices are never densified.  The compressed
     output is identical in structure — iterations downstream are oblivious
-    to how stage 1 read the data.  Sparse input is host-only (numpy
-    compute backend).
+    to how stage 1 read the data.  On a device backend the sparse path
+    composes too: each bucket's CSR structure uploads once and the sketch
+    panels stay device-resident (see
+    :func:`~repro.linalg.kernels.batched_randomized_svd`).
 
     ``compute_backend`` selects the array library the randomized-SVD
     kernels run on (``"numpy"`` default — bitwise-stable; ``"torch"`` /
@@ -256,12 +258,6 @@ def compress_tensor(
             "out-of-core (memory-mapped) tensors cannot be compressed on "
             f"compute backend {xp.name!r}: paging the store through the "
             "device defeats streaming; use compute_backend='numpy'"
-        )
-    if not xp.is_numpy and tensor.has_sparse_slices:
-        raise ValueError(
-            f"sparse (CSR) tensors cannot be compressed on compute backend "
-            f"{xp.name!r}: the SpMM fast path is host-only; "
-            "use compute_backend='numpy'"
         )
     R = min(rank, tensor.n_columns, min(tensor.row_counts))
     start = time.perf_counter()
@@ -440,7 +436,9 @@ def dpar2(
     or loaded from a sparse store payload) is compressed through the SpMM
     fast path — ``O(nnz·R)`` stage-1 work and no densified copies, on disk
     or in RAM.  Iterations are unchanged: they only ever see the compressed
-    representation.  Sparse input requires the numpy compute backend.
+    representation.  The fast path runs on every compute backend: numpy
+    uses the scipy/pure-numpy host kernels, torch/CuPy sketch each bucket
+    through device SpMM with the CSR structure uploaded once.
 
     **Zero sweeps.**  ``max_iterations=0`` is allowed and returns the
     compressed tensor's subspaces with the random factor initialization —
@@ -477,12 +475,6 @@ def dpar2(
             "out-of-core (memory-mapped) tensors cannot run on compute "
             f"backend {xp.name!r}: streaming from disk and device residency "
             "are mutually exclusive; use compute_backend='numpy'"
-        )
-    if not xp.is_numpy and tensor.has_sparse_slices:
-        raise ValueError(
-            f"sparse (CSR) tensors cannot run on compute backend "
-            f"{xp.name!r}: the SpMM fast path is host-only; "
-            "use compute_backend='numpy'"
         )
     R = min(config.rank, tensor.n_columns, min(tensor.row_counts))
 

@@ -36,6 +36,13 @@ Conventions shared by every module:
 * RNG draws always happen on the host with numpy generators and are then
   shipped over — a fixed seed therefore feeds every backend the same
   sketch, which is what makes cross-backend parity testable at all.
+* The sparse surface (``sparse_csr`` / ``spmm`` / ``spmm_t``) mirrors the
+  dense one: host CSR arrays go up once as a backend-native handle, and
+  the two SpMM products the stage-1 sketch needs run on that handle.  The
+  numpy module wraps the very same scipy/pure-numpy kernels
+  :class:`~repro.sparse.stacked.StackedCsr` always used, so host results
+  stay bitwise identical; torch uses ``sparse_csr_tensor`` + ``sparse.mm``
+  and CuPy uses ``cupyx.scipy.sparse.csr_matrix``.
 """
 
 from __future__ import annotations
@@ -149,6 +156,10 @@ class ArrayModule(abc.ABC):
         """Swap the last two axes (a view where the backend allows it)."""
 
     @abc.abstractmethod
+    def reshape(self, a, shape):
+        """Native array viewed with another shape (copies only if needed)."""
+
+    @abc.abstractmethod
     def astype(self, a, dtype):
         """Native array at another precision (may return ``a`` unchanged)."""
 
@@ -162,6 +173,30 @@ class ArrayModule(abc.ABC):
 
     def synchronize(self) -> None:
         """Block until queued device work finishes (no-op on host)."""
+
+    # ------------------------------------------------------------------ #
+    # sparse (CSR) surface
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def sparse_csr(self, indptr, indices, data, shape):
+        """Backend-native CSR handle for a 2-D ``shape`` sparse matrix.
+
+        ``indptr``/``indices`` are int64 host arrays, ``data`` a float32 or
+        float64 host array.  The handle is opaque to callers — it only ever
+        feeds :meth:`spmm` / :meth:`spmm_t` on the same module.  Device
+        modules upload the three arrays once per call; callers cache the
+        handle (see :meth:`repro.sparse.stacked.StackedCsr.native`).
+        """
+
+    @abc.abstractmethod
+    def spmm(self, sparse, dense):
+        """``sparse @ dense`` for a :meth:`sparse_csr` handle and a native
+        2-D dense operand; returns a native dense array."""
+
+    @abc.abstractmethod
+    def spmm_t(self, sparse, dense):
+        """``sparseᵀ @ dense`` — the projection product of the sketch."""
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r}, device={self.device!r})"
@@ -215,6 +250,9 @@ class NumpyModule(ArrayModule):
     def transpose(self, a):
         return np.swapaxes(a, -2, -1)
 
+    def reshape(self, a, shape):
+        return np.reshape(a, shape)
+
     def astype(self, a, dtype):
         return np.asarray(a).astype(dtype, copy=False)
 
@@ -223,6 +261,25 @@ class NumpyModule(ArrayModule):
 
     def to_float(self, scalar) -> float:
         return float(scalar)
+
+    def sparse_csr(self, indptr, indices, data, shape):
+        # A StackedCsr of one slice *is* a plain 2-D CSR, and it already
+        # owns both host SpMM kernels (the scipy block product and the
+        # grouped-gather fallback) — wrapping it keeps this module's sparse
+        # products summing in exactly the order the host fast path always
+        # did.  Imported lazily: stacked.py routes its device path back
+        # through this module's surface.
+        from repro.sparse.stacked import StackedCsr
+
+        return StackedCsr(1, shape, indptr, indices, data)
+
+    def spmm(self, sparse, dense):
+        dense = np.asarray(dense)
+        return sparse.matmul_dense(dense[None])[0]
+
+    def spmm_t(self, sparse, dense):
+        dense = np.asarray(dense)
+        return sparse.t_matmul_dense(dense[None])[0]
 
 
 class TorchModule(ArrayModule):
@@ -329,6 +386,9 @@ class TorchModule(ArrayModule):
     def transpose(self, a):
         return a.transpose(-2, -1)
 
+    def reshape(self, a, shape):
+        return a.reshape(shape)
+
     def astype(self, a, dtype):
         return a.to(self._torch_dtype(dtype))
 
@@ -341,6 +401,33 @@ class TorchModule(ArrayModule):
     def synchronize(self) -> None:
         if self.device == "cuda":
             self._torch.cuda.synchronize()
+
+    def _upload_component(self, array):
+        tensor = self._torch.from_numpy(np.ascontiguousarray(array))
+        if self.device == "cuda":
+            tensor = tensor.pin_memory().to("cuda", non_blocking=True)
+        return tensor
+
+    def sparse_csr(self, indptr, indices, data, shape):
+        return self._torch.sparse_csr_tensor(
+            self._upload_component(indptr),
+            self._upload_component(indices),
+            self._upload_component(data),
+            size=tuple(shape),
+        )
+
+    def spmm(self, sparse, dense):
+        return self._torch.sparse.mm(sparse, dense)
+
+    def spmm_t(self, sparse, dense):
+        # ``.t()`` of a CSR tensor is its CSC view (shared arrays); CSC @
+        # dense support varies by torch release, so fall back to a one-off
+        # CSR conversion where the direct product is not implemented.
+        transposed = sparse.t()
+        try:
+            return self._torch.sparse.mm(transposed, dense)
+        except (RuntimeError, NotImplementedError):
+            return self._torch.sparse.mm(transposed.to_sparse_csr(), dense)
 
 
 class CupyModule(ArrayModule):
@@ -410,6 +497,9 @@ class CupyModule(ArrayModule):
     def transpose(self, a):
         return self._cupy.swapaxes(a, -2, -1)
 
+    def reshape(self, a, shape):
+        return self._cupy.reshape(a, shape)
+
     def astype(self, a, dtype):
         return a.astype(dtype, copy=False)
 
@@ -421,6 +511,21 @@ class CupyModule(ArrayModule):
 
     def synchronize(self) -> None:
         self._cupy.cuda.get_current_stream().synchronize()
+
+    def sparse_csr(self, indptr, indices, data, shape):
+        from cupyx.scipy import sparse as cupy_sparse
+
+        cupy = self._cupy
+        return cupy_sparse.csr_matrix(
+            (cupy.asarray(data), cupy.asarray(indices), cupy.asarray(indptr)),
+            shape=tuple(shape),
+        )
+
+    def spmm(self, sparse, dense):
+        return sparse @ dense
+
+    def spmm_t(self, sparse, dense):
+        return sparse.T @ dense
 
 
 #: The always-available default module, shared by every ``xp=None`` call.

@@ -159,7 +159,8 @@ def _stacked_rsvd_sparse(
     stacked: StackedCsr,
     effective_rank: int,
     power_iterations: int,
-    omegas: np.ndarray,
+    omegas,
+    xp: ArrayModule,
 ):
     """Algorithm 1 on a :class:`StackedCsr` bucket — SpMM sketching.
 
@@ -171,15 +172,32 @@ def _stacked_rsvd_sparse(
     Gaussian sketches are the very ones the dense path draws, so results
     agree with a densified run to floating-point rounding (the summation
     order inside each dot product is the only difference).
+
+    On the numpy module every call below is the historical host function —
+    same kernels, same bits.  A device module uploads the bucket's CSR
+    structure once (:meth:`StackedCsr.native
+    <repro.sparse.stacked.StackedCsr.native>`) and keeps the panels
+    resident between the SpMM, QR, and SVD steps; the caller downloads the
+    truncated factors.
     """
-    Y = stacked.matmul_dense(omegas)
-    Q, _ = np.linalg.qr(Y)
+    if xp.is_numpy:
+        Y = stacked.matmul_dense(omegas)
+        Q, _ = np.linalg.qr(Y)
+        for _ in range(power_iterations):
+            Z, _ = np.linalg.qr(stacked.t_matmul_dense(Q))
+            Q, _ = np.linalg.qr(stacked.matmul_dense(Z))
+        B = np.swapaxes(stacked.t_matmul_dense(Q), 1, 2)  # (b, sketch, J)
+        U_small, sigma, Vt = np.linalg.svd(B, full_matrices=False)
+        U = np.matmul(Q, U_small[:, :, :effective_rank])
+        return U, sigma[:, :effective_rank], Vt[:, :effective_rank, :]
+    Y = stacked.matmul_dense(xp.asarray(omegas), xp=xp)
+    Q, _ = xp.qr(Y)
     for _ in range(power_iterations):
-        Z, _ = np.linalg.qr(stacked.t_matmul_dense(Q))
-        Q, _ = np.linalg.qr(stacked.matmul_dense(Z))
-    B = np.swapaxes(stacked.t_matmul_dense(Q), 1, 2)  # (b, sketch, J) = QᵀX
-    U_small, sigma, Vt = np.linalg.svd(B, full_matrices=False)
-    U = np.matmul(Q, U_small[:, :, :effective_rank])
+        Z, _ = xp.qr(stacked.t_matmul_dense(Q, xp=xp))
+        Q, _ = xp.qr(stacked.matmul_dense(Z, xp=xp))
+    B = xp.transpose(stacked.t_matmul_dense(Q, xp=xp))  # (b, sketch, J)
+    U_small, sigma, Vt = xp.svd(B, full_matrices=False)
+    U = xp.matmul(Q, U_small[:, :, :effective_rank])
     return U, sigma[:, :effective_rank], Vt[:, :effective_rank, :]
 
 
@@ -218,25 +236,24 @@ def batched_randomized_svd(
     cache); exact buckets are then stacked on-device from the cached
     slices and the raw data is not re-uploaded at all.
 
-    Slices may also be :class:`~repro.sparse.csr.CsrMatrix` instances
-    (numpy backend only): an all-sparse bucket is concatenated into a
+    Slices may also be :class:`~repro.sparse.csr.CsrMatrix` instances, on
+    any backend: an all-sparse bucket is concatenated into a
     :class:`~repro.sparse.stacked.StackedCsr` and sketched through batched
     SpMM (:func:`_stacked_rsvd_sparse`) — ``O(nnz·(r+p))`` work and only
-    the ``(r+p)``-column panels dense.  Mixed buckets densify their sparse
-    members (stacking forces a common layout anyway); sparse padding is
-    free, so ``max_pad_ratio`` applies unchanged.  Each slice still draws
-    its own sketch from its own generator, so the factors agree with a
-    densified run to floating-point rounding for a fixed seed.
+    the ``(r+p)``-column panels dense.  On a device backend the bucket's
+    CSR arrays upload once and the panels stay resident through the whole
+    pipeline (``torch.sparse_csr_tensor`` / ``cupyx`` CSR under the
+    module's ``spmm``); the numpy path is the historical scipy/pure-numpy
+    kernel, bit for bit.  Mixed buckets densify their sparse members
+    (stacking forces a common layout anyway); sparse padding is free, so
+    ``max_pad_ratio`` applies unchanged.  Each slice still draws its own
+    sketch from its own generator, so the factors agree with a densified
+    run to floating-point rounding for a fixed seed.
     """
     xp = get_xp(xp)
     mats = [
         Xk if isinstance(Xk, CsrMatrix) else np.asarray(Xk) for Xk in matrices
     ]
-    if not xp.is_numpy and any(isinstance(Xk, CsrMatrix) for Xk in mats):
-        raise ValueError(
-            f"CSR slices cannot run on compute backend {xp.name!r}; "
-            "sparse sketching is host-only — use the numpy backend"
-        )
     generators = list(generators)
     if len(mats) != len(generators):
         raise ValueError(
@@ -291,7 +308,7 @@ def batched_randomized_svd(
                 [mats[k] for k in indices], height=height
             )
             U, sigma, Vt = _stacked_rsvd_sparse(
-                stacked, effective_rank, power_iterations, omegas
+                stacked, effective_rank, power_iterations, omegas, xp
             )
         else:
             if exact and native_slices is not None and not xp.is_numpy:

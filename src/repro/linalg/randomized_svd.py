@@ -70,7 +70,8 @@ def randomized_svd(
         inputs skip host validation; the caller vouches for them) — or a
         :class:`~repro.sparse.csr.CsrMatrix`, which runs the same pipeline
         with the two big products done as SpMM (``O(nnz·(R+s))`` instead
-        of ``O(I·J·(R+s))``; numpy backend only).
+        of ``O(I·J·(R+s))``) on any backend via the module's sparse
+        surface.
     rank:
         Target rank ``R``; capped implicitly by ``min(I, J)``.
     oversampling:
@@ -103,17 +104,13 @@ def randomized_svd(
     """
     xp = get_xp(xp)
     if isinstance(matrix, CsrMatrix):
-        if not xp.is_numpy:
-            raise ValueError(
-                f"CSR input cannot run on compute backend {xp.name!r}; "
-                "sparse sketching is host-only — use the numpy backend"
-            )
         return _sparse_randomized_svd(
             matrix,
             rank,
             oversampling=oversampling,
             power_iterations=power_iterations,
             random_state=random_state,
+            xp=xp,
         )
     if xp.is_native(matrix) and not isinstance(matrix, np.ndarray):
         A = matrix
@@ -159,8 +156,9 @@ def _sparse_randomized_svd(
     oversampling: int,
     power_iterations: int,
     random_state,
+    xp=None,
 ) -> RandomizedSVDResult:
-    """Algorithm 1 with the ``A``-sized products as SpMM (host-only).
+    """Algorithm 1 with the ``A``-sized products as SpMM.
 
     Identical structure and identical Gaussian sketch to the dense path
     (the generator stream is consumed the same way), so for a fixed seed
@@ -168,7 +166,15 @@ def _sparse_randomized_svd(
     only difference is the order in which each dot product's terms are
     summed.  Dense intermediates are the ``(R+s)``-column ``Y``/``Q``/``Z``
     panels; the raw matrix is only ever touched through its CSR arrays.
+
+    On a non-numpy ``xp`` the CSR structure (and its cached transpose)
+    uploads once through :meth:`CsrMatrix.native
+    <repro.sparse.csr.CsrMatrix.native>` and the whole pipeline — SpMM
+    sketches, panel QRs, the small SVD — stays device-resident; only the
+    truncated factors come back.  The numpy module runs the historical
+    host code path, bit for bit.
     """
+    xp = get_xp(xp)
     I, J = A.shape
     effective_rank = min(check_rank(rank), I, J)
     if oversampling < 0:
@@ -182,6 +188,26 @@ def _sparse_randomized_svd(
     omega = rng.standard_normal((J, sketch_size))
     if dtype != np.float64:
         omega = omega.astype(dtype)
+
+    if not xp.is_numpy:
+        # Same pipeline on the device: the transpose product runs through
+        # the host-cached CSC-as-CSR structure, so every backend uses its
+        # plain forward SpMM kernel (see StackedCsr.t_matmul_dense).
+        handle = A.native(xp)
+        handle_t = A.transpose().native(xp)
+        Y = xp.spmm(handle, xp.asarray(omega))
+        Q, _ = xp.qr(Y)
+        for _ in range(power_iterations):
+            Z, _ = xp.qr(xp.spmm(handle_t, Q))
+            Q, _ = xp.qr(xp.spmm(handle, Z))
+        B = xp.transpose(xp.spmm(handle_t, Q))  # (sketch, J) = Qᵀ A
+        U_small, sigma, Vt = xp.svd(B, full_matrices=False)
+        U = xp.matmul(Q, U_small[:, :effective_rank])
+        return RandomizedSVDResult(
+            U=xp.to_numpy(U),
+            singular_values=xp.to_numpy(sigma)[:effective_rank].copy(),
+            V=np.ascontiguousarray(xp.to_numpy(Vt)[:effective_rank].T),
+        )
 
     Y = A.matmul_dense(omega)
     Q, _ = np.linalg.qr(Y)

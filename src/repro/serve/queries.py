@@ -25,6 +25,16 @@ how many queries share the call) and the fold-in sketch goes through
 :func:`~repro.linalg.kernels.batched_randomized_svd`, which is bitwise
 identical to per-slice execution.  The service layer's micro-batching
 therefore returns bit-for-bit the same answers as single-request execution.
+
+Device backends (``compute_backend="torch"|"torch-cuda"|"cupy"``) keep the
+same shape of guarantee *per backend*: the factors upload once at engine
+construction, each query's scores come off one device contraction whose
+per-row reduction doesn't depend on batch size, and ranking (stable
+argsort, lower-index tiebreak) always runs on the host over the downloaded
+scores — so a backend answers itself identically however requests are
+batched, while numpy remains the bitwise reference.  Host↔device traffic is
+counted (:meth:`QueryEngine.transfer_stats`) and surfaced by the service's
+``/healthz``.
 """
 
 from __future__ import annotations
@@ -47,13 +57,24 @@ SIMILARITY_MODES = ("slice", "feature")
 
 
 def _as_float64(matrix) -> np.ndarray:
-    """C-contiguous float64 working copy of a factor matrix.
+    """C-contiguous float64 working view of a factor matrix.
 
     Factors may arrive F-ordered (ALS solves return transposes) or
     memmap-backed (registry loads); canonicalizing the layout here makes
     every downstream kernel iterate identically, so an engine over a saved
-    model answers bit-for-bit like one over the in-RAM original.
+    model answers bit-for-bit like one over the in-RAM original.  A factor
+    that is *already* C-contiguous float64 — the registry's usual memmap
+    payload — is returned as-is: the kernels only read it, and skipping the
+    copy keeps engine construction from faulting every factor page into
+    fresh RAM.  (float32 models still get float64 working copies; that
+    upcast is part of the answer contract.)
     """
+    if (
+        isinstance(matrix, np.ndarray)
+        and matrix.dtype == np.float64
+        and matrix.flags["C_CONTIGUOUS"]
+    ):
+        return matrix
     return np.ascontiguousarray(matrix, dtype=np.float64)
 
 
@@ -111,8 +132,12 @@ class QueryEngine:
         Alternating ``(Qk, Sk)`` refinement sweeps per fold-in.
     compute_backend:
         Array library for the bulk kernels.  ``"numpy"`` (default) is the
-        bitwise-stable path; device backends accelerate reconstruction and
-        sketching but waive the batch-invariance guarantee.
+        bitwise-stable path.  Device backends upload the cached factors
+        once here and keep similarity, reconstruction, fold-in and anomaly
+        contractions device-resident; answers stay batch-invariant and
+        deterministically tie-broken per backend (ranking runs on the host
+        over downloaded scores), and host↔device traffic is tallied in
+        :meth:`transfer_stats`.
     """
 
     def __init__(
@@ -144,9 +169,76 @@ class QueryEngine:
         self._VtV = self._V64.T @ self._V64
         self._HtH = self._H64.T @ self._H64
 
+        # Host<->device traffic tally (mutated under queries; plain int
+        # bumps, so worst case under races is an undercounted stat, never a
+        # wrong answer).
+        self._transfers = {
+            "h2d_calls": 0, "h2d_bytes": 0, "d2h_calls": 0, "d2h_bytes": 0,
+        }
+        if not self._xp.is_numpy:
+            # One-time residency: every query-shared factor goes up here,
+            # so steady-state requests only move query rows and scores.
+            self._unit_native = {
+                mode: self._up(unit) for mode, unit in self._unit.items()
+            }
+            self._H64_native = self._up(self._H64)
+            self._Ht_native = self._xp.transpose(self._H64_native)
+            self._V64_native = self._up(self._V64)
+            self._Vt_native = self._xp.transpose(self._V64_native)
+            self._VtV_native = self._up(self._VtV)
+
+    # ------------------------------------------------------------------ #
+    # host<->device staging
+    # ------------------------------------------------------------------ #
+
+    def _up(self, array, dtype=None):
+        """Upload a host array, counting the transfer.
+
+        CUDA uploads stage through the module's pinned-buffer path
+        (``asarray`` pins and copies ``non_blocking``), so consecutive
+        uploads overlap on the stream.
+        """
+        array = np.ascontiguousarray(array, dtype=dtype)
+        self._transfers["h2d_calls"] += 1
+        self._transfers["h2d_bytes"] += array.nbytes
+        return self._xp.asarray(array)
+
+    def _down(self, native) -> np.ndarray:
+        """Download a device array, counting the transfer."""
+        out = self._xp.to_numpy(native)
+        self._transfers["d2h_calls"] += 1
+        self._transfers["d2h_bytes"] += out.nbytes
+        return out
+
+    def _up_csr(self, matrix: CsrMatrix):
+        """Device handle for a CSR slice; counts the first (caching) upload."""
+        cached = matrix.has_native(self._xp)
+        handle = matrix.native(self._xp)
+        if not cached:
+            self._transfers["h2d_calls"] += 1
+            self._transfers["h2d_bytes"] += (
+                matrix.indptr.nbytes + matrix.indices.nbytes + matrix.data.nbytes
+            )
+        return handle
+
     # ------------------------------------------------------------------ #
     # metadata
     # ------------------------------------------------------------------ #
+
+    @property
+    def compute_backend(self) -> str:
+        """Resolved backend name the engine executes on (``xp.name``)."""
+        return self._xp.name
+
+    def transfer_stats(self) -> dict:
+        """Host↔device traffic since construction (all zero on numpy).
+
+        Keys: ``h2d_calls``/``h2d_bytes`` (uploads — one-time factor
+        residency plus per-query row batches) and ``d2h_calls``/
+        ``d2h_bytes`` (downloads — score matrices and result factors).
+        The service's ``/healthz`` aggregates these across live engines.
+        """
+        return dict(self._transfers)
 
     @property
     def rank(self) -> int:
@@ -221,9 +313,34 @@ class QueryEngine:
         # reduces each output element over r in a fixed order regardless of
         # B, which is what makes micro-batched answers bitwise identical to
         # single-request ones (a BLAS gemm would not guarantee that).
-        scores = np.einsum("nr,br->bn", unit, unit[idx])
+        if self._xp.is_numpy:
+            scores = np.einsum("nr,br->bn", unit, unit[idx])
+        else:
+            scores = self._device_scores(unit[idx], mode)
         scores[np.arange(idx.size), idx] = -np.inf  # exclude self
         return self._top_k(scores, min(k, n - 1))
+
+    def _device_scores(self, queries: np.ndarray, mode: str) -> np.ndarray:
+        """Cosine scores on the device, batch-invariantly.
+
+        The B query rows are gathered on the host and uploaded together,
+        but each row's scores come from its *own* ``unit @ q_b`` matvec —
+        an identical kernel call whatever B is.  A single ``(n, R) @
+        (R, B)`` gemm would be faster but may pick B-dependent blocked
+        kernels whose reduction bits differ between a singleton and a
+        micro-batch; per-query matvecs keep the backend's answers
+        batch-invariant, which the service's batching contract requires.
+        Ranking happens on the host over the downloaded scores.
+        """
+        xp = self._xp
+        if queries.shape[0] == 0:  # empty batch, nothing to move
+            return np.empty((0, self._unit[mode].shape[0]))
+        q = self._up(queries)
+        rows = [
+            xp.matmul(self._unit_native[mode], q[b])
+            for b in range(queries.shape[0])
+        ]
+        return self._down(xp.stack(rows))
 
     def similar_to(
         self, vectors, k: int = 10, *, mode: str = "slice"
@@ -240,7 +357,10 @@ class QueryEngine:
             raise ValueError(
                 f"vectors must be (B, {self.rank}), got {np.shape(vectors)}"
             )
-        scores = np.einsum("nr,br->bn", unit, _normalize_rows(q))
+        if self._xp.is_numpy:
+            scores = np.einsum("nr,br->bn", unit, _normalize_rows(q))
+        else:
+            scores = self._device_scores(_normalize_rows(q), mode)
         return self._top_k(scores, min(k, unit.shape[0]))
 
     @staticmethod
@@ -278,8 +398,13 @@ class QueryEngine:
             Qk = np.asarray(Qk)[rows]
         xp = self._xp
         middle = np.asarray(Qk) @ (self.result.H * self.result.S[k])
-        return xp.to_numpy(
-            xp.matmul(xp.asarray(middle), xp.asarray(self.result.V.T))
+        if xp.is_numpy:
+            return xp.to_numpy(
+                xp.matmul(xp.asarray(middle), xp.asarray(self.result.V.T))
+            )
+        # Device: only the Ik×R panel moves up; Vᵀ is already resident.
+        return self._down(
+            xp.matmul(self._up(middle, dtype=np.float64), self._Vt_native)
         )
 
     # ------------------------------------------------------------------ #
@@ -343,8 +468,12 @@ class QueryEngine:
             generators=[np.random.default_rng(int(s)) for s in seeds],
             xp=self._xp if not self._xp.is_numpy else None,
         )
+        refine = (
+            self._refine_fold_in if self._xp.is_numpy
+            else self._refine_fold_in_device
+        )
         return [
-            self._refine_fold_in(Xk, svd, sweeps, return_q)
+            refine(Xk, svd, sweeps, return_q)
             for Xk, svd in zip(mats, stage1)
         ]
 
@@ -394,6 +523,64 @@ class QueryEngine:
             Q=(A @ Zp) if return_q else None,
         )
 
+    def _refine_fold_in_device(
+        self, Xk, svd, sweeps: int, return_q: bool
+    ) -> FoldInResult:
+        """Device mirror of :meth:`_refine_fold_in` (see there for the math).
+
+        The ``J``-sized ``G V`` contraction and the per-sweep Procrustes
+        products run on the resident factors; only the ``R×R`` Lemma-3
+        system comes back each sweep (``solve_gram`` stays on the host —
+        it's the deterministic reference solve and the system is tiny), so
+        a sweep moves a few hundred bytes, never a factor.
+        """
+        xp = self._xp
+        G = svd.singular_values[:, None].astype(np.float64) * np.asarray(
+            svd.V, dtype=np.float64
+        ).T  # R_eff x J, host
+        GV = xp.matmul(self._up(G), self._V64_native)  # R_eff x R, device
+        H, Ht = self._H64_native, self._Ht_native
+        w = np.ones(self.rank, dtype=np.float64)
+        Zp = None
+        for _ in range(sweeps):
+            scaled = xp.einsum("ir,r->ir", GV, self._up(w))
+            Z, _, Pt = xp.svd(xp.matmul(scaled, Ht), full_matrices=False)
+            Zp = xp.matmul(Z, Pt)
+            C = xp.matmul(xp.transpose(Zp), GV)
+            g = self._down(xp.einsum("ir,ir->r", H, C))
+            QtQ = xp.matmul(xp.transpose(Zp), Zp)
+            gram = self._down(
+                xp.einsum(
+                    "ij,ij->ij",
+                    xp.matmul(Ht, xp.matmul(QtQ, H)),
+                    self._VtV_native,
+                )
+            )
+            w = solve_gram(gram, g[None, :])[0]
+        HS = xp.einsum("ir,r->ir", H, self._up(w))
+        C = xp.matmul(xp.transpose(Zp), GV)
+        cross = xp.to_float(xp.einsum("ir,ir->", C, HS))
+        QtQ = xp.matmul(xp.transpose(Zp), Zp)
+        model_sq = xp.to_float(
+            xp.einsum(
+                "ij,ij->",
+                xp.matmul(xp.matmul(xp.transpose(HS), QtQ), HS),
+                self._VtV_native,
+            )
+        )
+        norm_sq = float(slice_squared_norm(Xk))
+        residual_sq = max(norm_sq - 2.0 * cross + model_sq, 0.0)
+        Q = None
+        if return_q:
+            A = np.asarray(svd.U, dtype=np.float64)
+            Q = A @ self._down(Zp)
+        return FoldInResult(
+            weights=w,
+            residual_squared=residual_sq,
+            norm_squared=norm_sq,
+            Q=Q,
+        )
+
     # ------------------------------------------------------------------ #
     # anomaly scores
     # ------------------------------------------------------------------ #
@@ -414,6 +601,8 @@ class QueryEngine:
             raise ValueError(
                 f"tensor has J={tensor.n_columns}, model has J={self.n_columns}"
             )
+        if not self._xp.is_numpy:
+            return self._anomaly_scores_device(tensor)
         scores = np.empty(self.n_slices)
         for k, Xk in enumerate(tensor):
             norm_sq = float(slice_squared_norm(Xk))
@@ -431,6 +620,45 @@ class QueryEngine:
             # own rank ran below R — carry it, like the fold-in path does.
             model_sq = float(
                 np.einsum("ij,ij->", HS.T @ (Qk.T @ Qk) @ HS, self._VtV)
+            )
+            residual_sq = max(norm_sq - 2.0 * cross + model_sq, 0.0)
+            scores[k] = np.sqrt(residual_sq / norm_sq)
+        return scores
+
+    def _anomaly_scores_device(self, tensor) -> np.ndarray:
+        """Gram-trick scoring with the slice-sized products on the device.
+
+        Dense slices move up whole (``Qk`` too); CSR slices run their
+        ``Qkᵀ Xk`` as a forward SpMM through the cached host transpose
+        (see :meth:`~repro.sparse.stacked.StackedCsr.t_matmul_dense` for
+        why), with the structure upload cached per slice across calls.
+        The ``R×R`` reductions come home and finish in float64 on the
+        host, exactly like the numpy path.
+        """
+        xp = self._xp
+        result = self.result
+        scores = np.empty(self.n_slices)
+        for k, Xk in enumerate(tensor):
+            norm_sq = float(slice_squared_norm(Xk))
+            if norm_sq == 0.0:
+                scores[k] = 0.0
+                continue
+            HS = self._H64 * np.asarray(result.S[k], dtype=np.float64)
+            Qk = self._up(np.asarray(result.Q[k]), dtype=np.float64)
+            if isinstance(Xk, CsrMatrix):
+                Xk64 = Xk.astype(np.float64)
+                # W = Xkᵀ Qk (J × R); then (Qkᵀ Xk) V = Wᵀ V.
+                W = xp.spmm(self._up_csr(Xk64.transpose()), Qk)
+                QtX_V = xp.matmul(xp.transpose(W), self._V64_native)
+            else:
+                Xn = self._up(np.asarray(Xk), dtype=np.float64)
+                QtX_V = xp.matmul(
+                    xp.matmul(xp.transpose(Qk), Xn), self._V64_native
+                )
+            cross = float(np.einsum("ij,ij->", self._down(QtX_V), HS))
+            QtQ = self._down(xp.matmul(xp.transpose(Qk), Qk))
+            model_sq = float(
+                np.einsum("ij,ij->", HS.T @ QtQ @ HS, self._VtV)
             )
             residual_sq = max(norm_sq - 2.0 * cross + model_sq, 0.0)
             scores[k] = np.sqrt(residual_sq / norm_sq)

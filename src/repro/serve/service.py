@@ -188,6 +188,32 @@ class ModelHost:
             **self.engine_kwargs,
         )
 
+    def engine_backend(self) -> str:
+        """Resolved compute-backend name the served engines run on."""
+        current = self._current
+        if current is not None:
+            return current.compute_backend
+        spec = self.engine_kwargs.get("compute_backend", "numpy")
+        return spec if isinstance(spec, str) else getattr(spec, "name", str(spec))
+
+    def transfer_stats(self) -> dict:
+        """Host↔device traffic summed over every live engine.
+
+        All-zero on the numpy backend.  Evicted engines take their counts
+        with them, so this tracks the working set, not all-time totals —
+        which is the number an operator watching residency actually wants.
+        """
+        totals = {"h2d_calls": 0, "h2d_bytes": 0, "d2h_calls": 0, "d2h_bytes": 0}
+        with self._lock:
+            engines = list(self._engines.values())
+            current = self._current
+        if current is not None and all(current is not e for e in engines):
+            engines.append(current)
+        for engine in engines:
+            for key, value in engine.transfer_stats().items():
+                totals[key] += value
+        return totals
+
     def engine(self, version: int | None = None) -> QueryEngine:
         """Resolve the engine for ``version`` (None → the current serving one).
 
@@ -688,6 +714,7 @@ class ServeApp:
         JSON skeleton.
         """
         version = self.host.current_version
+        transfers = self.host.transfer_stats()
         return (
             f'{{"status":"ok",'
             f'"version":{"null" if version is None else version},'
@@ -697,7 +724,12 @@ class ServeApp:
             f'"batches":{self._batcher.batches},'
             f'"batched_requests":{self._batcher.requests},'
             f'"batching":{{"similar":{self._batcher.stats_json()},'
-            f'"fold_in":{self._fold_batcher.stats_json()}}}}}'
+            f'"fold_in":{self._fold_batcher.stats_json()}}},'
+            f'"engine":{{"compute_backend":"{self.host.engine_backend()}",'
+            f'"transfers":{{"h2d_calls":{transfers["h2d_calls"]},'
+            f'"h2d_bytes":{transfers["h2d_bytes"]},'
+            f'"d2h_calls":{transfers["d2h_calls"]},'
+            f'"d2h_bytes":{transfers["d2h_bytes"]}}}}}}}'
         ).encode()
 
     def _model_body(self, engine: QueryEngine) -> bytes:

@@ -78,6 +78,8 @@ class CsrMatrix:
         self.indices = np.asarray(indices, dtype=np.int64)
         self.data = as_float_data(data)
         self._transpose_cache: "CsrMatrix | None" = None
+        # Backend-native CSR handles, keyed by module name (see native()).
+        self._native: dict = {}
         if not validate:
             return
         if self.indptr.shape != (self.shape[0] + 1,):
@@ -120,6 +122,25 @@ class CsrMatrix:
             f"CsrMatrix(shape={self.shape}, nnz={self.nnz}, "
             f"dtype={self.dtype.name})"
         )
+
+    def native(self, xp):
+        """This matrix as ``xp``'s CSR handle, uploaded once per backend.
+
+        Built through :meth:`ArrayModule.sparse_csr
+        <repro.linalg.array_module.ArrayModule.sparse_csr>` and cached by
+        module name, so repeated sketches of the same slice (rank sweeps,
+        fold-in re-projections) pay the host→device transfer once.
+        """
+        handle = self._native.get(xp.name)
+        if handle is None:
+            handle = self._native[xp.name] = xp.sparse_csr(
+                self.indptr, self.indices, self.data, self.shape
+            )
+        return handle
+
+    def has_native(self, xp) -> bool:
+        """Whether :meth:`native` already holds ``xp``'s handle (no upload)."""
+        return xp.name in self._native
 
     def astype(self, dtype) -> "CsrMatrix":
         """This matrix with values cast to ``dtype`` (self when it matches).

@@ -24,6 +24,14 @@ length ``b·m + 1`` — so that
 Slices shorter than the bucket height are padded with empty rows — for
 CSR that is literally free (repeated row-pointer entries), unlike the
 dense path's zero-filled copies.
+
+Both products also run on a non-numpy compute backend: pass an
+:class:`~repro.linalg.array_module.ArrayModule` as ``xp`` and the
+block-diagonal structure is uploaded once per backend (cached via
+:meth:`StackedCsr.native`), the product runs through the module's
+``spmm`` kernel, and operands/results stay backend-native so a whole
+sketch pipeline never round-trips through the host.  The default host
+path is untouched — same kernels, same bits.
 """
 
 from __future__ import annotations
@@ -138,6 +146,8 @@ class StackedCsr:
         # temporary per call costs more in page faults than the arithmetic
         # it feeds.
         self._scratch: dict = {}
+        # Backend-native handles, keyed by module name (see native()).
+        self._native: dict = {}
 
     @classmethod
     def from_matrices(
@@ -219,7 +229,26 @@ class StackedCsr:
     # batched kernels
     # ------------------------------------------------------------------ #
 
-    def matmul_dense(self, dense) -> np.ndarray:
+    def native(self, xp):
+        """This bucket as ``xp``'s CSR handle, uploaded once per backend.
+
+        The handle is the block-diagonal ``(b·m, b·J)`` flattening — the
+        same structure the scipy host kernel multiplies — built through
+        :meth:`ArrayModule.sparse_csr
+        <repro.linalg.array_module.ArrayModule.sparse_csr>` and cached by
+        module name for the life of the bucket.
+        """
+        handle = self._native.get(xp.name)
+        if handle is None:
+            handle = self._native[xp.name] = xp.sparse_csr(
+                self.indptr,
+                self._flat_cols,
+                self.data,
+                (self.n_stack * self.shape[0], self.n_stack * self.shape[1]),
+            )
+        return handle
+
+    def matmul_dense(self, dense, *, xp=None) -> np.ndarray:
         """``[Xk @ Bk]`` stacked: ``(b, J, s)`` in, ``(b, m, s)`` out.
 
         With scipy present (see :func:`spmm_backend`) this is one C-level
@@ -231,7 +260,19 @@ class StackedCsr:
         scatter, and no per-row reduction overhead.  Either way entries
         sum in CSR (column) order within each row, exactly like a
         sequential dot product.
+
+        With a non-numpy ``xp`` the operand must be (or is moved)
+        ``xp``-native, the product runs as one ``xp.spmm`` over the cached
+        :meth:`native` handle, and the result stays backend-native — the
+        caller owns the eventual download.
         """
+        if xp is not None and not xp.is_numpy:
+            b, m, J = self.n_stack, self.shape[0], self.shape[1]
+            B = xp.asarray(dense)
+            flat = xp.reshape(B, (b * J, B.shape[2]))
+            return xp.reshape(
+                xp.spmm(self.native(xp), flat), (b, m, B.shape[2])
+            )
         B = np.asarray(dense)
         b, m, J = self.n_stack, self.shape[0], self.shape[1]
         if B.ndim != 3 or B.shape[0] != b or B.shape[1] != J:
@@ -257,7 +298,7 @@ class StackedCsr:
             out[rows] = np.einsum("rp,rps->rs", values, gathered)
         return out.reshape(b, m, s)
 
-    def t_matmul_dense(self, dense) -> np.ndarray:
+    def t_matmul_dense(self, dense, *, xp=None) -> np.ndarray:
         """``[Xkᵀ @ Bk]`` stacked: ``(b, m, s)`` in, ``(b, J, s)`` out.
 
         On the scipy kernel this is the zero-copy CSC view of the stacked
@@ -265,7 +306,15 @@ class StackedCsr:
         all, and the C loop still accumulates each output row in ascending
         original-row order, matching the numpy fallback's summation order.
         The fallback multiplies through the cached stacked transpose.
+
+        A non-numpy ``xp`` also multiplies through :meth:`transpose` — the
+        counting sort runs on the host once, its CSR handle uploads once,
+        and every backend then runs the same forward ``spmm`` kernel (CSC
+        support is uneven across device libraries; a cached explicit
+        transpose is both portable and free after the first product).
         """
+        if xp is not None and not xp.is_numpy:
+            return self.transpose().matmul_dense(dense, xp=xp)
         if self._scipy is not None:
             B = np.asarray(dense)
             b, m, J = self.n_stack, self.shape[0], self.shape[1]

@@ -286,14 +286,18 @@ class IrregularTensor:
 
         ``xp`` is an :class:`~repro.linalg.array_module.ArrayModule` (or a
         backend name).  For the numpy module this returns the slice list
-        itself — no copies.  For torch/CuPy the slices cross the
+        itself — no copies.  For torch/CuPy the dense slices cross the
         host↔device boundary on first call and the native views are cached
         per backend, so repeated decompositions of the same tensor (rank
         sweeps, the experiment harnesses) upload the raw data once.
-        Memory-mapped slices are refused: paging an out-of-core store
-        through the device defeats both features — stream with the numpy
-        backend instead.  CSR slices are refused too: the sparse fast path
-        is host-only (GPU SpMM is future work).
+        CSR slices pass through as their host
+        :class:`~repro.sparse.csr.CsrMatrix` objects: each one carries its
+        own per-backend handle cache (:meth:`CsrMatrix.native
+        <repro.sparse.csr.CsrMatrix.native>`), and the sparse kernels
+        upload through it when they touch the slice.  Memory-mapped dense
+        slices are refused: paging an out-of-core store through the
+        device defeats both features — stream with the numpy backend
+        instead.
 
         The cache holds device memory for the life of the tensor; call
         :meth:`release_backend_cache` to free it early.
@@ -303,11 +307,6 @@ class IrregularTensor:
         xp = get_xp(xp)
         if xp.is_numpy:
             return self._slices
-        if self.has_sparse_slices:
-            raise ValueError(
-                f"sparse (CSR) slices cannot move to compute backend "
-                f"{xp.name!r}; use compute_backend='numpy' for sparse tensors"
-            )
         if any(isinstance(Xk, np.memmap) for Xk in self._slices):
             raise ValueError(
                 "memory-mapped (out-of-core) slices cannot move to compute "
@@ -316,7 +315,10 @@ class IrregularTensor:
             )
         cache = self.__dict__.setdefault("_backend_cache", {})
         if xp.name not in cache:
-            cache[xp.name] = [xp.asarray(Xk) for Xk in self._slices]
+            cache[xp.name] = [
+                Xk if isinstance(Xk, CsrMatrix) else xp.asarray(Xk)
+                for Xk in self._slices
+            ]
         return cache[xp.name]
 
     def release_backend_cache(self) -> None:
