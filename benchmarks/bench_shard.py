@@ -19,10 +19,18 @@ skewed-row-count synthetic tensor and writes ``BENCH_shard.json``:
   design is that sweep traffic is independent of the data size.
 * **Speedup** — iterate seconds for shards in {1, 2, 4} on the process
   backend, recorded *ungated* (CI machines make no throughput promises).
+* **Fault matrix** (``--inject``) — a deterministic fault at every
+  ``shard.call.*`` site x {crash, hang} plus corrupt replies, on a
+  2-shard process fixture with a short call deadline.  Each case is
+  gated (``--check``) on the recovered factors being sha256-identical
+  to the no-fault baseline with at least one worker restart recorded —
+  the respawn-and-replay contract of
+  :class:`~repro.parallel.sharding.ProcessShardRunner`.
 
 Run::
 
     python benchmarks/bench_shard.py --json BENCH_shard.json --check
+    python benchmarks/bench_shard.py --inject --inject-only --check
 """
 
 import argparse
@@ -178,6 +186,104 @@ def run_shard_bench(
     return record
 
 
+_CALL_SITES = (
+    "startup", "bind", "sweep_phase1", "sweep_phase2", "sweep_phase3", "finalize",
+)
+_REPLY_SITES = ("sweep_phase2", "finalize")
+_INJECT_CALL_TIMEOUT = "2.0"  # seconds; turns injected hangs into fast respawns
+
+
+def run_inject_bench(
+    *,
+    max_rows: int = 300,
+    n_columns: int = 24,
+    n_slices: int = 8,
+    rank: int = 6,
+    sweeps: int = 3,
+    seed: int = 0,
+) -> dict:
+    """Run the fault-injection matrix; returns the ``fault_injection`` record.
+
+    A small 2-shard process-backend fixture is solved once clean for a
+    baseline digest, then once per fault case: {crash, hang} at every
+    shard call site and a corrupted reply blob at representative reply
+    sites, always on shard 1, first occurrence, first generation.  Every
+    case must recover (respawn + replay) to the bitwise-identical
+    factors.  ``REPRO_SHARD_CALL_TIMEOUT`` is pinned low for the run so
+    hang detection fires in seconds rather than the production default.
+    """
+    from repro.data.synthetic import irregular_scalability_tensor
+    from repro.decomposition.dpar2 import dpar2
+    from repro.util import faults
+    from repro.util.config import DecompositionConfig
+
+    tensor = irregular_scalability_tensor(
+        max_rows, n_columns, n_slices, min_rows=max_rows // 10,
+        random_state=seed,
+    )
+    config = DecompositionConfig(
+        rank=rank, max_iterations=sweeps, tolerance=0.0, random_state=seed,
+        shards=2, shard_backend="process",
+    )
+
+    cases = [
+        (f"shard.call.{site}", kind)
+        for site in _CALL_SITES
+        for kind in ("crash", "hang")
+    ]
+    cases += [(f"shard.reply.{site}", "corrupt") for site in _REPLY_SITES]
+
+    record: dict = {
+        "fixture": {
+            "max_rows": max_rows, "n_columns": n_columns,
+            "n_slices": n_slices, "rank": rank, "sweeps": sweeps,
+            "shards": 2, "call_timeout": float(_INJECT_CALL_TIMEOUT),
+        },
+        "cases": {},
+    }
+    previous_timeout = os.environ.get("REPRO_SHARD_CALL_TIMEOUT")
+    os.environ["REPRO_SHARD_CALL_TIMEOUT"] = _INJECT_CALL_TIMEOUT
+    try:
+        baseline = factor_sha256(dpar2(tensor, config))
+        record["baseline_sha256"] = baseline
+        for site, kind in cases:
+            plan = faults.FaultPlan(
+                specs=(faults.FaultSpec(site=site, kind=kind, shard=1),)
+            )
+            started = time.perf_counter()
+            with faults.injected(plan):
+                result = dpar2(tensor, config)
+            sharding = result.stats["sharding"]
+            record["cases"][f"{site}:{kind}"] = {
+                "sha_matches_baseline": factor_sha256(result) == baseline,
+                "worker_restarts": sharding["worker_restarts"],
+                "seconds": time.perf_counter() - started,
+            }
+    finally:
+        if previous_timeout is None:
+            os.environ.pop("REPRO_SHARD_CALL_TIMEOUT", None)
+        else:
+            os.environ["REPRO_SHARD_CALL_TIMEOUT"] = previous_timeout
+    return record
+
+
+def check_inject_record(record: dict) -> list[str]:
+    """Gates for the fault matrix; returns failure messages."""
+    failures = []
+    for case_name, case in record["cases"].items():
+        if not case["sha_matches_baseline"]:
+            failures.append(
+                f"{case_name}: recovered factors differ from the no-fault "
+                f"baseline — respawn-and-replay is not bitwise"
+            )
+        if case["worker_restarts"] < 1:
+            failures.append(
+                f"{case_name}: no worker restart recorded — the fault was "
+                f"not detected (or not injected)"
+            )
+    return failures
+
+
 def allreduce_bound_bytes(rank: int, shards: int, cells: int) -> float:
     """Explicit per-sweep traffic ceiling — no K, no row counts.
 
@@ -234,6 +340,13 @@ def main(argv=None) -> int:
     parser.add_argument("--max-overhead", type=float, default=1.10,
                         help="allowed shards=1 total-seconds ratio over the "
                         "unsharded solver (default: 1.10)")
+    parser.add_argument("--inject", action="store_true",
+                        help="also run the fault-injection matrix (crash/hang "
+                        "at every shard call site + corrupt replies) and "
+                        "record bitwise recovery")
+    parser.add_argument("--inject-only", action="store_true",
+                        help="run only the fault-injection matrix (implies "
+                        "--inject; skips the timing/invariance bench)")
     parser.add_argument("--max-rows", type=int, default=4000)
     parser.add_argument("--columns", type=int, default=128)
     parser.add_argument("--slices", type=int, default=64)
@@ -243,30 +356,45 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     start = time.perf_counter()
-    record = run_shard_bench(
-        max_rows=args.max_rows, n_columns=args.columns, n_slices=args.slices,
-        rank=args.rank, sweeps=args.sweeps, repeats=args.repeats,
-    )
-    print(f"fixture : K={record['n_slices']} skewed slices "
-          f"(<= {record['max_rows']} rows), J={record['n_columns']}, "
-          f"rank {record['rank']}, {record['sweeps']} sweeps, "
-          f"{record['usable_cores']} usable cores")
-    for combo_name, combo in record["combos"].items():
-        invariant = len(set(combo["factor_sha256"].values())) == 1
-        print(f"{combo_name:>15}: shards {record['shard_counts']} "
-              f"{'invariant' if invariant else 'DIVERGED'}, "
-              f"allreduce {combo['allreduce_bytes_per_sweep']:.0f} B/sweep, "
-              f"imbalance {combo['imbalance']:.2f}")
-    print(f"overhead: shards=1 serial {record['shards1_overhead_ratio']:.3f}x "
-          f"unsharded ({record['shards1_serial_total_seconds']:.3f}s vs "
-          f"{record['unsharded_total_seconds']:.3f}s)")
-    for shards, row in record["process_scaling"].items():
-        print(f"process x{shards}: iterate {row['iterate_seconds']:.4f}s "
-              f"total {row['total_seconds']:.3f}s "
-              f"({row['allreduce_bytes_per_sweep_per_shard']:.0f} B/sweep/shard)")
-    if record["iterate_speedup_4_shards"] is not None:
-        print(f"speedup : 4-shard iterate "
-              f"{record['iterate_speedup_4_shards']:.2f}x (ungated)")
+    if args.inject_only:
+        record = {"schema_version": 1, "platform": platform.platform()}
+    else:
+        record = run_shard_bench(
+            max_rows=args.max_rows, n_columns=args.columns,
+            n_slices=args.slices, rank=args.rank, sweeps=args.sweeps,
+            repeats=args.repeats,
+        )
+        print(f"fixture : K={record['n_slices']} skewed slices "
+              f"(<= {record['max_rows']} rows), J={record['n_columns']}, "
+              f"rank {record['rank']}, {record['sweeps']} sweeps, "
+              f"{record['usable_cores']} usable cores")
+        for combo_name, combo in record["combos"].items():
+            invariant = len(set(combo["factor_sha256"].values())) == 1
+            print(f"{combo_name:>15}: shards {record['shard_counts']} "
+                  f"{'invariant' if invariant else 'DIVERGED'}, "
+                  f"allreduce {combo['allreduce_bytes_per_sweep']:.0f} B/sweep, "
+                  f"imbalance {combo['imbalance']:.2f}")
+        print(f"overhead: shards=1 serial "
+              f"{record['shards1_overhead_ratio']:.3f}x unsharded "
+              f"({record['shards1_serial_total_seconds']:.3f}s vs "
+              f"{record['unsharded_total_seconds']:.3f}s)")
+        for shards, row in record["process_scaling"].items():
+            print(f"process x{shards}: iterate {row['iterate_seconds']:.4f}s "
+                  f"total {row['total_seconds']:.3f}s "
+                  f"({row['allreduce_bytes_per_sweep_per_shard']:.0f} "
+                  f"B/sweep/shard)")
+        if record["iterate_speedup_4_shards"] is not None:
+            print(f"speedup : 4-shard iterate "
+                  f"{record['iterate_speedup_4_shards']:.2f}x (ungated)")
+
+    if args.inject or args.inject_only:
+        inject = run_inject_bench()
+        record["fault_injection"] = inject
+        for case_name, case in inject["cases"].items():
+            verdict = "recovered" if case["sha_matches_baseline"] else "DIVERGED"
+            print(f"inject {case_name:>35}: {verdict} bitwise, "
+                  f"{case['worker_restarts']} restart(s), "
+                  f"{case['seconds']:.2f}s")
     print(f"bench wall-clock {time.perf_counter() - start:.1f}s")
 
     if args.json:
@@ -276,13 +404,22 @@ def main(argv=None) -> int:
         print(f"wrote {args.json}")
 
     if args.check:
-        failures = check_record(record, args.max_overhead)
+        failures = []
+        if "combos" in record:
+            failures += check_record(record, args.max_overhead)
+        if "fault_injection" in record:
+            failures += check_inject_record(record["fault_injection"])
         for failure in failures:
             print(f"GATE FAILURE: {failure}", file=sys.stderr)
         if failures:
             return 1
-        print(f"shard gate ok (invariance + allreduce bound + "
-              f"<= {args.max_overhead:.2f}x overhead)")
+        gates = []
+        if "combos" in record:
+            gates.append(f"invariance + allreduce bound + "
+                         f"<= {args.max_overhead:.2f}x overhead")
+        if "fault_injection" in record:
+            gates.append("bitwise fault recovery")
+        print(f"shard gate ok ({', '.join(gates)})")
     return 0
 
 

@@ -198,6 +198,28 @@ def build_parser() -> argparse.ArgumentParser:
         "and hot-swap to them; 0 disables polling (default: 2)",
     )
     serve.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-request dispatch deadline; an expired request answers "
+        "503 with Retry-After and counts under /healthz faults.timeouts; "
+        "0 disables (default: 30)",
+    )
+    serve.add_argument(
+        "--max-body-bytes", type=int, default=8 << 20, metavar="BYTES",
+        help="reject request bodies larger than this with 413, judged from "
+        "Content-Length without buffering the body; 0 disables "
+        "(default: 8 MiB)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=0, metavar="N",
+        help="shed similar/fold-in requests with 503 + Retry-After once N "
+        "are already queued in a micro-batcher; 0 never sheds (default: 0)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="on SIGTERM/SIGINT, stop accepting and wait up to this long "
+        "for in-flight requests before exiting (default: 10)",
+    )
+    serve.add_argument(
         "--compute-backend", default="numpy",
         choices=list(COMPUTE_BACKEND_NAMES),
         help="array library for the query kernels: numpy (default, the "
@@ -395,9 +417,13 @@ def cmd_publish(args: argparse.Namespace) -> int:
           f"({result.n_iterations} sweeps, "
           f"{format_seconds(result.total_seconds)})")
     store = FactorStore(args.registry)
-    version = store.publish(
-        result, config=config, extra={"dataset": args.dataset}
-    )
+    extra = {"dataset": args.dataset}
+    sharding = result.stats.get("sharding") if isinstance(result.stats, dict) else None
+    if isinstance(sharding, dict):
+        # Surface fit-time fault recovery in the registry meta so /healthz
+        # can report it for the serving version.
+        extra["worker_restarts"] = int(sharding.get("worker_restarts", 0))
+    version = store.publish(result, config=config, extra=extra)
     print(f"registry: {store}")
     print(f"published version {version}")
     return 0
@@ -436,6 +462,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         poll_interval=args.poll_interval,
         adaptive_batching=not args.fixed_batch_window,
+        request_timeout=args.request_timeout if args.request_timeout > 0 else None,
+        max_body_bytes=args.max_body_bytes if args.max_body_bytes > 0 else None,
+        max_queue=args.max_queue if args.max_queue > 0 else None,
+        drain_timeout=args.drain_timeout,
     )
     backend_note = (
         "" if args.compute_backend == "numpy"
@@ -443,6 +473,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     print(f"serving {store} on http://{args.host}:{args.port}{backend_note}")
     try:
+        # SIGTERM/SIGINT trigger a graceful drain inside app.run(): the
+        # listener closes, in-flight requests are answered, then run()
+        # returns and we exit 0.
         asyncio.run(app.run(args.host, args.port))
     except KeyboardInterrupt:
         pass

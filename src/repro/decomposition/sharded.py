@@ -288,6 +288,7 @@ def sharded_stage1(
     n_shards: int,
     shard_backend: str,
     n_cells: int,
+    fault_stats_out: dict | None = None,
 ) -> list[RandomizedSVDResult]:
     """Stage-1 compress a batch of slices across shards; gather everything.
 
@@ -298,7 +299,9 @@ def sharded_stage1(
     serial batched path for dense slices (each slice draws its own
     generator and the stacked LAPACK kernels are composition-invariant),
     and invariant to the shard count for any slice type because the cell
-    layout is fixed by row counts alone.
+    layout is fixed by row counts alone.  When ``fault_stats_out`` is
+    given, the runner's recovery counters are merged into it (restart
+    counts accumulate across calls).
     """
     matrices = list(matrices)
     plan = plan_shards(
@@ -315,6 +318,17 @@ def sharded_stage1(
     )
     with get_shard_runner(shard_backend, _build_shard, payloads) as runner:
         merged = _merge_cells(runner.start())
+        if fault_stats_out is not None:
+            fresh = runner.fault_stats
+            fault_stats_out["worker_restarts"] = (
+                fault_stats_out.get("worker_restarts", 0)
+                + fresh["worker_restarts"]
+            )
+            fault_stats_out["replayed_calls"] = (
+                fault_stats_out.get("replayed_calls", 0)
+                + fresh["replayed_calls"]
+            )
+            fault_stats_out.setdefault("events", []).extend(fresh["events"])
     return [
         RandomizedSVDResult(U=U, singular_values=sv, V=V)
         for U, sv, V in (merged[k] for k in range(len(matrices)))
@@ -334,7 +348,9 @@ def sharded_dpar2(
     ``config.shards`` is set; ``tensor`` is already dtype-normalized.  The
     result matches the single-process solver in structure and adds a
     ``stats["sharding"]`` record: the chosen cell layout, the shard
-    imbalance ratio, and the measured allreduce bytes per sweep.
+    imbalance ratio, the measured allreduce bytes per sweep, and the
+    transport's recovery counters (``worker_restarts`` plus a ``faults``
+    block with replayed calls and per-event stderr excerpts).
     """
     if config.shards is None:
         raise ValueError("sharded_dpar2 requires config.shards to be set")
@@ -485,6 +501,7 @@ def sharded_dpar2(
 
         # One-time gather of the factor rows and Qk blocks.
         gathered = _merge_cells(runner.call("finalize", R))
+        fault_stats = runner.fault_stats
 
     W_out = np.empty((K, R), dtype=dtype)
     Q: list[np.ndarray | None] = [None] * K
@@ -505,6 +522,8 @@ def sharded_dpar2(
             "allreduce_bytes_per_sweep_per_shard": (
                 sweep_bytes / n_sweeps / plan.n_shards
             ),
+            "worker_restarts": fault_stats["worker_restarts"],
+            "faults": fault_stats,
         }
     }
 

@@ -22,7 +22,12 @@ streaming method needs.
 
 from __future__ import annotations
 
+import json
+import os
+import shutil
+import tempfile
 from functools import partial
+from pathlib import Path
 
 import numpy as np
 
@@ -40,9 +45,17 @@ from repro.parallel.backends import get_backend, in_process_backend
 from repro.sparse.csr import CsrMatrix
 from repro.sparse.ops import check_finite_csr
 from repro.tensor.irregular import IrregularTensor
+from repro.util import faults
 from repro.util.config import DecompositionConfig
 from repro.util.rng import as_generator, spawn_generators
 from repro.util.validation import check_matrix
+
+_CHECKPOINT_LATEST = "LATEST"
+_CHECKPOINT_FORMAT = 1
+
+
+def _checkpoint_name(seq: int) -> str:
+    return f"ckpt-{seq:07d}"
 
 
 def _check_stream_slice(slice_matrix, name: str, dtype):
@@ -85,6 +98,18 @@ class StreamingDpar2:
         stream more faithfully at the cost of more basis updates.
     refresh_iterations:
         Warm-started ALS sweeps run after each ``absorb``.
+    checkpoint_dir:
+        When set, the stream writes atomic checkpoints (the
+        :class:`~repro.serve.store.FactorStore` temp-dir-rename idiom)
+        into this directory and :meth:`resume_from` can rebuild the
+        stream after a crash — bitwise-identically, because the RNG's
+        bit-generator state is saved and :meth:`absorb_many` chunks its
+        batches by ``checkpoint_every`` whether or not a crash happens,
+        so the generator-spawn sequence never depends on where a run was
+        interrupted.
+    checkpoint_every:
+        Checkpoint after this many absorbed slices (0 disables automatic
+        checkpoints; :meth:`checkpoint` can still be called manually).
 
     Example
     -------
@@ -107,6 +132,9 @@ class StreamingDpar2:
         *,
         residual_threshold: float = 0.05,
         refresh_iterations: int = 5,
+        checkpoint_dir=None,
+        checkpoint_every: int = 0,
+        keep_checkpoints: int = 2,
     ) -> None:
         self.config = config or DecompositionConfig()
         if not 0.0 <= residual_threshold < 1.0:
@@ -117,8 +145,19 @@ class StreamingDpar2:
             raise ValueError(
                 f"refresh_iterations must be >= 0, got {refresh_iterations}"
             )
+        if checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        if keep_checkpoints < 1:
+            raise ValueError(
+                f"keep_checkpoints must be >= 1, got {keep_checkpoints}"
+            )
         self.residual_threshold = residual_threshold
         self.refresh_iterations = refresh_iterations
+        self.checkpoint_dir = None if checkpoint_dir is None else Path(checkpoint_dir)
+        self.checkpoint_every = int(checkpoint_every)
+        self.keep_checkpoints = int(keep_checkpoints)
         self._rng = as_generator(self.config.random_state)
         self._dtype = self.config.numpy_dtype
 
@@ -130,6 +169,19 @@ class StreamingDpar2:
         self._G: list[np.ndarray] = []
         self._n_columns: int | None = None
         self._last_result: Parafac2Result | None = None
+        self._checkpoint_seq = 0
+        self._absorbed_since_checkpoint = 0
+        #: Durability counters, surfaced in ``result().stats["streaming"]``
+        #: and in :meth:`publish_to` metadata.
+        self.stats: dict = {
+            "checkpoints_written": 0,
+            "checkpoint_resumes": 0,
+            "worker_restarts": 0,
+        }
+
+    @property
+    def _auto_checkpoint(self) -> bool:
+        return self.checkpoint_dir is not None and self.checkpoint_every > 0
 
     # ------------------------------------------------------------------ #
     # stream ingestion
@@ -171,6 +223,12 @@ class StreamingDpar2:
             xp=self.config.compute_backend,
         )
         self._absorb_stage1(stage1)
+        self._absorbed_since_checkpoint += 1
+        if (
+            self._auto_checkpoint
+            and self._absorbed_since_checkpoint >= self.checkpoint_every
+        ):
+            self.checkpoint()
 
         self._last_result = None
         if refresh:
@@ -221,6 +279,15 @@ class StreamingDpar2:
         batched path for dense slices, and invariant to the shard count
         for all slice types; the refresh solve shards automatically
         through :func:`~repro.decomposition.dpar2.dpar2`.
+
+        When automatic checkpointing is on (``checkpoint_dir`` +
+        ``checkpoint_every``) the batch is processed in chunks of
+        ``checkpoint_every`` slices with a checkpoint after each chunk —
+        *always*, not only when something fails.  Chunking changes the
+        generator-spawn sequence (each chunk draws once from the stream
+        RNG), so making it unconditional is what keeps a crash-resumed
+        run bitwise-identical to an uninterrupted one with the same
+        cadence.
         """
         matrices = [
             _check_stream_slice(Xk, f"slices[{idx}]", self._dtype)
@@ -239,6 +306,20 @@ class StreamingDpar2:
                 )
         self._n_columns = n_columns
 
+        chunk = self.checkpoint_every if self._auto_checkpoint else len(matrices)
+        for start in range(0, len(matrices), chunk):
+            faults.check("streaming.absorb")
+            self._absorb_batch(matrices[start : start + chunk])
+            self._absorbed_since_checkpoint += len(matrices[start : start + chunk])
+            if self._auto_checkpoint:
+                self.checkpoint()
+
+        self._last_result = None
+        if refresh:
+            self._refresh()
+
+    def _absorb_batch(self, matrices: list) -> None:
+        """Stage-1 compress one validated chunk and fold it into the state."""
         generators = spawn_generators(self._rng, len(matrices))
         if self.config.shards is not None:
             from repro.decomposition.sharded import sharded_stage1
@@ -252,12 +333,10 @@ class StreamingDpar2:
                 n_shards=self.config.shards,
                 shard_backend=self.config.shard_backend,
                 n_cells=self.config.shard_cells,
+                fault_stats_out=self.stats,
             )
             for svd in stage1:
                 self._absorb_stage1(svd)
-            self._last_result = None
-            if refresh:
-                self._refresh()
             return
         xp = get_xp(self.config.compute_backend)
         with get_backend(self.config.backend, self.config.n_threads) as engine:
@@ -306,10 +385,6 @@ class StreamingDpar2:
 
         for svd in stage1:
             self._absorb_stage1(svd)
-
-        self._last_result = None
-        if refresh:
-            self._refresh()
 
     def _absorb_right_factor(self, CB: np.ndarray) -> None:
         """Grow/rotate the shared basis ``D`` to cover a new ``Ck Bk``."""
@@ -380,6 +455,154 @@ class StreamingDpar2:
             A = [np.pad(Ak, ((0, 0), (0, pad))) for Ak in A]
         return CompressedTensor(A=A, D=D, E=E, F_blocks=F_blocks, seconds=0.0)
 
+    # ------------------------------------------------------------------ #
+    # durability: atomic checkpoints + resume
+    # ------------------------------------------------------------------ #
+
+    def checkpoint(self, directory=None) -> Path:
+        """Write an atomic checkpoint of the stream state; return its path.
+
+        Same idiom as :meth:`FactorStore.publish
+        <repro.serve.store.FactorStore.publish>`: the state is staged
+        into a hidden temp dir in the target directory, renamed into
+        place (atomic on POSIX), and only then does the ``LATEST``
+        pointer move — a crash at any instant leaves either the previous
+        checkpoint or a complete new one, never a torn read.  The RNG's
+        bit-generator state rides along, so a resumed stream continues
+        the exact draw sequence.
+        """
+        base = Path(directory) if directory is not None else self.checkpoint_dir
+        if base is None:
+            raise RuntimeError(
+                "no checkpoint directory: pass one here or set checkpoint_dir"
+            )
+        base.mkdir(parents=True, exist_ok=True)
+        seq = self._checkpoint_seq + 1
+        stats = dict(self.stats)
+        stats["checkpoints_written"] = stats.get("checkpoints_written", 0) + 1
+        state = {
+            "format": _CHECKPOINT_FORMAT,
+            "seq": seq,
+            "config": self.config.to_dict(),
+            "residual_threshold": self.residual_threshold,
+            "refresh_iterations": self.refresh_iterations,
+            "checkpoint_every": self.checkpoint_every,
+            "keep_checkpoints": self.keep_checkpoints,
+            "n_columns": self._n_columns,
+            "n_slices": self.n_slices,
+            "rng_state": self._rng.bit_generator.state,
+            "stats": stats,
+        }
+        staging = Path(tempfile.mkdtemp(prefix=".ckpt-", dir=base))
+        try:
+            if self._D is not None:
+                np.save(staging / "D.npy", self._D)
+            for k, (Ak, Gk) in enumerate(zip(self._A, self._G)):
+                np.save(staging / f"A_{k:06d}.npy", Ak)
+                np.save(staging / f"G_{k:06d}.npy", Gk)
+            # state.json last: its presence marks the staging dir complete.
+            (staging / "state.json").write_text(json.dumps(state))
+            faults.check("streaming.checkpoint.staged")
+            target = base / _checkpoint_name(seq)
+            staging.rename(target)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        faults.check("streaming.checkpoint.renamed")
+        self._point_latest(base, seq)
+        self._checkpoint_seq = seq
+        self.stats["checkpoints_written"] = stats["checkpoints_written"]
+        self._absorbed_since_checkpoint = 0
+        self._prune_checkpoints(base)
+        return target
+
+    @staticmethod
+    def _point_latest(base: Path, seq: int) -> None:
+        fd, tmp = tempfile.mkstemp(prefix=".latest-", dir=base)
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(f"{seq}\n")
+            os.replace(tmp, base / _CHECKPOINT_LATEST)
+        except BaseException:  # pragma: no cover - replace failed
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _prune_checkpoints(self, base: Path) -> None:
+        complete = sorted(
+            int(path.name.split("-")[1])
+            for path in base.glob("ckpt-*")
+            if path.is_dir() and (path / "state.json").exists()
+        )
+        for seq in complete[: -self.keep_checkpoints]:
+            shutil.rmtree(base / _checkpoint_name(seq), ignore_errors=True)
+
+    @staticmethod
+    def _latest_checkpoint(base: Path) -> int | None:
+        def complete(seq: int) -> bool:
+            return (base / _checkpoint_name(seq) / "state.json").exists()
+
+        try:
+            seq = int((base / _CHECKPOINT_LATEST).read_text().strip())
+            if complete(seq):
+                return seq
+        except (OSError, ValueError):
+            pass
+        # Stale or missing pointer (e.g. a crash between rename and pointer
+        # flip): fall back to the highest complete checkpoint on disk.
+        candidates = sorted(
+            (
+                int(path.name.split("-")[1])
+                for path in base.glob("ckpt-*")
+                if path.is_dir() and (path / "state.json").exists()
+            ),
+            reverse=True,
+        )
+        return candidates[0] if candidates else None
+
+    @classmethod
+    def resume_from(
+        cls, directory, *, config: DecompositionConfig | None = None
+    ) -> "StreamingDpar2":
+        """Rebuild a stream from the newest complete checkpoint in ``directory``.
+
+        The restored stream continues bitwise-identically: compressed
+        state, column count, and the RNG bit-generator state all come
+        back exactly as checkpointed (``config`` overrides the saved one
+        for knobs that do not affect determinism, e.g. worker counts).
+        ``stats["checkpoint_resumes"]`` is incremented; it propagates to
+        published model metadata and ``/healthz``.
+        """
+        base = Path(directory)
+        seq = cls._latest_checkpoint(base)
+        if seq is None:
+            raise FileNotFoundError(f"no complete checkpoint under {base}")
+        path = base / _checkpoint_name(seq)
+        state = json.loads((path / "state.json").read_text())
+        stream = cls(
+            config if config is not None else DecompositionConfig.from_dict(state["config"]),
+            residual_threshold=state["residual_threshold"],
+            refresh_iterations=state["refresh_iterations"],
+            checkpoint_dir=base,
+            checkpoint_every=state.get("checkpoint_every", 0),
+            keep_checkpoints=state.get("keep_checkpoints", 2),
+        )
+        stream._n_columns = state["n_columns"]
+        stream._rng.bit_generator.state = state["rng_state"]
+        n_slices = int(state["n_slices"])
+        stream._A = [np.load(path / f"A_{k:06d}.npy") for k in range(n_slices)]
+        stream._G = [np.load(path / f"G_{k:06d}.npy") for k in range(n_slices)]
+        if (path / "D.npy").exists():
+            stream._D = np.load(path / "D.npy")
+        stream._checkpoint_seq = seq
+        stream.stats = dict(state.get("stats", {}))
+        stream.stats["checkpoint_resumes"] = (
+            stream.stats.get("checkpoint_resumes", 0) + 1
+        )
+        return stream
+
     def result(self) -> Parafac2Result:
         """The current PARAFAC2 model (refreshing factors if needed)."""
         if self._last_result is None:
@@ -399,6 +622,14 @@ class StreamingDpar2:
             max_iterations=max(self.refresh_iterations, 1)
         )
         self._last_result = dpar2(tensor, config, compressed=compressed)
+        streaming_stats = self._last_result.stats.setdefault("streaming", {})
+        streaming_stats.update(
+            {
+                "checkpoints_written": self.stats.get("checkpoints_written", 0),
+                "checkpoint_resumes": self.stats.get("checkpoint_resumes", 0),
+                "worker_restarts": self.stats.get("worker_restarts", 0),
+            }
+        )
 
     def fitness(self, tensor: IrregularTensor) -> float:
         """Fitness of the current model against externally held raw slices."""
@@ -414,6 +645,11 @@ class StreamingDpar2:
         slices, publish, and the query layer follows without restarts.
         Returns the new version number.
         """
-        meta = {"source": "streaming", "n_slices": self.n_slices}
+        meta = {
+            "source": "streaming",
+            "n_slices": self.n_slices,
+            "checkpoint_resumes": self.stats.get("checkpoint_resumes", 0),
+            "worker_restarts": self.stats.get("worker_restarts", 0),
+        }
         meta.update(extra or {})
         return store.publish(self.result(), config=self.config, extra=meta)

@@ -27,7 +27,14 @@ carry other shardable solvers later:
 
 from __future__ import annotations
 
+import os
+import pickle
+import shutil
+import sys
+import tempfile
+import time
 import traceback
+import zlib
 from dataclasses import dataclass
 from multiprocessing import Pipe, Process, connection, resource_tracker
 from typing import Callable, Sequence
@@ -36,11 +43,13 @@ import numpy as np
 
 from repro.parallel.partition import greedy_partition, partition_imbalance
 from repro.parallel.shm import ArrayShipment, AttachedArrays
+from repro.util import faults
 
 __all__ = [
     "ProcessShardRunner",
     "SerialShardRunner",
     "ShardPlan",
+    "ShardWorkerError",
     "ThreadShardRunner",
     "get_shard_runner",
     "payload_nbytes",
@@ -170,6 +179,49 @@ def payload_nbytes(obj) -> int:
 # --------------------------------------------------------------------- #
 
 
+class ShardWorkerError(RuntimeError):
+    """A shard worker failed unrecoverably: which shard, which call, why.
+
+    ``kind`` is ``"died"`` (process exited / was killed), ``"hang"``
+    (per-call deadline exceeded), ``"corrupt"`` (reply failed checksum or
+    unpickling), or ``"error"`` (the shard method raised — deterministic,
+    so never retried).  ``stderr`` carries the tail of the worker's
+    captured stderr, which is where segfault bands and C-library noise
+    end up.
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        call: str,
+        kind: str,
+        detail: str = "",
+        stderr: str = "",
+    ) -> None:
+        self.shard = shard
+        self.call = call
+        self.kind = kind
+        self.stderr = stderr
+        parts = [f"shard {shard} worker {kind} during {call!r}"]
+        if detail:
+            parts.append(detail)
+        if stderr.strip():
+            parts.append(f"--- worker stderr (tail) ---\n{stderr.strip()}")
+        super().__init__("\n".join(parts))
+
+
+class _WorkerFault(Exception):
+    """Internal: a transport-level worker failure eligible for respawn."""
+
+    def __init__(self, kind: str, detail: str = "") -> None:
+        self.kind = kind
+        self.detail = detail
+        super().__init__(detail or kind)
+
+
+_EMPTY_FAULT_STATS = {"worker_restarts": 0, "replayed_calls": 0, "events": []}
+
+
 class ShardRunner:
     """Common surface of the three shard transports.
 
@@ -218,6 +270,12 @@ class ShardRunner:
 
     def _dispatch(self, method: str, args_per_shard: list) -> list:
         raise NotImplementedError
+
+    @property
+    def fault_stats(self) -> dict:
+        """Recovery counters: worker restarts, replayed calls, fault events."""
+        return {key: (list(value) if isinstance(value, list) else value)
+                for key, value in _EMPTY_FAULT_STATS.items()}
 
     def close(self) -> None:
         """Release shard resources (idempotent)."""
@@ -292,21 +350,52 @@ class ThreadShardRunner(ShardRunner):
         self._states = None
 
 
-def _shard_worker_main(conn: connection.Connection, factory: Callable, packed) -> None:
+def _shard_worker_main(
+    conn: connection.Connection,
+    factory: Callable,
+    packed,
+    stderr_path: str | None = None,
+    fault_plan=None,
+    shard_index: int = 0,
+    generation: int = 0,
+) -> None:
     """Worker process loop: resolve shipped arrays, answer method calls.
 
     The init payload's bulk arrays arrive as shm/memmap/CSR refs and are
     resolved into zero-copy views held for the worker's lifetime (the
     parent may unlink the segments once startup is acknowledged — the
-    mapping keeps them alive here).  Results travel back by pickle, copied
-    out of any shared segment first.
+    mapping keeps them alive here).  Results travel back as a pickled
+    blob plus its CRC-32, so the parent can detect corrupt payloads;
+    fd 2 is redirected into ``stderr_path`` so the parent can attach the
+    worker's stderr to any failure it reports.  ``fault_plan`` re-scopes
+    the (fork-inherited) fault-injection state to this shard and respawn
+    generation; injection sites are ``shard.call.<method>`` before each
+    method runs and ``shard.reply.<method>`` on the reply blob.
     """
+    if stderr_path is not None:
+        try:
+            fd = os.open(stderr_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            os.dup2(fd, 2)
+            os.close(fd)
+            sys.stderr = os.fdopen(2, "w", buffering=1, closefd=False)
+        except OSError:  # pragma: no cover - capture is best-effort
+            pass
+    faults.activate(fault_plan, shard=shard_index, generation=generation)
     holder = AttachedArrays()
-    state = None
+
+    def reply(method: str, value) -> None:
+        blob = pickle.dumps(value, pickle.HIGHEST_PROTOCOL)
+        crc = zlib.crc32(blob)
+        # Corruption is applied after the checksum — it models damage in
+        # transit, which the parent must catch by re-checksumming.
+        blob = faults.corrupt_bytes(f"shard.reply.{method}", blob)
+        conn.send(("ok", blob, crc))
+
     try:
         try:
+            faults.check("shard.call.startup")
             state = factory(holder.resolve(packed))
-            conn.send(("ok", holder.copy_if_shared(state.startup())))
+            reply("startup", holder.copy_if_shared(state.startup()))
         except BaseException:
             conn.send(("err", traceback.format_exc()))
             return
@@ -316,16 +405,27 @@ def _shard_worker_main(conn: connection.Connection, factory: Callable, packed) -
                 return
             method, args = message
             try:
+                faults.check(f"shard.call.{method}")
                 result = getattr(state, method)(*args)
             except BaseException:
                 conn.send(("err", traceback.format_exc()))
             else:
-                conn.send(("ok", holder.copy_if_shared(result)))
+                reply(method, holder.copy_if_shared(result))
     except EOFError:  # parent went away; nothing left to answer
         pass
     finally:
         holder.release()
         conn.close()
+
+
+def _default_call_timeout() -> float:
+    raw = os.environ.get("REPRO_SHARD_CALL_TIMEOUT")
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            pass
+    return 300.0
 
 
 class ProcessShardRunner(ShardRunner):
@@ -336,14 +436,66 @@ class ProcessShardRunner(ShardRunner):
     in named segments, memmap-backed arrays travel as path descriptors,
     CSR slices as their three component buffers.  Per-call messages are
     small (O(R²) Grams) and go over a duplex pipe via pickle.
+
+    Fault tolerance: every receive polls the pipe on a short heartbeat,
+    checking worker liveness and a per-call deadline; replies carry a
+    CRC-32 so corrupt payloads are caught.  A dead, hung, or corrupt
+    worker is killed and **respawned**: the original init payload is
+    re-shipped, startup re-runs (per-cell stage-1 is deterministic given
+    the seed), and the full logged call history is replayed — so the
+    respawned shard reaches exactly the state it lost and the final
+    factors stay bitwise-identical to a no-fault run.  Respawns are
+    bounded by ``max_respawns`` per shard; past the budget (or on a
+    deterministic in-method exception) a :class:`ShardWorkerError`
+    carrying the worker's captured stderr is raised.  Replayed traffic is
+    not added to ``bytes_sent`` / ``bytes_received`` — those measure the
+    logical allreduce, not recovery overhead (tracked in
+    :attr:`fault_stats` instead).
+
+    ``call_timeout=None`` picks the ``REPRO_SHARD_CALL_TIMEOUT``
+    environment override or 300 s; pass ``0`` to disable the deadline
+    (death detection still applies).
     """
 
     name = "process"
 
-    def __init__(self, factory: Callable, payloads: Sequence) -> None:
+    def __init__(
+        self,
+        factory: Callable,
+        payloads: Sequence,
+        *,
+        call_timeout: float | None = None,
+        heartbeat_interval: float = 0.25,
+        max_respawns: int = 2,
+    ) -> None:
         super().__init__(factory, payloads)
-        self._processes: list[Process] = []
-        self._conns: list[connection.Connection] = []
+        if call_timeout is None:
+            call_timeout = _default_call_timeout()
+        self._call_timeout = float(call_timeout) if call_timeout and call_timeout > 0 else None
+        self._heartbeat_interval = max(0.01, float(heartbeat_interval))
+        self._max_respawns = int(max_respawns)
+        self._processes: list[Process | None] = [None] * self.n_shards
+        self._conns: list[connection.Connection | None] = [None] * self.n_shards
+        self._shipments: list[ArrayShipment | None] = [None] * self.n_shards
+        self._stderr_paths: list[str | None] = [None] * self.n_shards
+        self._respawns = [0] * self.n_shards
+        self._stderr_dir: str | None = None
+        self._call_log: list[tuple[str, list[tuple]]] = []
+        self._in_flight = False
+        self._worker_restarts = 0
+        self._replayed_calls = 0
+        self._fault_events: list[dict] = []
+
+    @property
+    def fault_stats(self) -> dict:
+        """Recovery counters: worker restarts, replayed calls, fault events."""
+        return {
+            "worker_restarts": self._worker_restarts,
+            "replayed_calls": self._replayed_calls,
+            "events": [dict(event) for event in self._fault_events],
+        }
+
+    # -- lifecycle ----------------------------------------------------- #
 
     def start(self) -> list:
         # The tracker must exist before forking, for the same reason as
@@ -353,55 +505,259 @@ class ProcessShardRunner(ShardRunner):
             resource_tracker.ensure_running()
         except Exception:  # pragma: no cover - platform without tracker
             pass
-        with ArrayShipment() as shipment:
-            for payload in self._payloads:
-                parent_conn, child_conn = Pipe(duplex=True)
-                process = Process(
-                    target=_shard_worker_main,
-                    args=(child_conn, self._factory, shipment.pack(payload)),
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()
-                self._processes.append(process)
-                self._conns.append(parent_conn)
-            self._payloads = [None] * self.n_shards
-            # Collect startup acks while the segments are still linked —
-            # a worker maps them during resolve, so after its ack the
-            # parent copy can go (the mapping keeps the memory alive).
-            return [self._recv(conn) for conn in self._conns]
+        self._stderr_dir = tempfile.mkdtemp(prefix="repro-shard-stderr-")
+        for index in range(self.n_shards):
+            self._spawn(index)
+        # Collect startup acks while each shard's segments are still
+        # linked — a worker maps them during resolve, so after its ack
+        # the parent copy can go (the mapping keeps the memory alive).
+        # Payloads are retained for respawn-and-replay.
+        out = []
+        for index in range(self.n_shards):
+            try:
+                value = self._recv(index, "startup")
+                self._cleanup_shipment(index)
+            except _WorkerFault as fault:
+                value = self._restore(index, fault, "startup")
+            out.append(value)
+        return out
 
-    def _recv(self, conn: connection.Connection):
+    def _spawn(self, index: int) -> None:
+        generation = self._respawns[index]
+        stderr_path = os.path.join(
+            self._stderr_dir, f"shard{index}-gen{generation}.log"
+        )
+        parent_conn, child_conn = Pipe(duplex=True)
+        shipment = ArrayShipment()
         try:
-            status, value = conn.recv()
-        except EOFError:
-            raise RuntimeError(
-                "shard worker died before answering; see its stderr"
-            ) from None
-        if status == "err":
-            raise RuntimeError(f"shard worker failed:\n{value}")
-        return value
+            packed = shipment.pack(self._payloads[index])
+            process = Process(
+                target=_shard_worker_main,
+                args=(
+                    child_conn,
+                    self._factory,
+                    packed,
+                    stderr_path,
+                    faults.active_plan(),
+                    index,
+                    generation,
+                ),
+                daemon=True,
+            )
+            process.start()
+        except BaseException:
+            shipment.cleanup()
+            parent_conn.close()
+            raise
+        finally:
+            child_conn.close()
+        self._processes[index] = process
+        self._conns[index] = parent_conn
+        self._shipments[index] = shipment
+        self._stderr_paths[index] = stderr_path
+
+    def _cleanup_shipment(self, index: int) -> None:
+        shipment = self._shipments[index]
+        if shipment is not None:
+            shipment.cleanup()
+            self._shipments[index] = None
+
+    # -- receive with heartbeat / deadline ----------------------------- #
+
+    def _recv(self, index: int, call: str):
+        conn = self._conns[index]
+        process = self._processes[index]
+        deadline = (
+            time.monotonic() + self._call_timeout if self._call_timeout else None
+        )
+        while True:
+            try:
+                ready = conn.poll(self._heartbeat_interval)
+            except (OSError, EOFError):
+                raise _WorkerFault("died", "pipe closed") from None
+            if ready:
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    raise _WorkerFault("died", "EOF before reply") from None
+                break
+            if not process.is_alive():
+                if conn.poll(0):  # answered, then exited — drain the reply
+                    continue
+                raise _WorkerFault(
+                    "died", f"worker exited with code {process.exitcode}"
+                )
+            if deadline is not None and time.monotonic() >= deadline:
+                raise _WorkerFault(
+                    "hang", f"no reply within {self._call_timeout:.1f}s"
+                )
+        if message[0] == "err":
+            raise ShardWorkerError(
+                index, call, "error", detail=message[1],
+                stderr=self._stderr_tail(index),
+            )
+        _, blob, crc = message
+        if zlib.crc32(blob) != crc:
+            raise _WorkerFault("corrupt", "reply failed CRC-32 check")
+        try:
+            return pickle.loads(blob)
+        except Exception as exc:
+            raise _WorkerFault("corrupt", f"reply unpickle failed: {exc}") from None
+
+    def _send(self, index: int, message) -> None:
+        try:
+            self._conns[index].send(message)
+        except (BrokenPipeError, OSError):
+            raise _WorkerFault("died", "pipe closed on send") from None
+
+    # -- respawn and replay -------------------------------------------- #
+
+    def _stderr_tail(self, index: int, limit: int = 2000) -> str:
+        path = self._stderr_paths[index]
+        if path is None:
+            return ""
+        try:
+            with open(path, "r", errors="replace") as handle:
+                return handle.read()[-limit:]
+        except OSError:
+            return ""
+
+    def _reap(self, index: int) -> None:
+        process = self._processes[index]
+        if process is not None:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2)
+            if process.is_alive():  # pragma: no cover - terminate ignored
+                process.kill()
+                process.join(timeout=5)
+            else:
+                process.join(timeout=1)
+            try:
+                process.close()
+            except Exception:  # pragma: no cover - still running
+                pass
+        conn = self._conns[index]
+        if conn is not None:
+            conn.close()
+        self._processes[index] = None
+        self._conns[index] = None
+        self._cleanup_shipment(index)
+
+    def _note_failure(self, index: int, fault: _WorkerFault, call: str) -> None:
+        stderr = self._stderr_tail(index)
+        self._reap(index)
+        self._fault_events.append(
+            {
+                "shard": index,
+                "call": call,
+                "kind": fault.kind,
+                "detail": fault.detail,
+                "stderr": stderr[-500:],
+            }
+        )
+        if self._respawns[index] >= self._max_respawns:
+            raise ShardWorkerError(
+                index, call, fault.kind,
+                detail=(
+                    f"{fault.detail}; respawn budget exhausted "
+                    f"({self._max_respawns} per shard)"
+                ),
+                stderr=stderr,
+            )
+        self._respawns[index] += 1
+        self._worker_restarts += 1
+
+    def _completed_log(self) -> list[tuple[str, list[tuple]]]:
+        # During a broadcast the current call is already logged (a shard
+        # that fails *later* must replay it) but has not completed for
+        # the recovering shard — the caller re-issues it after replay.
+        return self._call_log[:-1] if self._in_flight else list(self._call_log)
+
+    def _restore(self, index: int, fault: _WorkerFault, call: str):
+        """Respawn shard ``index`` and replay its history; return the
+        fresh startup value.  Raises :class:`ShardWorkerError` once the
+        respawn budget is exhausted."""
+        while True:
+            self._note_failure(index, fault, call)
+            try:
+                self._spawn(index)
+                startup_value = self._recv(index, "startup")
+                self._cleanup_shipment(index)
+                for logged_method, logged_args in self._completed_log():
+                    self._send(index, (logged_method, logged_args[index]))
+                    self._recv(index, logged_method)
+                    self._replayed_calls += 1
+                return startup_value
+            except _WorkerFault as again:
+                fault = again
+
+    # -- dispatch ------------------------------------------------------ #
 
     def _dispatch(self, method, args_per_shard):
-        for conn, args in zip(self._conns, args_per_shard):
-            conn.send((method, tuple(args)))
-        return [self._recv(conn) for conn in self._conns]
+        args_per_shard = [tuple(args) for args in args_per_shard]
+        self._call_log.append((method, args_per_shard))
+        self._in_flight = True
+        try:
+            pending: list[_WorkerFault | None] = [None] * self.n_shards
+            for index, args in enumerate(args_per_shard):
+                try:
+                    self._send(index, (method, args))
+                except _WorkerFault as fault:
+                    pending[index] = fault
+            return [
+                self._collect(index, method, args_per_shard[index], pending[index])
+                for index in range(self.n_shards)
+            ]
+        finally:
+            self._in_flight = False
+
+    def _collect(self, index: int, method: str, args: tuple, fault):
+        while True:
+            if fault is None:
+                try:
+                    return self._recv(index, method)
+                except _WorkerFault as caught:
+                    fault = caught
+            self._restore(index, fault, method)
+            fault = None
+            try:
+                self._send(index, (method, args))
+            except _WorkerFault as caught:
+                fault = caught
 
     def close(self) -> None:
         for conn in self._conns:
+            if conn is None:
+                continue
             try:
                 conn.send(None)
             except (BrokenPipeError, OSError):
                 pass
-        for process in self._processes:
+        for index, process in enumerate(self._processes):
+            if process is None:
+                continue
             process.join(timeout=10)
-            if process.is_alive():  # pragma: no cover - stuck worker
+            if process.is_alive():  # hung or fault-injected worker
                 process.terminate()
                 process.join(timeout=5)
-        for conn in self._conns:
-            conn.close()
-        self._conns.clear()
-        self._processes.clear()
+            if process.is_alive():  # pragma: no cover - terminate ignored
+                process.kill()
+                process.join(timeout=5)
+            try:
+                process.close()
+            except Exception:  # pragma: no cover - still running
+                pass
+            self._processes[index] = None
+        for index, conn in enumerate(self._conns):
+            if conn is not None:
+                conn.close()
+                self._conns[index] = None
+        for index in range(self.n_shards):
+            self._cleanup_shipment(index)
+        if self._stderr_dir is not None:
+            shutil.rmtree(self._stderr_dir, ignore_errors=True)
+            self._stderr_dir = None
 
     def __del__(self) -> None:  # pragma: no cover - belt and braces
         try:
@@ -419,13 +775,21 @@ SHARD_RUNNERS: dict[str, type[ShardRunner]] = {
 
 
 def get_shard_runner(
-    backend: str, factory: Callable, payloads: Sequence
+    backend: str, factory: Callable, payloads: Sequence, **options
 ) -> ShardRunner:
-    """Construct the named shard transport over one payload per shard."""
+    """Construct the named shard transport over one payload per shard.
+
+    ``options`` (``call_timeout``, ``heartbeat_interval``,
+    ``max_respawns``) tune the process runner's fault tolerance; the
+    in-process runners have no transport to fail, so they ignore them.
+    """
     key = backend.strip().lower()
     if key not in SHARD_RUNNERS:
         raise ValueError(
             f"unknown shard backend {backend!r}; "
             f"available: {', '.join(SHARD_RUNNERS)}"
         )
-    return SHARD_RUNNERS[key](factory, payloads)
+    cls = SHARD_RUNNERS[key]
+    if cls is ProcessShardRunner:
+        return cls(factory, payloads, **options)
+    return cls(factory, payloads)

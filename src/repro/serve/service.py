@@ -45,12 +45,32 @@ Malformed payloads (missing keys, wrong types, out-of-range values) are
 rejected with HTTP 400 and a JSON ``{"error": ...}`` body *before* the
 request joins a batch, so one bad request can never poison the kernel
 call it would have shared with other clients.
+
+Robustness (``docs/operations.md`` catalogues the failure modes):
+
+* **Deadlines** — ``request_timeout`` bounds every dispatch with
+  ``asyncio.wait_for``; an expired request answers 503 with a
+  ``Retry-After`` header and bumps the ``timeouts`` counter.
+* **Load shedding** — each :class:`MicroBatcher` can cap its pending
+  queue (``max_queue``); submissions beyond the cap are rejected with
+  503 + ``Retry-After`` *before* they buffer anything (``shed`` counter).
+* **Body caps** — ``max_body_bytes`` rejects oversized uploads with 413
+  from the ``Content-Length`` header alone, without reading the body.
+* **Graceful drain** — SIGTERM/SIGINT stop the listener, let in-flight
+  requests finish (bounded by ``drain_timeout``), and exit cleanly;
+  responses written while draining carry ``Connection: close``.
+* **Version quarantine** — a published version whose engine build fails
+  is quarantined and the previous version keeps serving;
+  ``/admin/reload`` retries quarantined versions.
+
+All of it is observable under the ``"faults"`` key of ``/healthz``.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import signal
 import threading
 import time
 from collections import OrderedDict
@@ -60,15 +80,21 @@ import numpy as np
 
 from repro.serve.queries import QueryEngine
 from repro.serve.store import FactorStore
+from repro.util import faults
 
 #: Hard cap on header lines per request — a framing sanity bound, not a
 #: tunable (real clients send a handful).
 _MAX_HEADER_LINES = 256
 
+#: Default cap on request body size (bytes); oversized uploads answer 413
+#: without ever being buffered.
+DEFAULT_MAX_BODY_BYTES = 8 << 20
+
 _REASONS = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
+    413: "Payload Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
@@ -87,12 +113,24 @@ class ServiceError(Exception):
         When True the connection cannot be kept alive after responding —
         used for framing errors (bad request line, bad ``Content-Length``)
         where the next request boundary is unknowable.
+    retry_after:
+        Seconds the client should wait before retrying; rendered as a
+        ``Retry-After`` response header (used by 503 shedding/deadline
+        responses so well-behaved clients back off instead of hammering).
     """
 
-    def __init__(self, status: int, message: str, *, close: bool = False) -> None:
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        close: bool = False,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.close = close
+        self.retry_after = retry_after
 
 
 def _int_field(body: dict, key: str, default=None, *, minimum: int | None = None):
@@ -176,17 +214,22 @@ class ModelHost:
         self._lock = threading.Lock()
         self._engines: "OrderedDict[int, QueryEngine]" = OrderedDict()
         self._current: QueryEngine | None = None
+        self._quarantined: dict[int, str] = {}
+        self._meta: dict[int, dict] = {}
 
     # ------------------------------------------------------------------ #
 
     def _build(self, version: int) -> QueryEngine:
         artifact = self.store.get(version)
-        return QueryEngine(
+        engine = QueryEngine(
             artifact.result,
             config=artifact.config,
             version=version,
             **self.engine_kwargs,
         )
+        with self._lock:
+            self._meta[version] = dict(artifact.meta)
+        return engine
 
     def engine_backend(self) -> str:
         """Resolved compute-backend name the served engines run on."""
@@ -263,16 +306,29 @@ class ModelHost:
                 for candidate in self._engines:
                     if candidate != current_version:
                         del self._engines[candidate]
+                        self._meta.pop(candidate, None)
                         break
                 else:  # pragma: no cover - only the current engine remains
                     break
 
-    def refresh(self) -> QueryEngine:
-        """Adopt the registry's latest version; return the current engine.
+    def refresh(self, *, retry_quarantined: bool = False) -> QueryEngine:
+        """Adopt the newest loadable version; return the current engine.
 
         Building the new engine happens *before* the swap, so requests keep
         being answered by the old version for the whole load; the final
         pointer assignment is atomic.
+
+        A version whose engine build fails (corrupt payload, bad manifest)
+        is **quarantined** — recorded with its error and skipped by every
+        subsequent refresh — and the walk falls back to the next-newest
+        published version, so one bad publish never takes serving down.
+
+        Parameters
+        ----------
+        retry_quarantined:
+            Forget previous quarantine verdicts before walking (used by
+            ``/admin/reload`` so an operator can retry after repairing a
+            payload in place).
 
         Returns
         -------
@@ -282,20 +338,57 @@ class ModelHost:
         Raises
         ------
         ServiceError
-            503 when the registry has no published versions.
+            503 when the registry has no published versions, or when every
+            published version fails to load.
         """
+        if retry_quarantined:
+            with self._lock:
+                self._quarantined.clear()
         latest = self.store.latest_version()
         if latest is None:
             raise ServiceError(503, f"registry {self.store.root} has no published versions")
         current = self._current
-        if current is not None and current.version == latest:
-            return current
+        candidates = [latest] + [
+            v for v in sorted(self.store.versions(), reverse=True) if v != latest
+        ]
+        for version in candidates:
+            with self._lock:
+                if version in self._quarantined:
+                    continue
+            if current is not None and current.version == version:
+                return current
+            with self._lock:
+                cached = self._engines.get(version)
+            if cached is not None:
+                engine = cached
+            else:
+                try:
+                    engine = self._build(version)
+                except Exception as exc:  # noqa: BLE001 - quarantine any build failure
+                    with self._lock:
+                        self._quarantined[version] = f"{type(exc).__name__}: {exc}"
+                    continue
+            self._current = engine  # the hot swap: a single reference assignment
+            self._admit(engine)  # after the swap, so eviction protects the new version
+            return engine
         with self._lock:
-            cached = self._engines.get(latest)
-        engine = cached if cached is not None else self._build(latest)
-        self._current = engine  # the hot swap: a single reference assignment
-        self._admit(engine)  # after the swap, so eviction protects the new version
-        return engine
+            detail = "; ".join(
+                f"v{v}: {msg}" for v, msg in sorted(self._quarantined.items())
+            )
+        raise ServiceError(503, f"every published version failed to load ({detail})")
+
+    def quarantined(self) -> dict[int, str]:
+        """Versions refused by :meth:`refresh`, mapped to their build errors."""
+        with self._lock:
+            return dict(self._quarantined)
+
+    def current_meta(self) -> dict:
+        """Publisher-supplied ``meta`` of the serving version ({} before one)."""
+        current = self._current
+        if current is None:
+            return {}
+        with self._lock:
+            return dict(self._meta.get(current.version, {}))
 
     @property
     def current_version(self) -> int | None:
@@ -360,11 +453,16 @@ class MicroBatcher:
     idle_reset:
         Seconds without a flush after which the pressure estimate resets
         to idle.
+    max_queue:
+        Bound on pending submissions.  ``None`` (default) never sheds; a
+        submission arriving while ``max_queue`` requests already wait is
+        rejected with a 503 :class:`ServiceError` carrying ``Retry-After``
+        — before it buffers anything — and counted under ``shed``.
 
     Raises
     ------
     ValueError
-        If ``window`` is negative or ``max_batch`` below 1.
+        If ``window`` is negative, or ``max_batch``/``max_queue`` below 1.
     """
 
     def __init__(
@@ -376,14 +474,19 @@ class MicroBatcher:
         adaptive: bool = True,
         ramp_depth: float | None = None,
         idle_reset: float = 0.25,
+        max_queue: int | None = None,
     ) -> None:
         if window < 0:
             raise ValueError(f"window must be >= 0, got {window}")
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         self._runner = runner
         self.window = window
         self.max_batch = max_batch
+        self.max_queue = max_queue
+        self.shed = 0
         self.adaptive = adaptive
         self.ramp_depth = (
             max(2.0, max_batch / 4.0) if ramp_depth is None else float(ramp_depth)
@@ -433,10 +536,20 @@ class MicroBatcher:
 
         Raises
         ------
+        ServiceError
+            503 (with ``Retry-After``) when ``max_queue`` submissions are
+            already pending — shed before buffering, see ``max_queue``.
         Exception
             Whatever the runner raised for the whole batch, or placed in
             this payload's result slot.
         """
+        if self.max_queue is not None and len(self._pending) >= self.max_queue:
+            self.shed += 1
+            raise ServiceError(
+                503,
+                f"batch queue full ({self.max_queue} requests pending)",
+                retry_after=1,
+            )
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._pending.append((payload, future))
@@ -511,6 +624,7 @@ class MicroBatcher:
         return {
             "batches": self.batches,
             "requests": self.requests,
+            "shed": self.shed,
             "queue_depth": len(self._pending),
             "last_batch": self.last_batch_size,
             "ewma_depth": round(self._ewma_depth, 3),
@@ -522,6 +636,7 @@ class MicroBatcher:
         """Return :meth:`stats` pre-serialized (the ``/healthz`` hot path)."""
         return (
             f'{{"batches":{self.batches},"requests":{self.requests},'
+            f'"shed":{self.shed},'
             f'"queue_depth":{len(self._pending)},'
             f'"last_batch":{self.last_batch_size},'
             f'"ewma_depth":{self._ewma_depth:.3f},'
@@ -541,6 +656,14 @@ def _json_default(obj):
     raise TypeError(f"not JSON serializable: {type(obj).__name__}")
 
 
+def _meta_count(meta: dict, key: str) -> int:
+    """Read a counter out of publisher meta, tolerating absent/junk values."""
+    try:
+        return int(meta.get(key, 0) or 0)
+    except (TypeError, ValueError):
+        return 0
+
+
 class ServeApp:
     """The HTTP front: routing, micro-batching, background registry polls.
 
@@ -558,6 +681,20 @@ class ServeApp:
     adaptive_batching:
         When True (default) the batching window adapts to queue pressure;
         when False every batch waits the full ``batch_window``.
+    request_timeout:
+        Per-request deadline in seconds for the dispatch (route + kernel)
+        phase; expiry answers 503 with ``Retry-After`` and counts under
+        ``timeouts``.  ``None``/0 disables the deadline.
+    max_body_bytes:
+        Reject request bodies longer than this with 413 — decided from the
+        ``Content-Length`` header alone, the body is never read.  ``None``
+        disables the cap.
+    max_queue:
+        Per-batcher pending-queue bound (see :class:`MicroBatcher`);
+        ``None`` never sheds.
+    drain_timeout:
+        Upper bound in seconds a graceful drain waits for in-flight
+        requests before shutting down anyway.
     """
 
     def __init__(
@@ -568,9 +705,20 @@ class ServeApp:
         max_batch: int = 64,
         poll_interval: float = 0.0,
         adaptive_batching: bool = True,
+        request_timeout: float | None = None,
+        max_body_bytes: int | None = DEFAULT_MAX_BODY_BYTES,
+        max_queue: int | None = None,
+        drain_timeout: float = 10.0,
     ) -> None:
+        if max_body_bytes is not None and max_body_bytes < 1:
+            raise ValueError(f"max_body_bytes must be >= 1, got {max_body_bytes}")
+        if drain_timeout < 0:
+            raise ValueError(f"drain_timeout must be >= 0, got {drain_timeout}")
         self.host = host
         self.poll_interval = poll_interval
+        self.request_timeout = request_timeout
+        self.max_body_bytes = max_body_bytes
+        self.drain_timeout = drain_timeout
         self.port: int | None = None
         self._started = time.monotonic()
         self._shutdown: asyncio.Event | None = None
@@ -579,15 +727,23 @@ class ServeApp:
             window=batch_window,
             max_batch=max_batch,
             adaptive=adaptive_batching,
+            max_queue=max_queue,
         )
         self._fold_batcher = MicroBatcher(
             self._run_fold_batch,
             window=batch_window,
             max_batch=max_batch,
             adaptive=adaptive_batching,
+            max_queue=max_queue,
         )
         self._connections = 0
         self._requests_served = 0
+        self._timeouts = 0
+        self._drains = 0
+        self._draining = False
+        self._active_requests = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._installed_signals: list[int] = []
         self._model_cache: "tuple[QueryEngine, bytes] | None" = None
         self._open_writers: "set[asyncio.StreamWriter]" = set()
 
@@ -715,6 +871,13 @@ class ServeApp:
         """
         version = self.host.current_version
         transfers = self.host.transfer_stats()
+        meta = self.host.current_meta()
+        quarantined = self.host.quarantined()
+        quarantined_json = (
+            "{}"
+            if not quarantined
+            else json.dumps({str(k): v for k, v in sorted(quarantined.items())})
+        )
         return (
             f'{{"status":"ok",'
             f'"version":{"null" if version is None else version},'
@@ -725,6 +888,13 @@ class ServeApp:
             f'"batched_requests":{self._batcher.requests},'
             f'"batching":{{"similar":{self._batcher.stats_json()},'
             f'"fold_in":{self._fold_batcher.stats_json()}}},'
+            f'"faults":{{"timeouts":{self._timeouts},'
+            f'"shed":{self._batcher.shed + self._fold_batcher.shed},'
+            f'"drains":{self._drains},'
+            f'"draining":{"true" if self._draining else "false"},'
+            f'"worker_restarts":{_meta_count(meta, "worker_restarts")},'
+            f'"checkpoint_resumes":{_meta_count(meta, "checkpoint_resumes")},'
+            f'"quarantined":{quarantined_json}}},'
             f'"engine":{{"compute_backend":"{self.host.engine_backend()}",'
             f'"transfers":{{"h2d_calls":{transfers["h2d_calls"]},'
             f'"h2d_bytes":{transfers["h2d_bytes"]},'
@@ -770,6 +940,7 @@ class ServeApp:
         ``payload`` is either a JSON-safe dict or pre-encoded ``bytes``
         (the hot-path responses).
         """
+        await faults.async_check("serve.dispatch")
         parts = urlsplit(target)
         path = parts.path.rstrip("/") or "/"
         query = parse_qs(parts.query)
@@ -806,10 +977,15 @@ class ServeApp:
         if method == "POST" and path == "/admin/reload":
             loop = asyncio.get_running_loop()
             before = self.host.current_version
-            engine = await loop.run_in_executor(None, self.host.refresh)
+            engine = await loop.run_in_executor(
+                None, lambda: self.host.refresh(retry_quarantined=True)
+            )
             return 200, {
                 "version": engine.version,
                 "swapped": engine.version != before,
+                "quarantined": {
+                    str(v): msg for v, msg in sorted(self.host.quarantined().items())
+                },
             }
         raise ServiceError(404, f"no route for {method} {path}")
 
@@ -956,61 +1132,101 @@ class ServeApp:
         self._requests_served += 1  # pre-dispatch: /healthz counts itself
         keep_alive = True
         status, payload = 500, {"error": "internal error"}
+        retry_after: float | None = None
+        self._active_requests += 1
         try:
             try:
-                method, target, proto = request_line.decode("latin-1").split(" ", 2)
-            except ValueError:
-                raise ServiceError(400, "malformed request line", close=True) from None
-            http11 = proto.strip().upper().startswith("HTTP/1.1")
-            content_length = 0
-            connection_token = None
-            for _ in range(_MAX_HEADER_LINES):
-                line = await reader.readline()
-                if line in (b"\r\n", b"\n", b""):
-                    break
-                name, _, value = line.decode("latin-1").partition(":")
-                name = name.strip().lower()
-                if name == "content-length":
-                    try:
-                        content_length = int(value.strip())
-                    except ValueError:
-                        raise ServiceError(400, "bad Content-Length", close=True) from None
-                    if content_length < 0:
-                        raise ServiceError(400, "bad Content-Length", close=True)
-                elif name == "connection":
-                    connection_token = value.strip().lower()
-            else:
-                raise ServiceError(400, "too many request headers", close=True)
-            keep_alive = (
-                connection_token != "close" if http11 else connection_token == "keep-alive"
-            )
-            body: dict = {}
-            if content_length:
-                raw = await reader.readexactly(content_length)
                 try:
-                    body = json.loads(raw)
-                except json.JSONDecodeError as exc:
-                    raise ServiceError(400, f"request body is not JSON: {exc}") from exc
-                if not isinstance(body, dict):
-                    raise ServiceError(400, "request body must be a JSON object")
-            status, payload = await self._dispatch(method.upper(), target, body)
-        except ServiceError as exc:
-            status, payload = exc.status, {"error": str(exc)}
-            keep_alive = keep_alive and not exc.close
-        except (ValueError, IndexError, TypeError) as exc:
-            status, payload = 400, {"error": str(exc)}
-        except (LookupError, FileNotFoundError) as exc:
-            status, payload = 404, {"error": str(exc)}
-        except (asyncio.IncompleteReadError, ConnectionError):
-            return False
-        except Exception as exc:  # noqa: BLE001 - last-resort 500
-            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        await self._write_response(writer, status, payload, keep_alive=keep_alive)
-        return keep_alive and not writer.is_closing()
+                    method, target, proto = request_line.decode("latin-1").split(" ", 2)
+                except ValueError:
+                    raise ServiceError(400, "malformed request line", close=True) from None
+                http11 = proto.strip().upper().startswith("HTTP/1.1")
+                content_length = 0
+                connection_token = None
+                for _ in range(_MAX_HEADER_LINES):
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    name = name.strip().lower()
+                    if name == "content-length":
+                        try:
+                            content_length = int(value.strip())
+                        except ValueError:
+                            raise ServiceError(400, "bad Content-Length", close=True) from None
+                        if content_length < 0:
+                            raise ServiceError(400, "bad Content-Length", close=True)
+                    elif name == "connection":
+                        connection_token = value.strip().lower()
+                else:
+                    raise ServiceError(400, "too many request headers", close=True)
+                keep_alive = (
+                    connection_token != "close" if http11 else connection_token == "keep-alive"
+                )
+                if self.max_body_bytes is not None and content_length > self.max_body_bytes:
+                    # Decided from the Content-Length header alone — the body
+                    # is never read, so an oversized upload cannot balloon
+                    # server memory.  The unread bytes lose the framing,
+                    # hence close=True.
+                    raise ServiceError(
+                        413,
+                        f"request body of {content_length} bytes exceeds "
+                        f"the {self.max_body_bytes}-byte cap",
+                        close=True,
+                    )
+                body: dict = {}
+                if content_length:
+                    raw = await reader.readexactly(content_length)
+                    try:
+                        body = json.loads(raw)
+                    except json.JSONDecodeError as exc:
+                        raise ServiceError(400, f"request body is not JSON: {exc}") from exc
+                    if not isinstance(body, dict):
+                        raise ServiceError(400, "request body must be a JSON object")
+                dispatch = self._dispatch(method.upper(), target, body)
+                if self.request_timeout is not None and self.request_timeout > 0:
+                    try:
+                        status, payload = await asyncio.wait_for(
+                            dispatch, self.request_timeout
+                        )
+                    except asyncio.TimeoutError:
+                        self._timeouts += 1
+                        raise ServiceError(
+                            503,
+                            f"request deadline of {self.request_timeout}s exceeded",
+                            retry_after=1,
+                        ) from None
+                else:
+                    status, payload = await dispatch
+            except ServiceError as exc:
+                status, payload = exc.status, {"error": str(exc)}
+                retry_after = exc.retry_after
+                keep_alive = keep_alive and not exc.close
+            except (ValueError, IndexError, TypeError) as exc:
+                status, payload = 400, {"error": str(exc)}
+            except (LookupError, FileNotFoundError) as exc:
+                status, payload = 404, {"error": str(exc)}
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return False
+            except Exception as exc:  # noqa: BLE001 - last-resort 500
+                status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            if self._draining:
+                keep_alive = False  # drain: answer, then shut the connection
+            await self._write_response(
+                writer, status, payload, keep_alive=keep_alive, retry_after=retry_after
+            )
+            return keep_alive and not writer.is_closing()
+        finally:
+            self._active_requests -= 1
 
     @staticmethod
     async def _write_response(
-        writer: asyncio.StreamWriter, status: int, payload, *, keep_alive: bool
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload,
+        *,
+        keep_alive: bool,
+        retry_after: float | None = None,
     ) -> None:
         """Write one response; leave the connection open when keep-alive."""
         if isinstance(payload, (bytes, bytearray)):
@@ -1021,10 +1237,14 @@ class ServeApp:
             except (TypeError, ValueError):  # pragma: no cover - defensive
                 status = 500
                 body = b'{"error": "response not serializable"}'
+        retry_header = (
+            "" if retry_after is None else f"Retry-After: {max(1, int(retry_after))}\r\n"
+        )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{retry_header}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
         ).encode("latin-1")
         try:
@@ -1061,7 +1281,9 @@ class ServeApp:
         await loop.run_in_executor(None, self.host.refresh)
         self._shutdown = asyncio.Event()
         server = await asyncio.start_server(self._handle_connection, host, port)
+        self._server = server
         self.port = server.sockets[0].getsockname()[1]
+        self._install_signal_handlers(loop)
         poller = None
         if self.poll_interval > 0:
             poller = asyncio.ensure_future(self._poll_registry())
@@ -1073,6 +1295,8 @@ class ServeApp:
         finally:
             if poller is not None:
                 poller.cancel()
+            self._remove_signal_handlers(loop)
+            self._server = None
             # Kick idle keep-alive connections loose so their handler tasks
             # unwind before the loop closes (they are parked on readline).
             for open_writer in list(self._open_writers):
@@ -1082,6 +1306,58 @@ class ServeApp:
                 if not self._open_writers:
                     break
                 await asyncio.sleep(0.01)
+
+    def _install_signal_handlers(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Route SIGTERM/SIGINT to a graceful drain where the loop allows it.
+
+        ``add_signal_handler`` only works on a main-thread loop on Unix;
+        thread-hosted servers (tests, notebooks) simply skip installation
+        and keep the process-default handling.
+        """
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.begin_drain)
+            except (ValueError, NotImplementedError, RuntimeError, OSError):
+                continue
+            self._installed_signals.append(signum)
+
+    def _remove_signal_handlers(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Undo :meth:`_install_signal_handlers` (best effort)."""
+        for signum in self._installed_signals:
+            try:
+                loop.remove_signal_handler(signum)
+            except (ValueError, NotImplementedError, RuntimeError, OSError):
+                pass
+        self._installed_signals = []
+
+    def begin_drain(self) -> None:
+        """Start a graceful shutdown: stop accepting, finish in-flight work.
+
+        Idempotent — a second signal while draining does nothing (the
+        ``drain_timeout`` bound guarantees eventual exit regardless).  Must
+        be called from the event-loop thread (it is the signal-handler
+        callback installed by :meth:`run`).
+        """
+        if self._draining:
+            return
+        self._draining = True
+        self._drains += 1
+        asyncio.ensure_future(self._drain())
+
+    async def _drain(self) -> None:
+        """Close the listener, await in-flight requests, then stop the loop.
+
+        New connections are refused immediately; already-accepted requests
+        keep running and their responses carry ``Connection: close``.  The
+        wait is bounded by ``drain_timeout`` so a wedged handler cannot
+        hold shutdown hostage.
+        """
+        if self._server is not None:
+            self._server.close()
+        deadline = time.monotonic() + self.drain_timeout
+        while self._active_requests > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        self.stop()
 
     async def _poll_registry(self) -> None:
         """Adopt newly published versions without an explicit reload call."""
@@ -1153,6 +1429,10 @@ def start_server_in_thread(
     max_batch: int = 64,
     poll_interval: float = 0.0,
     adaptive_batching: bool = True,
+    request_timeout: float | None = None,
+    max_body_bytes: int | None = DEFAULT_MAX_BODY_BYTES,
+    max_queue: int | None = None,
+    drain_timeout: float = 10.0,
     engine_kwargs: dict | None = None,
 ) -> ServerHandle:
     """Spin up a serving thread over ``registry`` (a path or FactorStore).
@@ -1178,6 +1458,14 @@ def start_server_in_thread(
         False pins the batching window at ``batch_window`` regardless of
         load (the pre-adaptive behavior; useful for forcing coalescing in
         tests).
+    request_timeout:
+        Per-request dispatch deadline in seconds (None disables).
+    max_body_bytes:
+        413 cap on request body size (None disables).
+    max_queue:
+        Per-batcher shed threshold (None never sheds).
+    drain_timeout:
+        Bound on the graceful-drain wait for in-flight requests.
     engine_kwargs:
         Extra keyword arguments for every ``QueryEngine`` construction.
 
@@ -1199,6 +1487,10 @@ def start_server_in_thread(
         max_batch=max_batch,
         poll_interval=poll_interval,
         adaptive_batching=adaptive_batching,
+        request_timeout=request_timeout,
+        max_body_bytes=max_body_bytes,
+        max_queue=max_queue,
+        drain_timeout=drain_timeout,
     )
     ready = threading.Event()
     failure: list[BaseException] = []

@@ -26,7 +26,6 @@ round-trip.
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import os
 import tempfile
@@ -37,6 +36,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.decomposition.result import IterationRecord, Parafac2Result
+from repro.util import faults
 from repro.util.config import DecompositionConfig
 
 MODEL_MANIFEST_NAME = "model.json"
@@ -52,19 +52,12 @@ _VERSIONS_DIR = "versions"
 
 
 def _config_to_dict(config: DecompositionConfig) -> dict:
-    """JSON-safe view of a config; a non-seed ``random_state`` is dropped."""
-    payload = dataclasses.asdict(config)
-    state = payload.get("random_state")
-    if state is not None and not isinstance(state, int):
-        # A live Generator has no portable serialization; the fitted factors
-        # already embody its draws, so recording None loses nothing a reader
-        # could use.
-        payload["random_state"] = None
-    return payload
+    """JSON-safe view of a config (see :meth:`DecompositionConfig.to_dict`)."""
+    return config.to_dict()
 
 
 def _config_from_dict(payload: dict) -> DecompositionConfig:
-    return DecompositionConfig(**payload)
+    return DecompositionConfig.from_dict(payload)
 
 
 def _q_filename(index: int) -> str:
@@ -335,6 +328,10 @@ class FactorStore:
         staging = Path(tempfile.mkdtemp(prefix=".publish-", dir=self._versions_dir))
         try:
             write_model(staging, result, config=config, extra=meta)
+            # Fault-injection site: a publisher killed here leaves only a
+            # hidden staging dir — versions() never lists it, readers keep
+            # serving the previous version (tests/test_faults.py).
+            faults.check("store.publish.staged")
             while True:
                 version = (self.versions() or [0])[-1] + 1
                 target = self.version_dir(version)
@@ -350,6 +347,11 @@ class FactorStore:
                 for child in staging.iterdir():
                     child.unlink()
                 staging.rmdir()
+        # Fault-injection site: killed between rename and pointer flip — the
+        # new version directory is complete (pinnable by number), but the
+        # publish never committed: LATEST still names the previous version,
+        # which readers keep serving.
+        faults.check("store.publish.renamed")
         self._point_latest(version)
         return version
 

@@ -34,6 +34,8 @@ so dense stores stay readable by older builds.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -42,6 +44,7 @@ import numpy as np
 from repro.sparse.csr import CsrMatrix
 from repro.sparse.ops import check_finite_csr
 from repro.tensor.irregular import IrregularTensor
+from repro.util import faults
 from repro.util.validation import check_matrix
 
 MANIFEST_NAME = "manifest.json"
@@ -215,6 +218,10 @@ class MmapSliceStore:
         """
         index = len(self._manifest["files"])
         J = self._manifest["n_columns"]
+        # Fault-injection site: a writer killed here (or anywhere before the
+        # manifest rewrite below) leaves at most orphan payload files the
+        # manifest never references — readers reopen the previous state.
+        faults.check("mmap_store.append.data")
         if isinstance(slice_matrix, CsrMatrix):
             Xk = check_finite_csr(slice_matrix, "slice_matrix").astype(self.dtype)
             if J is not None and Xk.shape[1] != J:
@@ -259,8 +266,21 @@ class MmapSliceStore:
             if any(isinstance(e, dict) for e in self._manifest["files"])
             else 1
         )
+        # Fault-injection site: killed here, the new payload files exist but
+        # the old manifest still rules — the store reopens at its previous
+        # length.  The write itself is staged + os.replace, so a kill mid-
+        # serialization can never leave a truncated manifest behind either.
+        faults.check("mmap_store.append.manifest")
         path = self._directory / MANIFEST_NAME
-        path.write_text(json.dumps(self._manifest, indent=1))
+        fd, tmp = tempfile.mkstemp(prefix=".manifest-", dir=self._directory)
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(self._manifest, indent=1))
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
 
     # ------------------------------------------------------------------ #
     # metadata (manifest only — no slice data touched)

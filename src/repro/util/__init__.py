@@ -6,6 +6,7 @@ them without import cycles.
 """
 
 from repro.util.config import DecompositionConfig
+from repro.util.faults import FaultInjected, FaultPlan, FaultSpec
 from repro.util.rng import as_generator, spawn_generators
 from repro.util.timing import Stopwatch, format_seconds, time_call
 from repro.util.validation import (
@@ -18,6 +19,9 @@ from repro.util.validation import (
 
 __all__ = [
     "DecompositionConfig",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
     "Stopwatch",
     "as_generator",
     "check_matrix",

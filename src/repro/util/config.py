@@ -8,7 +8,7 @@ stated, at most 32 iterations, 6 threads).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 
 import numpy as np
 
@@ -184,6 +184,25 @@ class DecompositionConfig:
     def numpy_dtype(self) -> np.dtype:
         """The working precision as a :class:`numpy.dtype`."""
         return np.dtype(self.dtype)
+
+    def to_dict(self) -> dict:
+        """JSON-safe view of the config; a non-seed ``random_state`` is dropped.
+
+        A live Generator has no portable serialization; artifacts written
+        from it (fitted factors, checkpointed streams) already embody its
+        draws, so recording ``None`` loses nothing a reader could use.
+        Inverse of :meth:`from_dict`.
+        """
+        payload = asdict(self)
+        state = payload.get("random_state")
+        if state is not None and not isinstance(state, int):
+            payload["random_state"] = None
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DecompositionConfig":
+        """Rebuild a config from :meth:`to_dict` output (re-validates)."""
+        return cls(**payload)
 
     @property
     def array_module(self):

@@ -1,0 +1,323 @@
+"""Deterministic fault injection for robustness tests and benchmarks.
+
+The fault-tolerance layer (shard respawn-and-replay, streaming
+checkpoints, serving load shedding) is only trustworthy if its recovery
+paths run under *reproducible* failures.  This module provides named
+injection points ("sites") that production code calls unconditionally —
+:func:`check` is a no-op unless a plan is active — and a seeded
+:class:`FaultPlan` that decides, deterministically, which occurrences of
+which sites fire which fault kind.
+
+Sites are dotted names, e.g. ``shard.call.sweep_phase1`` (before a shard
+worker executes that method), ``shard.reply.finalize`` (the reply blob,
+eligible for corruption), ``store.publish.staged``, ``mmap_store.append``,
+``streaming.absorb``, ``serve.dispatch``.  Kinds:
+
+``crash``
+    ``SIGKILL`` the current process — simulates an OOM kill or power loss.
+``hang``
+    Sleep for ``seconds`` (default one hour) — simulates a wedged worker;
+    the parent's heartbeat/timeout machinery must notice.
+``slow``
+    Sleep briefly (default 50 ms) — latency injection for deadline tests.
+``error``
+    Raise :class:`FaultInjected` — an application-level exception.
+``corrupt``
+    Only consulted by :func:`corrupt_bytes`: deterministically flip bytes
+    in a payload so checksum verification must catch it.
+
+Activation is process-global (:func:`activate` / :func:`deactivate` /
+the :func:`injected` context manager) with an optional *scope* naming the
+shard index and worker generation the process represents.  Respawned
+shard workers get ``generation >= 1``; specs default to firing only in
+generation 0, so an injected crash fires once and the respawn runs clean
+— which is exactly what lets recovery tests assert bitwise-identical
+results.  Subprocess tests activate plans through the ``REPRO_FAULTS``
+environment variable (the JSON of :meth:`FaultPlan.to_json`), read once
+at import time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+
+__all__ = [
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "activate",
+    "active_plan",
+    "async_check",
+    "check",
+    "corrupt_bytes",
+    "deactivate",
+    "fired",
+    "injected",
+]
+
+ENV_VAR = "REPRO_FAULTS"
+
+KINDS = ("crash", "hang", "slow", "error", "corrupt")
+
+_DEFAULT_SECONDS = {"hang": 3600.0, "slow": 0.05}
+
+
+class FaultInjected(RuntimeError):
+    """Raised at an injection point by a spec of kind ``error``."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault: where, what, and which occurrences.
+
+    ``site`` matches exactly, or as a prefix when it ends with ``*``.
+    ``shard`` restricts to one shard index (``None`` = any).
+    ``generations`` restricts to worker generations (0 = first spawn,
+    n = nth respawn); ``None`` fires in every generation, which is how a
+    test exhausts the respawn budget.  Occurrence selection: ``at`` names
+    1-based occurrence numbers of the (site, shard) counter; when empty,
+    ``probability`` fires each occurrence via a seeded hash (still
+    deterministic for a fixed plan seed).  ``seconds`` overrides the
+    sleep for ``hang`` / ``slow``.
+    """
+
+    site: str
+    kind: str
+    shard: int | None = None
+    at: tuple[int, ...] = (1,)
+    probability: float = 0.0
+    generations: tuple[int, ...] | None = (0,)
+    seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; known: {KINDS}")
+        object.__setattr__(self, "at", tuple(int(n) for n in self.at))
+        if self.generations is not None:
+            object.__setattr__(
+                self, "generations", tuple(int(g) for g in self.generations)
+            )
+
+    def matches(self, site: str, shard: int | None, generation: int) -> bool:
+        """Does this spec apply to an occurrence at ``site`` in this scope?"""
+        if self.site.endswith("*"):
+            if not site.startswith(self.site[:-1]):
+                return False
+        elif site != self.site:
+            return False
+        if self.shard is not None and shard != self.shard:
+            return False
+        if self.generations is not None and generation not in self.generations:
+            return False
+        return True
+
+    def fires(self, seed: int, site: str, shard: int | None, occurrence: int) -> bool:
+        """Deterministically decide whether this occurrence fires."""
+        if self.at:
+            return occurrence in self.at
+        if self.probability <= 0.0:
+            return False
+        # String seeds hash deterministically (unlike tuples, rejected on
+        # 3.11+), so the same plan fires identically on every run.
+        digest = random.Random(f"{seed}:{self.site}:{site}:{shard}:{occurrence}")
+        return digest.random() < self.probability
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, picklable set of :class:`FaultSpec` entries."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.specs = tuple(
+            spec if isinstance(spec, FaultSpec) else FaultSpec(**spec)
+            for spec in self.specs
+        )
+
+    def to_json(self) -> str:
+        """Serialize for the ``REPRO_FAULTS`` environment variable."""
+        return json.dumps(
+            {"seed": self.seed, "specs": [asdict(spec) for spec in self.specs]}
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        specs = []
+        for raw in payload.get("specs", []):
+            raw = dict(raw)
+            if raw.get("at") is not None:
+                raw["at"] = tuple(raw["at"])
+            if raw.get("generations") is not None:
+                raw["generations"] = tuple(raw["generations"])
+            specs.append(FaultSpec(**raw))
+        return cls(specs=tuple(specs), seed=int(payload.get("seed", 0)))
+
+
+@dataclass
+class _ActiveState:
+    """Module-global injection state for this process."""
+
+    plan: FaultPlan
+    shard: int | None = None
+    generation: int = 0
+    counts: dict = field(default_factory=dict)
+    fired: list = field(default_factory=list)
+
+
+_STATE: _ActiveState | None = None
+
+
+def activate(
+    plan: FaultPlan | None, *, shard: int | None = None, generation: int = 0
+) -> None:
+    """Install ``plan`` process-wide (``None`` deactivates); resets counters.
+
+    ``shard`` / ``generation`` describe what this process *is* — a shard
+    worker passes its index and respawn generation so specs can target it.
+    """
+    global _STATE
+    if plan is None:
+        _STATE = None
+    else:
+        _STATE = _ActiveState(plan=plan, shard=shard, generation=generation)
+
+
+def deactivate() -> None:
+    """Remove any active plan."""
+    activate(None)
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently active plan, for shipping into worker processes."""
+    return _STATE.plan if _STATE is not None else None
+
+
+@contextmanager
+def injected(plan: FaultPlan, *, shard: int | None = None, generation: int = 0):
+    """Context manager: activate ``plan`` for the block, then deactivate."""
+    global _STATE
+    previous = _STATE
+    activate(plan, shard=shard, generation=generation)
+    try:
+        yield plan
+    finally:
+        _STATE = previous
+
+
+def fired() -> list[dict]:
+    """Records of faults fired so far in this process (site, kind, shard)."""
+    return list(_STATE.fired) if _STATE is not None else []
+
+
+def _firing_spec(site: str, shard: int | None) -> FaultSpec | None:
+    state = _STATE
+    if state is None:
+        return None
+    effective_shard = shard if shard is not None else state.shard
+    key = (site, effective_shard)
+    occurrence = state.counts.get(key, 0) + 1
+    state.counts[key] = occurrence
+    for spec in state.plan.specs:
+        if not spec.matches(site, effective_shard, state.generation):
+            continue
+        if spec.fires(state.plan.seed, site, effective_shard, occurrence):
+            state.fired.append(
+                {
+                    "site": site,
+                    "kind": spec.kind,
+                    "shard": effective_shard,
+                    "occurrence": occurrence,
+                }
+            )
+            return spec
+    return None
+
+
+def check(site: str, *, shard: int | None = None) -> None:
+    """Injection point: fire any matching crash/hang/slow/error spec.
+
+    A no-op when no plan is active — safe (and cheap) to leave in
+    production code paths.
+    """
+    if _STATE is None:
+        return
+    spec = _firing_spec(site, shard)
+    if spec is None or spec.kind == "corrupt":
+        return
+    _fire_sync(spec, site)
+
+
+async def async_check(site: str, *, shard: int | None = None) -> None:
+    """Like :func:`check`, but sleeps asynchronously — for event loops.
+
+    ``hang`` / ``slow`` must not block the loop (a blocked loop cannot
+    even time the request out), so they await instead.
+    """
+    if _STATE is None:
+        return
+    spec = _firing_spec(site, shard)
+    if spec is None or spec.kind == "corrupt":
+        return
+    if spec.kind in ("hang", "slow"):
+        import asyncio
+
+        await asyncio.sleep(
+            spec.seconds if spec.seconds is not None else _DEFAULT_SECONDS[spec.kind]
+        )
+        return
+    _fire_sync(spec, site)
+
+
+def _fire_sync(spec: FaultSpec, site: str) -> None:
+    if spec.kind == "crash":
+        os.kill(os.getpid(), signal.SIGKILL)
+        time.sleep(60)  # pragma: no cover - SIGKILL is not instantaneous
+    elif spec.kind in ("hang", "slow"):
+        time.sleep(
+            spec.seconds if spec.seconds is not None else _DEFAULT_SECONDS[spec.kind]
+        )
+    elif spec.kind == "error":
+        raise FaultInjected(f"injected fault at {site}")
+
+
+def corrupt_bytes(site: str, blob: bytes, *, shard: int | None = None) -> bytes:
+    """Return ``blob``, deterministically corrupted if a spec fires here.
+
+    Flips one byte per 256 (at least one) with a seeded RNG, so the
+    corruption is reproducible and guaranteed to change any checksum.
+    """
+    if _STATE is None:
+        return blob
+    spec = _firing_spec(site, shard)
+    if spec is None or spec.kind != "corrupt" or not blob:
+        return blob
+    rng = random.Random(f"{_STATE.plan.seed}:{site}:{shard}:{len(blob)}")
+    corrupted = bytearray(blob)
+    for _ in range(max(1, len(blob) // 256)):
+        index = rng.randrange(len(corrupted))
+        corrupted[index] ^= 0xFF
+    return bytes(corrupted)
+
+
+def _bootstrap_from_env() -> None:
+    text = os.environ.get(ENV_VAR)
+    if not text:
+        return
+    try:
+        plan = FaultPlan.from_json(text)
+    except (ValueError, TypeError, KeyError):  # pragma: no cover - bad env JSON
+        return
+    activate(plan)
+
+
+_bootstrap_from_env()

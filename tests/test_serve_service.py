@@ -331,9 +331,9 @@ class TestHttpEndpoints:
         with start_server_in_thread(store) as handle:  # no polling
             store.publish(result)
             reply = _call(handle.base_url, "POST", "/admin/reload", {})
-            assert reply == {"version": 2, "swapped": True}
+            assert reply == {"version": 2, "swapped": True, "quarantined": {}}
             again = _call(handle.base_url, "POST", "/admin/reload", {})
-            assert again == {"version": 2, "swapped": False}
+            assert again == {"version": 2, "swapped": False, "quarantined": {}}
             assert _call(handle.base_url, "GET", "/healthz")["version"] == 2
 
     def test_registry_path_accepted(self, store):
