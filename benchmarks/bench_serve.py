@@ -56,7 +56,9 @@ from repro.serve.store import FactorStore  # noqa: E402
 from repro.tensor.random import low_rank_irregular_tensor  # noqa: E402
 from repro.util.config import DecompositionConfig  # noqa: E402
 
-SCHEMA_VERSION = 2
+#: v3 adds the ``metrics`` registry snapshot of the adaptive server; the
+#: gate math is unchanged, so v2 baselines still check cleanly.
+SCHEMA_VERSION = 3
 
 _JSON_HEADERS = {"Content-Type": "application/json"}
 
@@ -217,10 +219,13 @@ def _concurrent_round(port: int, bodies: list[bytes], *, per_thread: int,
 
 
 def bench_http_concurrent(store: FactorStore, *, requests: int,
-                          threads: int, repeats: int) -> tuple[dict, dict]:
+                          threads: int, repeats: int) -> tuple[dict, dict, dict]:
     """Throughput of `threads` keep-alive clients hammering ``/v1/similar``.
 
-    Returns ``(unbatched, batched)``: the unbatched server runs with
+    Returns ``(unbatched, batched, metrics)``, where ``metrics`` is the
+    adaptive server's registry snapshot taken after the measurement (the
+    ``repro_serve_*`` counter state the run produced).
+    The unbatched server runs with
     ``max_batch=1`` — every request its own kernel call, the true
     coalescing-free reference — the batched one with the default adaptive
     transport.  Both servers are up for the whole measurement and the
@@ -247,6 +252,7 @@ def bench_http_concurrent(store: FactorStore, *, requests: int,
                 for label, handle in (("unbatched", plain),
                                       ("batched", adaptive))
             }
+            metrics_snapshot = adaptive.app.metrics.snapshot()
 
     def record(label: str, window_ms: float, max_batch: int) -> dict:
         return {
@@ -261,7 +267,7 @@ def bench_http_concurrent(store: FactorStore, *, requests: int,
             "batched_requests": stats[label]["batched_requests"],
         }
 
-    return record("unbatched", 0.0, 1), record("batched", 2.0, 64)
+    return record("unbatched", 0.0, 1), record("batched", 2.0, 64), metrics_snapshot
 
 
 def smoke_endpoints(store: FactorStore, engine: QueryEngine, tensor) -> None:
@@ -293,10 +299,22 @@ def smoke_endpoints(store: FactorStore, engine: QueryEngine, tensor) -> None:
         _assert(health["batching"]["fold_in"]["requests"] == 2,
                 "fold-in/anomaly did not route through the fold batcher")
 
+        with urllib.request.urlopen(handle.base_url + "/metrics",
+                                    timeout=30) as response:
+            _assert(response.headers["Content-Type"].startswith("text/plain"),
+                    "/metrics served the wrong content type")
+            exposition = response.read().decode()
+        _assert('repro_serve_batched_requests_total{batcher="fold_in"} 2'
+                in exposition, "/metrics disagrees with /healthz counters")
+        _assert("repro_serve_request_seconds_bucket" in exposition,
+                "/metrics is missing histogram buckets")
+
         # Publish v2 mid-flight and hot-swap via the admin endpoint.
         v2 = store.publish(engine.result, config=engine.config)
         reload_reply = _http(handle.base_url, "POST", "/admin/reload", {})
-        _assert(reload_reply == {"version": v2, "swapped": True}, "hot swap failed")
+        _assert(reload_reply["version"] == v2 and reload_reply["swapped"],
+                "hot swap failed")
+        _assert(reload_reply["quarantined"] == {}, "unexpected quarantine")
         pinned = _http(handle.base_url, "POST", "/v1/similar",
                        {"index": 0, "k": 2, "version": 1})
         _assert(pinned["version"] == 1, "pinned v1 query failed after swap")
@@ -316,11 +334,16 @@ def check_against_baseline(
     schema v1) refuses the comparison instead of misreading it.
     """
     failures = []
-    if baseline.get("schema_version") != record.get("schema_version"):
+    base_schema = baseline.get("schema_version") or 0
+    # Older-but-compatible baselines (v2, pre-metrics-snapshot) still
+    # compare — the gate only reads fields both schemas carry.  v1
+    # predates keep-alive, and a baseline *newer* than the record means
+    # the checkout is older than the baseline; both refuse.
+    if base_schema < 2 or base_schema > record.get("schema_version", 0):
         failures.append(
-            f"baseline schema v{baseline.get('schema_version')} != record "
-            f"schema v{record.get('schema_version')} — re-record the baseline "
-            "(see docs/benchmarks.md)"
+            f"baseline schema v{baseline.get('schema_version')} not comparable "
+            f"with record schema v{record.get('schema_version')} — re-record "
+            "the baseline (see docs/benchmarks.md)"
         )
         return failures
     base_params = baseline.get("params", {})
@@ -436,7 +459,7 @@ def main(argv=None) -> int:
               f"p99 {latency_adaptive['p99_ms']:.2f} ms adaptive "
               f"({latency_unbatched['requests']} sequential requests)")
 
-        unbatched, batched = bench_http_concurrent(
+        unbatched, batched, metrics_snapshot = bench_http_concurrent(
             store, requests=args.concurrent_requests,
             threads=args.threads, repeats=args.repeats,
         )
@@ -465,6 +488,7 @@ def main(argv=None) -> int:
         "latency_adaptive": latency_adaptive,
         "http_unbatched": unbatched,
         "http_batched": batched,
+        "metrics": metrics_snapshot,
     }
     if args.json:
         Path(args.json).write_text(json.dumps(record, indent=1) + "\n")

@@ -14,8 +14,14 @@ Commands
     Issue one query against a running ``repro serve`` instance.
 ``experiment``
     Run one of the paper's table/figure harnesses by id.
+``trace``
+    Inspect a span trace written via ``--trace`` / ``REPRO_TRACE``.
 ``bench-info``
     Print the experiment-to-command index from DESIGN.md §2.
+
+``decompose``, ``publish``, and ``serve`` accept ``--trace PATH`` to
+record hierarchical spans for the whole run (see docs/observability.md);
+``repro trace summarize PATH`` renders the aggregated tree afterwards.
 """
 
 from __future__ import annotations
@@ -133,6 +139,10 @@ def build_parser() -> argparse.ArgumentParser:
         "CSR-native datasets take that path regardless",
     )
     decompose.add_argument("--seed", type=int, default=0)
+    decompose.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record hierarchical trace spans for the run to this JSONL file",
+    )
 
     publish = sub.add_parser(
         "publish",
@@ -161,6 +171,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-backend", default="process", choices=list(BACKEND_NAMES),
     )
     publish.add_argument("--seed", type=int, default=0)
+    publish.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record hierarchical trace spans for the run to this JSONL file",
+    )
 
     serve = sub.add_parser(
         "serve", help="serve a model registry over HTTP (asyncio, stdlib-only)"
@@ -229,6 +243,10 @@ def build_parser() -> argparse.ArgumentParser:
         "device-resident (/healthz reports the backend and transfer "
         "counters)",
     )
+    serve.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record request/batch/kernel trace spans to this JSONL file",
+    )
 
     query = sub.add_parser(
         "query", help="issue one query against a running `repro serve`"
@@ -261,6 +279,15 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="run one of the paper's table/figure harnesses"
     )
     experiment.add_argument("which", choices=sorted(EXPERIMENT_MODULES))
+
+    trace_cmd = sub.add_parser(
+        "trace", help="inspect a span trace written via --trace / REPRO_TRACE"
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize", help="render a trace file as an aggregated span tree"
+    )
+    summarize.add_argument("file", help="JSONL trace file to summarize")
 
     sub.add_parser(
         "bench-info", help="show which command regenerates each table/figure"
@@ -563,23 +590,47 @@ def cmd_bench_info() -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import trace
+
+    try:
+        print(trace.summarize(args.file))
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "datasets":
-        return cmd_datasets()
-    if args.command == "decompose":
-        return cmd_decompose(args)
-    if args.command == "publish":
-        return cmd_publish(args)
-    if args.command == "serve":
-        return cmd_serve(args)
-    if args.command == "query":
-        return cmd_query(args)
-    if args.command == "experiment":
-        return cmd_experiment(args.which)
-    if args.command == "bench-info":
-        return cmd_bench_info()
-    raise AssertionError(f"unhandled command {args.command!r}")
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        from repro.obs import trace
+
+        trace.start(trace_path)
+    try:
+        if args.command == "datasets":
+            return cmd_datasets()
+        if args.command == "decompose":
+            return cmd_decompose(args)
+        if args.command == "publish":
+            return cmd_publish(args)
+        if args.command == "serve":
+            return cmd_serve(args)
+        if args.command == "query":
+            return cmd_query(args)
+        if args.command == "experiment":
+            return cmd_experiment(args.which)
+        if args.command == "trace":
+            return cmd_trace(args)
+        if args.command == "bench-info":
+            return cmd_bench_info()
+        raise AssertionError(f"unhandled command {args.command!r}")
+    finally:
+        if trace_path:
+            from repro.obs import trace
+
+            trace.stop()
 
 
 if __name__ == "__main__":

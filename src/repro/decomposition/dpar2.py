@@ -40,6 +40,8 @@ from repro.linalg.kernels import (
 )
 from repro.linalg.pinv import solve_gram
 from repro.linalg.randomized_svd import randomized_svd
+from repro.obs import trace
+from repro.obs.metrics import get_registry
 from repro.parallel.backends import ExecutionBackend, get_backend, in_process_backend
 from repro.sparse.csr import CsrMatrix
 from repro.sparse.ops import slice_squared_norm
@@ -320,12 +322,22 @@ def compress_tensor(
     # F is KR x R; its k-th vertical block (R x R) satisfies Bk Ckᵀ ≈ F(k) E Dᵀ.
     F_blocks = stage2.V.reshape(tensor.n_slices, R, stage2.V.shape[1])
 
+    seconds = time.perf_counter() - start
+    registry = get_registry()
+    registry.counter(
+        "repro_decompose_compressions_total",
+        "Two-stage tensor compressions completed.",
+    ).inc()
+    registry.histogram(
+        "repro_decompose_compress_seconds",
+        "Wall-clock seconds per two-stage compression.",
+    ).observe(seconds)
     return CompressedTensor(
         A=[svd.U for svd in stage1],
         D=stage2.U,
         E=stage2.singular_values,
         F_blocks=F_blocks,
-        seconds=time.perf_counter() - start,
+        seconds=seconds,
     )
 
 
@@ -500,25 +512,29 @@ def dpar2(
 
     # One backend instance serves compression and every sweep, so a process
     # pool pays its fork cost once per dpar2() call.
-    with get_backend(config.backend, config.n_threads) as engine:
-        if compressed is None:
-            compressed = compress_tensor(
-                tensor,
-                R,
-                oversampling=config.oversampling,
-                power_iterations=config.power_iterations,
-                random_state=config.random_state,
-                use_greedy_partition=use_greedy_partition,
-                backend=engine,
-                compute_backend=xp,
+    with trace.span(
+        "dpar2.run", backend=config.backend, compute_backend=xp.name, rank=R
+    ):
+        with get_backend(config.backend, config.n_threads) as engine:
+            if compressed is None:
+                with trace.span("dpar2.compress", slices=tensor.n_slices):
+                    compressed = compress_tensor(
+                        tensor,
+                        R,
+                        oversampling=config.oversampling,
+                        power_iterations=config.power_iterations,
+                        random_state=config.random_state,
+                        use_greedy_partition=use_greedy_partition,
+                        backend=engine,
+                        compute_backend=xp,
+                    )
+            elif compressed.rank < R:
+                raise ValueError(
+                    f"precomputed compression has rank {compressed.rank} < target {R}"
+                )
+            return _iterate(
+                tensor, config, compressed, engine, R, exact_convergence, xp
             )
-        elif compressed.rank < R:
-            raise ValueError(
-                f"precomputed compression has rank {compressed.rank} < target {R}"
-            )
-        return _iterate(
-            tensor, config, compressed, engine, R, exact_convergence, xp
-        )
 
 
 def _iterate(
@@ -598,68 +614,87 @@ def _iterate(
     # (``max_iterations=0``): the Qk materialization below reads it.
     polar = None
 
+    registry = get_registry()
+    m_sweeps = registry.counter(
+        "repro_decompose_sweeps_total", "Compressed ALS sweeps completed."
+    )
+    m_sweep_seconds = registry.histogram(
+        "repro_decompose_sweep_seconds", "Wall-clock seconds per compressed ALS sweep."
+    )
+    m_fitness_delta = registry.gauge(
+        "repro_decompose_fitness_delta",
+        "Sweep-over-sweep decrease in squared reconstruction error.",
+    )
+    prev_error: float | None = None
+
     try:
         # VᵀV for the first sweep's Lemma 1 (updated after each Lemma 2).
         ws.gram_V(V)
 
         start = time.perf_counter()
         for iteration in range(1, config.max_iterations + 1):
-            sweep_start = time.perf_counter()
+            with trace.span("dpar2.sweep", iteration=iteration) as sweep_span:
+                sweep_start = time.perf_counter()
 
-            # --- per-slice R x R SVDs (Alg. 3, lines 8-10) -------------- #
-            ws.update_EDtV(V)  # Rc x R: E Dᵀ V
-            small = ws.compute_small(W, H)  # F(k) E Dᵀ V Sk Hᵀ over k
-            polar = _batched_polar(small, config.n_threads, backend=engine, xp=xp)
-            T = ws.compute_T(polar)  # Tk = Pk Zkᵀ F(k)
+                # --- per-slice R x R SVDs (Alg. 3, lines 8-10) -------------- #
+                ws.update_EDtV(V)  # Rc x R: E Dᵀ V
+                small = ws.compute_small(W, H)  # F(k) E Dᵀ V Sk Hᵀ over k
+                polar = _batched_polar(small, config.n_threads, backend=engine, xp=xp)
+                T = ws.compute_T(polar)  # Tk = Pk Zkᵀ F(k)
 
-            # --- Lemma 1: update H -------------------------------------- #
-            # The three Lemma solves intentionally run in float64 even on
-            # the float32 pipeline (solve_gram promotes its inputs): the
-            # Hadamard-of-Grams normal matrix squares the factor condition
-            # numbers, and a float32 Cholesky there fails noticeably more
-            # often.  The cost is O(J R + R²) casts per solve — noise next
-            # to the O(K R² Rc) contractions that stay in float32.
-            G1 = ws.mttkrp_H(W)
-            ws.gram_W(W)
-            H = solve_gram(ws.host(ws.hadamard_gram(ws.WtW, ws.VtV)), ws.host(G1))
-            H, _ = normalize_columns(H)
-            H = H.astype(dtype, copy=False)
+                # --- Lemma 1: update H -------------------------------------- #
+                # The three Lemma solves intentionally run in float64 even on
+                # the float32 pipeline (solve_gram promotes its inputs): the
+                # Hadamard-of-Grams normal matrix squares the factor condition
+                # numbers, and a float32 Cholesky there fails noticeably more
+                # often.  The cost is O(J R + R²) casts per solve — noise next
+                # to the O(K R² Rc) contractions that stay in float32.
+                G1 = ws.mttkrp_H(W)
+                ws.gram_W(W)
+                H = solve_gram(ws.host(ws.hadamard_gram(ws.WtW, ws.VtV)), ws.host(G1))
+                H, _ = normalize_columns(H)
+                H = H.astype(dtype, copy=False)
 
-            # --- Lemma 2: update V -------------------------------------- #
-            ws.gram_H(H)
-            G2 = ws.mttkrp_V(W, H)
-            V = solve_gram(ws.host(ws.hadamard_gram(ws.WtW, ws.HtH)), ws.host(G2))
-            V, _ = normalize_columns(V)
-            V = V.astype(dtype, copy=False)
+                # --- Lemma 2: update V -------------------------------------- #
+                ws.gram_H(H)
+                G2 = ws.mttkrp_V(W, H)
+                V = solve_gram(ws.host(ws.hadamard_gram(ws.WtW, ws.HtH)), ws.host(G2))
+                V, _ = normalize_columns(V)
+                V = V.astype(dtype, copy=False)
 
-            # --- Lemma 3: update W -------------------------------------- #
-            ws.gram_V(V)  # new V; also serves the criterion + next Lemma 1
-            ws.update_EDtV(V)  # recompute with the new V
-            G3 = ws.mttkrp_W(H)
-            W = solve_gram(ws.host(ws.hadamard_gram(ws.VtV, ws.HtH)), ws.host(G3))
-            W = W.astype(dtype, copy=False)
+                # --- Lemma 3: update W -------------------------------------- #
+                ws.gram_V(V)  # new V; also serves the criterion + next Lemma 1
+                ws.update_EDtV(V)  # recompute with the new V
+                G3 = ws.mttkrp_W(H)
+                W = solve_gram(ws.host(ws.hadamard_gram(ws.VtV, ws.HtH)), ws.host(G3))
+                W = W.astype(dtype, copy=False)
 
-            # --- convergence criterion ---------------------------------- #
-            if exact_convergence:
-                polar_host = ws.host(polar)
-                VtV_host = ws.host(ws.VtV)
-                if AtX is not None:
-                    error_sq = _exact_error(
-                        slice_norms_sq, AtX, polar_host, VtV_host, H, V, W
-                    )
+                # --- convergence criterion ---------------------------------- #
+                if exact_convergence:
+                    polar_host = ws.host(polar)
+                    VtV_host = ws.host(ws.VtV)
+                    if AtX is not None:
+                        error_sq = _exact_error(
+                            slice_norms_sq, AtX, polar_host, VtV_host, H, V, W
+                        )
+                    else:
+                        error_sq = _exact_error_streaming(
+                            tensor, slice_norms_sq, compressed, polar_host,
+                            VtV_host, H, V, W,
+                        )
                 else:
-                    error_sq = _exact_error_streaming(
-                        tensor, slice_norms_sq, compressed, polar_host,
-                        VtV_host, H, V, W,
-                    )
-            else:
-                error_sq = ws.compressed_error(H, V, W)
-            history.append(
-                IterationRecord(iteration, error_sq, time.perf_counter() - sweep_start)
-            )
-            if monitor.update(error_sq):
-                converged = True
-                break
+                    error_sq = ws.compressed_error(H, V, W)
+                sweep_seconds = time.perf_counter() - sweep_start
+                history.append(IterationRecord(iteration, error_sq, sweep_seconds))
+                m_sweeps.inc()
+                m_sweep_seconds.observe(sweep_seconds)
+                if prev_error is not None:
+                    m_fitness_delta.set(float(prev_error) - float(error_sq))
+                prev_error = float(error_sq)
+                sweep_span.annotate(error_sq=prev_error)
+                if monitor.update(error_sq):
+                    converged = True
+                    break
         iterate_seconds = time.perf_counter() - start
     finally:
         release_sweep_workspace(ws)

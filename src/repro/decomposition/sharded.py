@@ -48,6 +48,8 @@ from repro.decomposition.result import IterationRecord, Parafac2Result
 from repro.linalg.kernels import CellSweepWorkspace, batched_randomized_svd
 from repro.linalg.pinv import solve_gram
 from repro.linalg.randomized_svd import RandomizedSVDResult, randomized_svd
+from repro.obs import trace
+from repro.obs.metrics import get_registry
 from repro.parallel.sharding import ShardPlan, get_shard_runner, plan_shards
 from repro.tensor.irregular import IrregularTensor
 from repro.util.config import DecompositionConfig
@@ -366,6 +368,26 @@ def sharded_dpar2(
     K = tensor.n_slices
     plan = plan_shards(tensor.row_counts, config.shards, config.shard_cells)
 
+    run_span = trace.span(
+        "dpar2.run", backend="sharded", shards=plan.n_shards, rank=R
+    )
+    registry = get_registry()
+    m_sweeps = registry.counter(
+        "repro_decompose_sweeps_total", "Compressed ALS sweeps completed."
+    )
+    m_sweep_seconds = registry.histogram(
+        "repro_decompose_sweep_seconds", "Wall-clock seconds per compressed ALS sweep."
+    )
+    m_fitness_delta = registry.gauge(
+        "repro_decompose_fitness_delta",
+        "Sweep-over-sweep decrease in squared reconstruction error.",
+    )
+    m_allreduce = registry.counter(
+        "repro_shard_allreduce_bytes_total",
+        "Bytes moved through the sweep-phase allreduce rounds.",
+    )
+    prev_error: float | None = None
+
     preprocess_start = time.perf_counter()
     if compressed is None:
         generators = spawn_generators(config.random_state, K)
@@ -386,39 +408,42 @@ def sharded_dpar2(
             A=compressed.A,
         )
 
-    with get_shard_runner(config.shard_backend, _build_shard, payloads) as runner:
-        stage1 = _merge_cells(runner.start())
+    with run_span, get_shard_runner(
+        config.shard_backend, _build_shard, payloads
+    ) as runner:
+        with trace.span("dpar2.compress", slices=K):
+            stage1 = _merge_cells(runner.start())
 
-        if compressed is None:
-            # Stage 2 on the gathered small factors, in slice order —
-            # identical assembly to compress_tensor.
-            M = np.empty((tensor.n_columns, K * R), dtype=tensor.dtype)
-            for k in range(K):
-                sv, Vk = stage1[k]
-                np.multiply(Vk, sv, out=M[:, k * R : (k + 1) * R])
-            stage2 = randomized_svd(
-                M,
-                R,
-                oversampling=config.oversampling,
-                power_iterations=config.power_iterations,
-                random_state=as_generator(config.random_state),
+            if compressed is None:
+                # Stage 2 on the gathered small factors, in slice order —
+                # identical assembly to compress_tensor.
+                M = np.empty((tensor.n_columns, K * R), dtype=tensor.dtype)
+                for k in range(K):
+                    sv, Vk = stage1[k]
+                    np.multiply(Vk, sv, out=M[:, k * R : (k + 1) * R])
+                stage2 = randomized_svd(
+                    M,
+                    R,
+                    oversampling=config.oversampling,
+                    power_iterations=config.power_iterations,
+                    random_state=as_generator(config.random_state),
+                )
+                D = stage2.U
+                E = stage2.singular_values
+                F = stage2.V.reshape(K, R, stage2.V.shape[1])
+                itemsize = np.dtype(tensor.dtype).itemsize
+                preprocessed_bytes = (
+                    sum(rows * R for rows in tensor.row_counts) * itemsize
+                    + D.nbytes + E.nbytes + F.nbytes
+                )
+            else:
+                D, E, F = compressed.D, compressed.E, compressed.F_blocks
+                preprocessed_bytes = compressed.nbytes
+            preprocess_seconds = (
+                time.perf_counter() - preprocess_start
+                if compressed is None
+                else compressed.seconds
             )
-            D = stage2.U
-            E = stage2.singular_values
-            F = stage2.V.reshape(K, R, stage2.V.shape[1])
-            itemsize = np.dtype(tensor.dtype).itemsize
-            preprocessed_bytes = (
-                sum(rows * R for rows in tensor.row_counts) * itemsize
-                + D.nbytes + E.nbytes + F.nbytes
-            )
-        else:
-            D, E, F = compressed.D, compressed.E, compressed.F_blocks
-            preprocessed_bytes = compressed.nbytes
-        preprocess_seconds = (
-            time.perf_counter() - preprocess_start
-            if compressed is None
-            else compressed.seconds
-        )
         dtype = D.dtype
         Rc = D.shape[1]
 
@@ -452,50 +477,60 @@ def sharded_dpar2(
 
         iterate_start = time.perf_counter()
         for iteration in range(1, config.max_iterations + 1):
-            sweep_start = time.perf_counter()
+            with trace.span("dpar2.sweep", iteration=iteration) as sweep_span:
+                sweep_start = time.perf_counter()
+                bytes_at_sweep_start = runner.bytes_transferred
 
-            # Round 1: Lemma 1 — update H on the coordinator.
-            EDtV = np.multiply(D.T @ V, E[:, None])
-            phase1 = _merge_cells(runner.call("sweep_phase1", EDtV, H))
-            G1 = _sum_cell_arrays(phase1, item=0)
-            WtW = _sum_cell_arrays(phase1, item=1)
-            H = solve_gram(WtW * VtV, G1)
-            H, _ = normalize_columns(H)
-            H = H.astype(dtype, copy=False)
+                # Round 1: Lemma 1 — update H on the coordinator.
+                with trace.span("dpar2.sweep_phase1"):
+                    EDtV = np.multiply(D.T @ V, E[:, None])
+                    phase1 = _merge_cells(runner.call("sweep_phase1", EDtV, H))
+                    G1 = _sum_cell_arrays(phase1, item=0)
+                    WtW = _sum_cell_arrays(phase1, item=1)
+                    H = solve_gram(WtW * VtV, G1)
+                    H, _ = normalize_columns(H)
+                    H = H.astype(dtype, copy=False)
 
-            # Round 2: Lemma 2 — update V (D never leaves the coordinator).
-            HtH = H.T @ H
-            inner = _sum_cell_arrays(
-                _merge_cells(runner.call("sweep_phase2", H))
-            )
-            G2 = DE @ inner
-            V = solve_gram(WtW * HtH, G2)
-            V, _ = normalize_columns(V)
-            V = V.astype(dtype, copy=False)
+                # Round 2: Lemma 2 — update V (D never leaves the
+                # coordinator).
+                with trace.span("dpar2.sweep_phase2"):
+                    HtH = H.T @ H
+                    inner = _sum_cell_arrays(
+                        _merge_cells(runner.call("sweep_phase2", H))
+                    )
+                    G2 = DE @ inner
+                    V = solve_gram(WtW * HtH, G2)
+                    V, _ = normalize_columns(V)
+                    V = V.astype(dtype, copy=False)
 
-            # Round 3: Lemma 3 — shards update their W rows; the criterion
-            # scalars come back with the same message.
-            VtV = V.T @ V
-            EDtV = np.multiply(D.T @ V, E[:, None])
-            VtD = V.astype(np.float64, copy=False).T @ D.astype(
-                np.float64, copy=False
-            )
-            gram3 = VtV * HtH
-            phase3 = _merge_cells(
-                runner.call("sweep_phase3", EDtV, gram3, VtD, VtV, H)
-            )
-            cross = _sum_cell_scalars(phase3, item=0)
-            model = _sum_cell_scalars(phase3, item=1)
-            error_sq = max(data_term - 2.0 * cross + model, 0.0)
+                # Round 3: Lemma 3 — shards update their W rows; the
+                # criterion scalars come back with the same message.
+                with trace.span("dpar2.sweep_phase3"):
+                    VtV = V.T @ V
+                    EDtV = np.multiply(D.T @ V, E[:, None])
+                    VtD = V.astype(np.float64, copy=False).T @ D.astype(
+                        np.float64, copy=False
+                    )
+                    gram3 = VtV * HtH
+                    phase3 = _merge_cells(
+                        runner.call("sweep_phase3", EDtV, gram3, VtD, VtV, H)
+                    )
+                    cross = _sum_cell_scalars(phase3, item=0)
+                    model = _sum_cell_scalars(phase3, item=1)
+                    error_sq = max(data_term - 2.0 * cross + model, 0.0)
 
-            history.append(
-                IterationRecord(
-                    iteration, error_sq, time.perf_counter() - sweep_start
-                )
-            )
-            if monitor.update(error_sq):
-                converged = True
-                break
+                sweep_seconds = time.perf_counter() - sweep_start
+                history.append(IterationRecord(iteration, error_sq, sweep_seconds))
+                m_sweeps.inc()
+                m_sweep_seconds.observe(sweep_seconds)
+                m_allreduce.inc(runner.bytes_transferred - bytes_at_sweep_start)
+                if prev_error is not None:
+                    m_fitness_delta.set(prev_error - float(error_sq))
+                prev_error = float(error_sq)
+                sweep_span.annotate(error_sq=prev_error)
+                if monitor.update(error_sq):
+                    converged = True
+                    break
         iterate_seconds = time.perf_counter() - iterate_start
         sweep_bytes = runner.bytes_transferred - bytes_before_sweeps
 

@@ -26,6 +26,7 @@ import json
 import os
 import shutil
 import tempfile
+import time
 from functools import partial
 from pathlib import Path
 
@@ -41,6 +42,8 @@ from repro.decomposition.result import Parafac2Result
 from repro.linalg.array_module import get_xp
 from repro.linalg.kernels import batched_randomized_svd
 from repro.linalg.randomized_svd import randomized_svd
+from repro.obs import trace
+from repro.obs.metrics import get_registry
 from repro.parallel.backends import get_backend, in_process_backend
 from repro.sparse.csr import CsrMatrix
 from repro.sparse.ops import check_finite_csr
@@ -214,15 +217,19 @@ class StreamingDpar2:
             )
         R = min(self.config.rank, *Xk.shape)
 
-        stage1 = randomized_svd(
-            Xk,
-            R,
-            oversampling=self.config.oversampling,
-            power_iterations=self.config.power_iterations,
-            random_state=self._rng,
-            xp=self.config.compute_backend,
-        )
-        self._absorb_stage1(stage1)
+        with trace.span("streaming.absorb", slices=1):
+            stage1 = randomized_svd(
+                Xk,
+                R,
+                oversampling=self.config.oversampling,
+                power_iterations=self.config.power_iterations,
+                random_state=self._rng,
+                xp=self.config.compute_backend,
+            )
+            self._absorb_stage1(stage1)
+        get_registry().counter(
+            "repro_streaming_absorbs_total", "Slices absorbed into the stream."
+        ).inc()
         self._absorbed_since_checkpoint += 1
         if (
             self._auto_checkpoint
@@ -306,11 +313,17 @@ class StreamingDpar2:
                 )
         self._n_columns = n_columns
 
+        m_absorbs = get_registry().counter(
+            "repro_streaming_absorbs_total", "Slices absorbed into the stream."
+        )
         chunk = self.checkpoint_every if self._auto_checkpoint else len(matrices)
         for start in range(0, len(matrices), chunk):
             faults.check("streaming.absorb")
-            self._absorb_batch(matrices[start : start + chunk])
-            self._absorbed_since_checkpoint += len(matrices[start : start + chunk])
+            batch = matrices[start : start + chunk]
+            with trace.span("streaming.absorb", slices=len(batch)):
+                self._absorb_batch(batch)
+            m_absorbs.inc(len(batch))
+            self._absorbed_since_checkpoint += len(batch)
             if self._auto_checkpoint:
                 self.checkpoint()
 
@@ -493,23 +506,33 @@ class StreamingDpar2:
             "rng_state": self._rng.bit_generator.state,
             "stats": stats,
         }
-        staging = Path(tempfile.mkdtemp(prefix=".ckpt-", dir=base))
-        try:
-            if self._D is not None:
-                np.save(staging / "D.npy", self._D)
-            for k, (Ak, Gk) in enumerate(zip(self._A, self._G)):
-                np.save(staging / f"A_{k:06d}.npy", Ak)
-                np.save(staging / f"G_{k:06d}.npy", Gk)
-            # state.json last: its presence marks the staging dir complete.
-            (staging / "state.json").write_text(json.dumps(state))
-            faults.check("streaming.checkpoint.staged")
-            target = base / _checkpoint_name(seq)
-            staging.rename(target)
-        except BaseException:
-            shutil.rmtree(staging, ignore_errors=True)
-            raise
-        faults.check("streaming.checkpoint.renamed")
-        self._point_latest(base, seq)
+        t0 = time.perf_counter()
+        with trace.span("streaming.checkpoint", seq=seq, slices=self.n_slices):
+            staging = Path(tempfile.mkdtemp(prefix=".ckpt-", dir=base))
+            try:
+                if self._D is not None:
+                    np.save(staging / "D.npy", self._D)
+                for k, (Ak, Gk) in enumerate(zip(self._A, self._G)):
+                    np.save(staging / f"A_{k:06d}.npy", Ak)
+                    np.save(staging / f"G_{k:06d}.npy", Gk)
+                # state.json last: its presence marks the staging dir complete.
+                (staging / "state.json").write_text(json.dumps(state))
+                faults.check("streaming.checkpoint.staged")
+                target = base / _checkpoint_name(seq)
+                staging.rename(target)
+            except BaseException:
+                shutil.rmtree(staging, ignore_errors=True)
+                raise
+            faults.check("streaming.checkpoint.renamed")
+            self._point_latest(base, seq)
+        registry = get_registry()
+        registry.counter(
+            "repro_streaming_checkpoints_total", "Stream checkpoints written."
+        ).inc()
+        registry.histogram(
+            "repro_streaming_checkpoint_seconds",
+            "Wall time to stage, rename, and point one checkpoint.",
+        ).observe(time.perf_counter() - t0)
         self._checkpoint_seq = seq
         self.stats["checkpoints_written"] = stats["checkpoints_written"]
         self._absorbed_since_checkpoint = 0
@@ -580,27 +603,34 @@ class StreamingDpar2:
         if seq is None:
             raise FileNotFoundError(f"no complete checkpoint under {base}")
         path = base / _checkpoint_name(seq)
-        state = json.loads((path / "state.json").read_text())
-        stream = cls(
-            config if config is not None else DecompositionConfig.from_dict(state["config"]),
-            residual_threshold=state["residual_threshold"],
-            refresh_iterations=state["refresh_iterations"],
-            checkpoint_dir=base,
-            checkpoint_every=state.get("checkpoint_every", 0),
-            keep_checkpoints=state.get("keep_checkpoints", 2),
-        )
-        stream._n_columns = state["n_columns"]
-        stream._rng.bit_generator.state = state["rng_state"]
-        n_slices = int(state["n_slices"])
-        stream._A = [np.load(path / f"A_{k:06d}.npy") for k in range(n_slices)]
-        stream._G = [np.load(path / f"G_{k:06d}.npy") for k in range(n_slices)]
-        if (path / "D.npy").exists():
-            stream._D = np.load(path / "D.npy")
+        with trace.span("streaming.resume", seq=seq):
+            state = json.loads((path / "state.json").read_text())
+            stream = cls(
+                config
+                if config is not None
+                else DecompositionConfig.from_dict(state["config"]),
+                residual_threshold=state["residual_threshold"],
+                refresh_iterations=state["refresh_iterations"],
+                checkpoint_dir=base,
+                checkpoint_every=state.get("checkpoint_every", 0),
+                keep_checkpoints=state.get("keep_checkpoints", 2),
+            )
+            stream._n_columns = state["n_columns"]
+            stream._rng.bit_generator.state = state["rng_state"]
+            n_slices = int(state["n_slices"])
+            stream._A = [np.load(path / f"A_{k:06d}.npy") for k in range(n_slices)]
+            stream._G = [np.load(path / f"G_{k:06d}.npy") for k in range(n_slices)]
+            if (path / "D.npy").exists():
+                stream._D = np.load(path / "D.npy")
         stream._checkpoint_seq = seq
         stream.stats = dict(state.get("stats", {}))
         stream.stats["checkpoint_resumes"] = (
             stream.stats.get("checkpoint_resumes", 0) + 1
         )
+        get_registry().counter(
+            "repro_streaming_resumes_total",
+            "Streams rebuilt from an on-disk checkpoint.",
+        ).inc()
         return stream
 
     def result(self) -> Parafac2Result:

@@ -1,0 +1,37 @@
+"""Unified observability substrate: metrics registry, trace spans, exposition.
+
+Three stdlib-only pieces, wired through every stateful tier (see
+``docs/observability.md``):
+
+* :mod:`repro.obs.metrics` — process-wide registry of counters, gauges,
+  and fixed-bucket histograms; cheap no-ops when disabled; deterministic
+  JSON-safe snapshots.
+* :mod:`repro.obs.trace` — hierarchical spans with explicit parent ids
+  and monotonic timing, emitted to a JSONL sink (``REPRO_TRACE`` env or
+  ``--trace`` CLI flags); off by default at one ``None`` check per site.
+* :mod:`repro.obs.exposition` — Prometheus text rendering backing the
+  serve transport's ``GET /metrics`` endpoint.
+"""
+
+from repro.obs import exposition, trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "trace",
+    "exposition",
+]

@@ -1,0 +1,93 @@
+"""Prometheus text-exposition rendering for a :class:`MetricsRegistry`.
+
+Implements the subset of the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ the
+repo's metrics need: ``# HELP`` / ``# TYPE`` headers, counter and gauge
+samples, and histogram families expanded into cumulative
+``_bucket{le=...}`` series plus ``_sum`` and ``_count``.  The output is
+what ``GET /metrics`` on the serve transport returns, with content type
+:data:`CONTENT_TYPE`.
+
+Rendering is deterministic: families sort by name and samples by label
+set (inherited from :meth:`MetricsRegistry.snapshot`), so two renders of
+identical state are byte-identical — which lets tests golden-check the
+format and lets ``diff`` compare scrapes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CONTENT_TYPE", "render"]
+
+#: Content-Type header value for the exposition body.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    """Escape a HELP string (backslash and newline, per the format spec)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value (backslash, quote, newline)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels: dict, extra: tuple | None = None) -> str:
+    """Render a label dict (plus an optional ``(name, value)``) as ``{...}``."""
+    pairs = [(k, str(v)) for k, v in labels.items()]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _num(value) -> str:
+    """Render a sample value: ints plain, floats via ``repr``."""
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render(registry) -> str:
+    """Render ``registry`` in Prometheus text exposition format.
+
+    Parameters
+    ----------
+    registry:
+        A :class:`~repro.obs.metrics.MetricsRegistry` (anything with a
+        compatible ``snapshot()``).
+
+    Returns
+    -------
+    str
+        The exposition body, ending in a newline (empty string for an
+        empty or disabled registry).
+    """
+    lines: list[str] = []
+    for name, family in registry.snapshot().items():
+        kind = family["type"]
+        help_text = family["help"]
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in family["samples"]:
+            labels = sample["labels"]
+            if kind == "histogram":
+                for bound, cumulative in sample["buckets"].items():
+                    lines.append(
+                        f"{name}_bucket{_labels_text(labels, ('le', bound))} "
+                        f"{cumulative}"
+                    )
+                lines.append(f"{name}_sum{_labels_text(labels)} {_num(sample['sum'])}")
+                lines.append(
+                    f"{name}_count{_labels_text(labels)} {_num(sample['count'])}"
+                )
+            else:
+                lines.append(f"{name}{_labels_text(labels)} {_num(sample['value'])}")
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,414 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the single substrate every tier records into — the
+decomposition sweeps, the shard transports, the streaming updater, and
+the serving front all create their metrics here and the Prometheus
+``/metrics`` endpoint (:mod:`repro.obs.exposition`) renders whatever is
+registered.  Design constraints, in order:
+
+* **Cheap on the hot path.**  ``Counter.inc`` is one attribute add;
+  ``Histogram.observe`` is one ``bisect`` over a handful of bounds.  A
+  registry constructed with ``enabled=False`` hands out shared null
+  metrics whose methods are empty — instrumented code needs no ``if``
+  guards, and the overhead contract (``benchmarks/bench_kernels.py``
+  gates enabled-vs-disabled at <= 5% on the sweep hot path) stays
+  honest.
+* **Deterministic, JSON-safe snapshots.**  :meth:`MetricsRegistry.snapshot`
+  returns plain dicts/lists/numbers with families sorted by name and
+  samples sorted by label set, so two snapshots of identical state
+  serialize byte-identically.
+* **Stdlib only.**  No prometheus_client; the exposition renderer lives
+  in this package.
+
+Metric names follow ``repro_<tier>_<what>[_<unit>][_total]`` — see
+``docs/observability.md`` for the full naming scheme.
+
+Mutation is not locked: under CPython the single bytecode-level add is
+safe enough for monitoring counters, and every writer in this repo
+mutates from one thread per metric (the event loop, the sweep loop, or
+the coordinator).  Registration *is* locked, since lazily-created
+metrics can race across threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from contextlib import contextmanager
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]
+
+#: Default histogram bounds (seconds) — tuned for request/kernel
+#: latencies from sub-millisecond batched kernels up to multi-second
+#: decomposition sweeps.  The implicit ``+Inf`` bucket is always added.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count.
+
+    Attributes
+    ----------
+    value:
+        Current total.  Stays an ``int`` as long as every increment is an
+        ``int`` (the repo-wide convention), so JSON rendering never grows
+        a spurious ``.0``.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter.
+
+        Parameters
+        ----------
+        amount:
+            Increment; negative values raise ``ValueError`` because a
+            counter that can go down is a gauge.
+        """
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down — or track a live callable.
+
+    Parameters
+    ----------
+    callback:
+        Optional zero-argument callable; when given, reads of ``value``
+        invoke it instead of returning stored state (used for occupancy
+        gauges like batcher queue depth, where the truthful value is
+        whatever the queue holds *at scrape time*).
+    """
+
+    __slots__ = ("_value", "_callback")
+
+    def __init__(self, callback=None) -> None:
+        self._value: int | float = 0
+        self._callback = callback
+
+    def set(self, value: int | float) -> None:
+        """Replace the gauge value (ignored while a callback is bound)."""
+        self._value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` to the stored value."""
+        self._value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        """Subtract ``amount`` from the stored value."""
+        self._value -= amount
+
+    @property
+    def value(self) -> int | float:
+        """Current value — the callback's answer when one is bound."""
+        if self._callback is not None:
+            return self._callback()
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` (<=) semantics.
+
+    Parameters
+    ----------
+    buckets:
+        Strictly increasing finite upper bounds.  An implicit ``+Inf``
+        bucket always terminates the list.
+
+    Attributes
+    ----------
+    bounds:
+        The finite bucket bounds, as given.
+    counts:
+        Per-bucket observation counts (``len(bounds) + 1`` slots, the
+        last being the ``+Inf`` overflow).  *Not* cumulative — the
+        exposition layer accumulates.
+    sum:
+        Sum of every observed value.
+    count:
+        Total number of observations.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, buckets=DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation into its ``le`` bucket."""
+        self.sum += value
+        self.count += 1
+        self.counts[bisect_left(self.bounds, value)] += 1
+
+
+class _NullCounter:
+    """No-op stand-in handed out by a disabled registry."""
+
+    __slots__ = ()
+    value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Discard the increment."""
+
+
+class _NullGauge:
+    """No-op stand-in handed out by a disabled registry."""
+
+    __slots__ = ()
+    value = 0
+
+    def set(self, value: int | float) -> None:
+        """Discard the value."""
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Discard the increment."""
+
+    def dec(self, amount: int | float = 1) -> None:
+        """Discard the decrement."""
+
+
+class _NullHistogram:
+    """No-op stand-in handed out by a disabled registry."""
+
+    __slots__ = ()
+    bounds = ()
+    counts = ()
+    sum = 0.0
+    count = 0
+
+    def observe(self, value: float) -> None:
+        """Discard the observation."""
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+def _labels_key(labels: dict | None) -> tuple:
+    """Normalize a labels dict to a hashable, sorted identity key."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Registry of named metric families, each fanned out by label set.
+
+    A *family* is one metric name with one kind (counter / gauge /
+    histogram) and one help string; each distinct label set under the
+    name is its own metric object.  Asking twice for the same
+    ``(name, labels)`` returns the same object, so instrumented code can
+    re-resolve its metrics without caching handles (though hot paths
+    should cache anyway — resolution is a dict lookup plus key build).
+
+    Parameters
+    ----------
+    enabled:
+        When False the registry hands out shared null metrics with empty
+        method bodies and snapshots as ``{}`` — the "observability off"
+        configuration the overhead gate benchmarks against.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._families: dict[str, dict] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _get(self, kind: str, name: str, help_text: str, labels, factory):
+        if not self.enabled:
+            return {
+                "counter": _NULL_COUNTER,
+                "gauge": _NULL_GAUGE,
+                "histogram": _NULL_HISTOGRAM,
+            }[kind]
+        key = _labels_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = {"kind": kind, "help": help_text, "children": {}}
+                self._families[name] = family
+            elif family["kind"] != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family['kind']}, "
+                    f"asked for {kind}"
+                )
+            child = family["children"].get(key)
+            if child is None:
+                child = factory()
+                family["children"][key] = child
+            return child
+
+    def counter(self, name: str, help_text: str = "", *, labels: dict | None = None):
+        """Return (creating if needed) the counter for ``(name, labels)``."""
+        return self._get("counter", name, help_text, labels, Counter)
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str = "",
+        *,
+        labels: dict | None = None,
+        callback=None,
+    ):
+        """Return (creating if needed) the gauge for ``(name, labels)``.
+
+        Parameters
+        ----------
+        name, help_text, labels:
+            Family name, help string, and label set.
+        callback:
+            Optional live-value callable, bound only at creation time
+            (re-resolving an existing gauge ignores it).
+        """
+        return self._get("gauge", name, help_text, labels, lambda: Gauge(callback))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        *,
+        labels: dict | None = None,
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    ):
+        """Return (creating if needed) the histogram for ``(name, labels)``."""
+        return self._get(
+            "histogram", name, help_text, labels, lambda: Histogram(buckets)
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict:
+        """Return a JSON-safe snapshot, deterministic in key order.
+
+        Families sort by name; samples within a family sort by label
+        set.  Histogram samples carry *cumulative* ``le`` bucket counts
+        (Prometheus semantics) plus ``sum`` and ``count``; the ``+Inf``
+        bucket equals ``count``.
+
+        Returns
+        -------
+        dict
+            ``{name: {"type", "help", "samples": [{"labels", ...}]}}``
+            with only ints, floats, strings, lists, and dicts inside.
+        """
+        with self._lock:
+            families = [
+                (name, fam["kind"], fam["help"], sorted(fam["children"].items()))
+                for name, fam in sorted(self._families.items())
+            ]
+        out: dict = {}
+        for name, kind, help_text, children in families:
+            samples = []
+            for key, metric in children:
+                labels = {k: v for k, v in key}
+                if kind == "histogram":
+                    cumulative: dict[str, int] = {}
+                    running = 0
+                    for bound, n in zip(metric.bounds, metric.counts):
+                        running += n
+                        cumulative[_format_bound(bound)] = running
+                    cumulative["+Inf"] = metric.count
+                    samples.append(
+                        {
+                            "labels": labels,
+                            "buckets": cumulative,
+                            "sum": metric.sum,
+                            "count": metric.count,
+                        }
+                    )
+                else:
+                    samples.append({"labels": labels, "value": metric.value})
+            out[name] = {"type": kind, "help": help_text, "samples": samples}
+        return out
+
+    def reset(self) -> None:
+        """Drop every registered family (test isolation helper)."""
+        with self._lock:
+            self._families.clear()
+
+
+def _format_bound(bound: float) -> str:
+    """Render a finite bucket bound the way Prometheus clients do."""
+    if bound == int(bound):
+        return str(int(bound)) + ".0"
+    return repr(bound)
+
+
+_DEFAULT = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """Return the process-wide default registry.
+
+    The decomposition, sharding, and streaming tiers record here; a
+    served app owns its own registry (one server per process in
+    production makes that the same thing) but can be handed this one.
+    """
+    return _DEFAULT
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide default registry; return the previous one."""
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry):
+    """Temporarily install ``registry`` as the process-wide default.
+
+    Parameters
+    ----------
+    registry:
+        The registry active inside the ``with`` block (yielded back).
+    """
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -41,6 +41,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
 from repro.parallel.partition import greedy_partition, partition_imbalance
 from repro.parallel.shm import ArrayShipment, AttachedArrays
 from repro.util import faults
@@ -244,6 +245,11 @@ class ShardRunner:
         self.n_shards = len(self._payloads)
         self.bytes_sent = 0
         self.bytes_received = 0
+        self._m_call_seconds = get_registry().histogram(
+            "repro_shard_call_seconds",
+            "Per-shard latency of one broadcast method call.",
+            labels={"backend": getattr(self, "name", "unknown")},
+        )
 
     @property
     def bytes_transferred(self) -> int:
@@ -302,10 +308,12 @@ class SerialShardRunner(ShardRunner):
         return [state.startup() for state in self._states]
 
     def _dispatch(self, method, args_per_shard):
-        return [
-            getattr(state, method)(*args)
-            for state, args in zip(self._states, args_per_shard)
-        ]
+        out = []
+        for state, args in zip(self._states, args_per_shard):
+            t0 = time.perf_counter()
+            out.append(getattr(state, method)(*args))
+            self._m_call_seconds.observe(time.perf_counter() - t0)
+        return out
 
     def close(self) -> None:
         self._states = None
@@ -336,12 +344,14 @@ class ThreadShardRunner(ShardRunner):
 
     def _dispatch(self, method, args_per_shard):
         pool = self._ensure_pool()
-        return list(
-            pool.map(
-                lambda pair: getattr(pair[0], method)(*pair[1]),
-                zip(self._states, args_per_shard),
-            )
-        )
+
+        def _timed(pair):
+            t0 = time.perf_counter()
+            result = getattr(pair[0], method)(*pair[1])
+            self._m_call_seconds.observe(time.perf_counter() - t0)
+            return result
+
+        return list(pool.map(_timed, zip(self._states, args_per_shard)))
 
     def close(self) -> None:
         if self._pool is not None:
@@ -485,6 +495,15 @@ class ProcessShardRunner(ShardRunner):
         self._worker_restarts = 0
         self._replayed_calls = 0
         self._fault_events: list[dict] = []
+        registry = get_registry()
+        self._m_heartbeat_misses = registry.counter(
+            "repro_shard_heartbeat_misses_total",
+            "Heartbeat polls that elapsed without a worker reply.",
+        )
+        self._m_respawns = registry.counter(
+            "repro_shard_respawns_total",
+            "Shard worker processes respawned after a detected fault.",
+        )
 
     @property
     def fault_stats(self) -> dict:
@@ -575,6 +594,8 @@ class ProcessShardRunner(ShardRunner):
                 ready = conn.poll(self._heartbeat_interval)
             except (OSError, EOFError):
                 raise _WorkerFault("died", "pipe closed") from None
+            if not ready:
+                self._m_heartbeat_misses.inc()
             if ready:
                 try:
                     message = conn.recv()
@@ -667,6 +688,7 @@ class ProcessShardRunner(ShardRunner):
             )
         self._respawns[index] += 1
         self._worker_restarts += 1
+        self._m_respawns.inc()
 
     def _completed_log(self) -> list[tuple[str, list[tuple]]]:
         # During a broadcast the current call is already logged (a shard
@@ -713,10 +735,13 @@ class ProcessShardRunner(ShardRunner):
             self._in_flight = False
 
     def _collect(self, index: int, method: str, args: tuple, fault):
+        t0 = time.perf_counter()
         while True:
             if fault is None:
                 try:
-                    return self._recv(index, method)
+                    result = self._recv(index, method)
+                    self._m_call_seconds.observe(time.perf_counter() - t0)
+                    return result
                 except _WorkerFault as caught:
                     fault = caught
             self._restore(index, fault, method)

@@ -33,6 +33,7 @@ Three serving concerns live here:
 Endpoints (all bodies JSON)::
 
     GET  /healthz                 liveness + serving version + transport counters
+    GET  /metrics                 Prometheus text exposition of the app registry
     GET  /v1/model                model card of the serving (or ?version=) snapshot
     GET  /v1/versions             published versions + which one is live
     POST /v1/similar              {"mode","index"|"indices","k"?,"version"?}
@@ -78,6 +79,8 @@ from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
+from repro.obs import exposition, trace
+from repro.obs.metrics import Counter, MetricsRegistry
 from repro.serve.queries import QueryEngine
 from repro.serve.store import FactorStore
 from repro.util import faults
@@ -98,6 +101,17 @@ _REASONS = {
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
+
+
+class _PromText(bytes):
+    """Pre-encoded response body that must ship as Prometheus text.
+
+    ``_write_response`` keys the ``Content-Type`` header off this type, so
+    ``GET /metrics`` answers with the text-exposition media type while
+    every other pre-encoded hot path stays ``application/json``.
+    """
+
+    __slots__ = ()
 
 
 class ServiceError(Exception):
@@ -256,6 +270,37 @@ class ModelHost:
             for key, value in engine.transfer_stats().items():
                 totals[key] += value
         return totals
+
+    def bind_registry(self, metrics: MetricsRegistry) -> None:
+        """Register this host's live-state gauges on ``metrics``.
+
+        Everything here is a callback gauge — evaluated at scrape time, so
+        ``/metrics`` always reports the working set as it is *now*, not as
+        it was at the last mutation.  Idempotent per registry (re-binding
+        resolves the same gauge objects; callbacks bind on first creation).
+        """
+        metrics.gauge(
+            "repro_serve_engine_cache_size",
+            "QueryEngine instances held in the per-version LRU.",
+            callback=lambda: len(self._engines),
+        )
+        metrics.gauge(
+            "repro_serve_quarantined_versions",
+            "Published versions currently refused after a failed engine build.",
+            callback=lambda: len(self._quarantined),
+        )
+        metrics.gauge(
+            "repro_serve_current_version",
+            "Registry version of the serving engine (-1 before the first load).",
+            callback=lambda: self.current_version if self.current_version is not None else -1,
+        )
+        for key in ("h2d_calls", "h2d_bytes", "d2h_calls", "d2h_bytes"):
+            metrics.gauge(
+                "repro_serve_engine_transfers",
+                "Host-device traffic summed over live engines (working set).",
+                labels={"stat": key},
+                callback=lambda key=key: self.transfer_stats()[key],
+            )
 
     def engine(self, version: int | None = None) -> QueryEngine:
         """Resolve the engine for ``version`` (None → the current serving one).
@@ -458,6 +503,15 @@ class MicroBatcher:
         submission arriving while ``max_queue`` requests already wait is
         rejected with a 503 :class:`ServiceError` carrying ``Retry-After``
         — before it buffers anything — and counted under ``shed``.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` to publish the
+        counters into (``repro_serve_batch_*`` families, labelled by
+        ``name``).  ``None`` (default) keeps the counters as private
+        unregistered metric objects, so standalone batchers stay isolated
+        from each other; either way ``batches``/``requests``/``shed``
+        read as plain ints.
+    name:
+        The ``batcher`` label value used when ``metrics`` is given.
 
     Raises
     ------
@@ -475,6 +529,8 @@ class MicroBatcher:
         ramp_depth: float | None = None,
         idle_reset: float = 0.25,
         max_queue: int | None = None,
+        metrics: MetricsRegistry | None = None,
+        name: str = "batch",
     ) -> None:
         if window < 0:
             raise ValueError(f"window must be >= 0, got {window}")
@@ -486,7 +542,6 @@ class MicroBatcher:
         self.window = window
         self.max_batch = max_batch
         self.max_queue = max_queue
-        self.shed = 0
         self.adaptive = adaptive
         self.ramp_depth = (
             max(2.0, max_batch / 4.0) if ramp_depth is None else float(ramp_depth)
@@ -494,13 +549,60 @@ class MicroBatcher:
         self.idle_reset = idle_reset
         self._pending: list[tuple[object, asyncio.Future]] = []
         self._timer: "asyncio.TimerHandle | asyncio.Handle | None" = None
-        self.batches = 0
-        self.requests = 0
+        self.name = name
+        if metrics is None:
+            self._m_batches = Counter()
+            self._m_requests = Counter()
+            self._m_shed = Counter()
+        else:
+            labels = {"batcher": name}
+            self._m_batches = metrics.counter(
+                "repro_serve_batches_total",
+                "Batches flushed through the micro-batcher.",
+                labels=labels,
+            )
+            self._m_requests = metrics.counter(
+                "repro_serve_batched_requests_total",
+                "Requests answered through batched kernel calls.",
+                labels=labels,
+            )
+            self._m_shed = metrics.counter(
+                "repro_serve_shed_total",
+                "Submissions rejected because the pending queue was full.",
+                labels=labels,
+            )
+            metrics.gauge(
+                "repro_serve_batch_queue_depth",
+                "Requests currently waiting in the micro-batcher queue.",
+                labels=labels,
+                callback=lambda: len(self._pending),
+            )
+            metrics.gauge(
+                "repro_serve_batch_ewma_depth",
+                "Moving-average flush depth driving the adaptive window.",
+                labels=labels,
+                callback=lambda: round(self._ewma_depth, 6),
+            )
         self.last_batch_size = 0
         self._ewma_depth = 0.0
         self._last_flush = float("-inf")
         self._epoch = 0
         self._watch_count = 0
+
+    @property
+    def batches(self) -> int:
+        """Batches flushed so far (registry-backed counter)."""
+        return self._m_batches.value
+
+    @property
+    def requests(self) -> int:
+        """Requests answered through batches so far (registry-backed)."""
+        return self._m_requests.value
+
+    @property
+    def shed(self) -> int:
+        """Submissions rejected by the ``max_queue`` bound (registry-backed)."""
+        return self._m_shed.value
 
     def current_window(self) -> float:
         """Return the delay (seconds) the next burst-opening submit waits.
@@ -544,7 +646,7 @@ class MicroBatcher:
             this payload's result slot.
         """
         if self.max_queue is not None and len(self._pending) >= self.max_queue:
-            self.shed += 1
+            self._m_shed.inc()
             raise ServiceError(
                 503,
                 f"batch queue full ({self.max_queue} requests pending)",
@@ -594,8 +696,8 @@ class MicroBatcher:
         if not batch:
             return
         depth = len(batch)
-        self.batches += 1
-        self.requests += depth
+        self._m_batches.inc()
+        self._m_requests.inc(depth)
         self.last_batch_size = depth
         # Queue-pressure estimate: EWMA of flush depths.  Half-life of one
         # flush — grows within a couple of bursts, decays as fast once
@@ -603,7 +705,8 @@ class MicroBatcher:
         self._ewma_depth = 0.5 * depth + 0.5 * self._ewma_depth
         self._last_flush = time.monotonic()
         try:
-            results = self._runner([payload for payload, _ in batch])
+            with trace.span("serve.batch", batcher=self.name, size=depth):
+                results = self._runner([payload for payload, _ in batch])
         except Exception as exc:
             for _, future in batch:
                 if not future.done():
@@ -695,7 +798,27 @@ class ServeApp:
     drain_timeout:
         Upper bound in seconds a graceful drain waits for in-flight
         requests before shutting down anyway.
+    metrics:
+        The :class:`~repro.obs.metrics.MetricsRegistry` every serve-tier
+        counter, gauge, and histogram registers on — also what ``GET
+        /metrics`` renders.  ``None`` (default) creates a fresh registry
+        per app, keeping concurrently running servers (tests) isolated.
     """
+
+    #: Routes with their own ``repro_serve_request_seconds`` label; anything
+    #: else (404s, probes) aggregates under ``path="other"`` so the label
+    #: set stays bounded no matter what clients send.
+    _ROUTE_PATHS = (
+        "/healthz",
+        "/metrics",
+        "/v1/model",
+        "/v1/versions",
+        "/v1/similar",
+        "/v1/reconstruct",
+        "/v1/fold-in",
+        "/v1/anomaly",
+        "/admin/reload",
+    )
 
     def __init__(
         self,
@@ -709,6 +832,7 @@ class ServeApp:
         max_body_bytes: int | None = DEFAULT_MAX_BODY_BYTES,
         max_queue: int | None = None,
         drain_timeout: float = 10.0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if max_body_bytes is not None and max_body_bytes < 1:
             raise ValueError(f"max_body_bytes must be >= 1, got {max_body_bytes}")
@@ -722,12 +846,15 @@ class ServeApp:
         self.port: int | None = None
         self._started = time.monotonic()
         self._shutdown: asyncio.Event | None = None
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._batcher = MicroBatcher(
             self._run_similar_batch,
             window=batch_window,
             max_batch=max_batch,
             adaptive=adaptive_batching,
             max_queue=max_queue,
+            metrics=self.metrics,
+            name="similar",
         )
         self._fold_batcher = MicroBatcher(
             self._run_fold_batch,
@@ -735,17 +862,67 @@ class ServeApp:
             max_batch=max_batch,
             adaptive=adaptive_batching,
             max_queue=max_queue,
+            metrics=self.metrics,
+            name="fold_in",
         )
-        self._connections = 0
-        self._requests_served = 0
-        self._timeouts = 0
-        self._drains = 0
+        self._m_connections = self.metrics.counter(
+            "repro_serve_connections_total", "Client connections accepted."
+        )
+        self._m_requests = self.metrics.counter(
+            "repro_serve_requests_total", "HTTP requests served (all routes)."
+        )
+        self._m_timeouts = self.metrics.counter(
+            "repro_serve_timeouts_total", "Requests that exceeded the dispatch deadline."
+        )
+        self._m_drains = self.metrics.counter(
+            "repro_serve_drains_total", "Graceful drains begun (SIGTERM/SIGINT)."
+        )
+        self._m_request_seconds = {
+            path: self.metrics.histogram(
+                "repro_serve_request_seconds",
+                "Dispatch latency (route + kernel) per endpoint.",
+                labels={"path": path},
+            )
+            for path in self._ROUTE_PATHS
+        }
+        self._m_request_seconds_other = self.metrics.histogram(
+            "repro_serve_request_seconds",
+            "Dispatch latency (route + kernel) per endpoint.",
+            labels={"path": "other"},
+        )
+        self.metrics.gauge(
+            "repro_serve_active_requests",
+            "Requests currently being read, dispatched, or answered.",
+            callback=lambda: self._active_requests,
+        )
+        self.metrics.gauge(
+            "repro_serve_draining",
+            "1 while a graceful drain is in progress, else 0.",
+            callback=lambda: int(self._draining),
+        )
+        host.bind_registry(self.metrics)
         self._draining = False
         self._active_requests = 0
         self._server: asyncio.AbstractServer | None = None
         self._installed_signals: list[int] = []
         self._model_cache: "tuple[QueryEngine, bytes] | None" = None
         self._open_writers: "set[asyncio.StreamWriter]" = set()
+
+    @property
+    def _connections(self) -> int:
+        return self._m_connections.value
+
+    @property
+    def _requests_served(self) -> int:
+        return self._m_requests.value
+
+    @property
+    def _timeouts(self) -> int:
+        return self._m_timeouts.value
+
+    @property
+    def _drains(self) -> int:
+        return self._m_drains.value
 
     # ------------------------------------------------------------------ #
     # kernels behind the batchers
@@ -772,7 +949,8 @@ class ServeApp:
             k = payloads[members[0]]["k"]
             indices = [payloads[i]["index"] for i in members]
             try:
-                neighbors, scores = engine.similar(indices, k, mode=mode)
+                with trace.span("serve.kernel", kind="similar", size=len(members)):
+                    neighbors, scores = engine.similar(indices, k, mode=mode)
             except Exception as exc:
                 for i in members:
                     results[i] = exc
@@ -804,11 +982,12 @@ class ServeApp:
         for (_, sweeps), members in groups.items():
             engine = payloads[members[0]]["engine"]
             try:
-                folds = engine.fold_in_many(
-                    [payloads[i]["slice"] for i in members],
-                    seeds=[payloads[i]["seed"] for i in members],
-                    sweeps=sweeps,
-                )
+                with trace.span("serve.kernel", kind="fold_in", size=len(members)):
+                    folds = engine.fold_in_many(
+                        [payloads[i]["slice"] for i in members],
+                        seeds=[payloads[i]["seed"] for i in members],
+                        sweeps=sweeps,
+                    )
             except Exception as exc:
                 for i in members:
                     results[i] = exc
@@ -938,15 +1117,31 @@ class ServeApp:
         """Route one parsed request; return ``(status, payload)``.
 
         ``payload`` is either a JSON-safe dict or pre-encoded ``bytes``
-        (the hot-path responses).
+        (the hot-path responses).  The dispatch is timed into the
+        per-endpoint ``repro_serve_request_seconds`` histogram — known
+        routes get their own ``path`` label, everything else pools under
+        ``"other"`` — and wrapped in a ``serve.request`` span when tracing
+        is on (parentage across ``await`` points is best-effort: the event
+        loop interleaves tasks on one thread).
         """
         await faults.async_check("serve.dispatch")
         parts = urlsplit(target)
         path = parts.path.rstrip("/") or "/"
         query = parse_qs(parts.query)
+        hist = self._m_request_seconds.get(path, self._m_request_seconds_other)
+        t0 = time.perf_counter()
+        try:
+            with trace.span("serve.request", method=method, path=path):
+                return await self._route(method, path, query, body)
+        finally:
+            hist.observe(time.perf_counter() - t0)
 
+    async def _route(self, method: str, path: str, query: dict, body: dict):
+        """The route table behind :meth:`_dispatch`."""
         if method == "GET" and path == "/healthz":
             return 200, self._healthz_body()
+        if method == "GET" and path == "/metrics":
+            return 200, _PromText(exposition.render(self.metrics).encode())
         if method == "GET" and path == "/v1/model":
             version = query.get("version", [None])[0]
             if version is None:
@@ -1097,7 +1292,7 @@ class ServeApp:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         """Serve one client connection: a keep-alive loop of requests."""
-        self._connections += 1
+        self._m_connections.inc()
         self._open_writers.add(writer)
         try:
             while await self._serve_one(reader, writer):
@@ -1129,7 +1324,7 @@ class ServeApp:
         request_line = await reader.readline()
         if not request_line or request_line in (b"\r\n", b"\n"):
             return False
-        self._requests_served += 1  # pre-dispatch: /healthz counts itself
+        self._m_requests.inc()  # pre-dispatch: /healthz counts itself
         keep_alive = True
         status, payload = 500, {"error": "internal error"}
         retry_after: float | None = None
@@ -1190,7 +1385,7 @@ class ServeApp:
                             dispatch, self.request_timeout
                         )
                     except asyncio.TimeoutError:
-                        self._timeouts += 1
+                        self._m_timeouts.inc()
                         raise ServiceError(
                             503,
                             f"request deadline of {self.request_timeout}s exceeded",
@@ -1229,7 +1424,10 @@ class ServeApp:
         retry_after: float | None = None,
     ) -> None:
         """Write one response; leave the connection open when keep-alive."""
+        content_type = "application/json"
         if isinstance(payload, (bytes, bytearray)):
+            if isinstance(payload, _PromText):
+                content_type = exposition.CONTENT_TYPE
             body = bytes(payload)
         else:
             try:
@@ -1242,7 +1440,7 @@ class ServeApp:
         )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"{retry_header}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
@@ -1341,7 +1539,7 @@ class ServeApp:
         if self._draining:
             return
         self._draining = True
-        self._drains += 1
+        self._m_drains.inc()
         asyncio.ensure_future(self._drain())
 
     async def _drain(self) -> None:
@@ -1434,6 +1632,7 @@ def start_server_in_thread(
     max_queue: int | None = None,
     drain_timeout: float = 10.0,
     engine_kwargs: dict | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> ServerHandle:
     """Spin up a serving thread over ``registry`` (a path or FactorStore).
 
@@ -1468,6 +1667,9 @@ def start_server_in_thread(
         Bound on the graceful-drain wait for in-flight requests.
     engine_kwargs:
         Extra keyword arguments for every ``QueryEngine`` construction.
+    metrics:
+        Metrics registry for the app (``None`` creates a fresh one; read
+        it back from ``handle.app.metrics``).
 
     Returns
     -------
@@ -1491,6 +1693,7 @@ def start_server_in_thread(
         max_body_bytes=max_body_bytes,
         max_queue=max_queue,
         drain_timeout=drain_timeout,
+        metrics=metrics,
     )
     ready = threading.Event()
     failure: list[BaseException] = []

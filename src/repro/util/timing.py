@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 
@@ -36,8 +37,31 @@ class Stopwatch:
         return delta
 
     def reset(self) -> None:
+        """Zero the accumulated time.
+
+        Refuses to reset mid-measurement: silently discarding the start
+        mark used to leave the watch stopped while the caller believed
+        an interval was still being measured, and the next ``stop()``
+        raised from a seemingly impossible state.
+        """
+        if self._started_at is not None:
+            raise RuntimeError("cannot reset a running stopwatch; stop() it first")
         self.elapsed = 0.0
-        self._started_at = None
+
+    @contextmanager
+    def span(self):
+        """Measure one interval as a context manager, yielding the watch.
+
+        Equivalent to ``with watch:`` but usable where an explicit
+        context-manager *object* is needed (``repro.obs.trace`` drives it
+        manually around span enter/exit), and exception-safe: the
+        interval is recorded even when the body raises.
+        """
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
 
     @property
     def running(self) -> bool:

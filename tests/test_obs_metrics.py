@@ -1,0 +1,152 @@
+"""Tests for the metrics registry and Prometheus text exposition."""
+
+import json
+
+import pytest
+
+from repro.obs import exposition
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestMetricObjects:
+    def test_counter_increments(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6
+
+    def test_gauge_callback_wins(self):
+        box = {"v": 7}
+        gauge = Gauge(callback=lambda: box["v"])
+        assert gauge.value == 7
+        box["v"] = 9
+        assert gauge.value == 9
+
+    def test_histogram_buckets(self):
+        hist = Histogram(buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 99.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(101.0)
+        assert list(hist.counts) == [1, 1, 1]
+
+
+class TestRegistry:
+    def test_same_name_labels_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", "x", labels={"k": "1"})
+        b = registry.counter("repro_x_total", "x", labels={"k": "1"})
+        c = registry.counter("repro_x_total", "x", labels={"k": "2"})
+        assert a is b
+        assert a is not c
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", "x")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_x_total", "x")
+
+    def test_disabled_registry_is_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("repro_x_total", "x")
+        counter.inc(5)
+        registry.gauge("repro_g", "g").set(2)
+        registry.histogram("repro_h", "h").observe(1.0)
+        assert registry.snapshot() == {}
+        assert exposition.render(registry) == ""
+
+    def test_snapshot_is_json_safe_and_deterministic(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_b_total", "b").inc(2)
+        registry.gauge("repro_a", "a").set(1.5)
+        registry.histogram("repro_c_seconds", "c", buckets=(0.1, 1.0)).observe(0.5)
+        snap = registry.snapshot()
+        assert list(snap) == sorted(snap)
+        json.dumps(snap)  # JSON-safe throughout
+        hist = snap["repro_c_seconds"]["samples"][0]
+        assert hist["buckets"]["0.1"] == 0
+        assert hist["buckets"]["1.0"] == 1
+        assert hist["buckets"]["+Inf"] == 1
+        assert hist["count"] == 1
+
+    def test_reset_clears_values(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_x_total", "x")
+        counter.inc(3)
+        registry.reset()
+        assert registry.counter("repro_x_total", "x").value == 0
+
+    def test_use_registry_swaps_and_restores(self):
+        scoped = MetricsRegistry()
+        default = get_registry()
+        with use_registry(scoped):
+            assert get_registry() is scoped
+        assert get_registry() is default
+
+    def test_set_registry_returns_previous(self):
+        previous = get_registry()
+        fresh = MetricsRegistry()
+        assert set_registry(fresh) is previous
+        assert set_registry(previous) is fresh
+
+
+class TestExposition:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_req_total", "Requests.", labels={"path": "/x"}).inc(2)
+        registry.gauge("repro_depth", "Depth.").set(3)
+        text = exposition.render(registry)
+        assert "# HELP repro_req_total Requests.\n" in text
+        assert "# TYPE repro_req_total counter\n" in text
+        assert 'repro_req_total{path="/x"} 2\n' in text
+        assert "# TYPE repro_depth gauge\n" in text
+        assert "repro_depth 3\n" in text
+
+    def test_histogram_exposition_is_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_lat_seconds", "Latency.", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        text = exposition.render(registry)
+        assert 'repro_lat_seconds_bucket{le="0.1"} 1\n' in text
+        assert 'repro_lat_seconds_bucket{le="1.0"} 2\n' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 3\n' in text
+        assert "repro_lat_seconds_count 3\n" in text
+        assert "repro_lat_seconds_sum 5.55" in text
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_esc_total", 'Has "quotes"\nand newline.', labels={"p": 'a"b\\c\n'}
+        ).inc()
+        text = exposition.render(registry)
+        assert '# HELP repro_esc_total Has "quotes"\\nand newline.\n' in text
+        assert 'p="a\\"b\\\\c\\n"' in text
+
+    def test_every_line_is_well_formed(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", "a").inc()
+        registry.histogram("repro_b_seconds", "b").observe(0.2)
+        registry.gauge("repro_c", "c").set(-1)
+        for line in exposition.render(registry).splitlines():
+            assert line.startswith("#") or " " in line

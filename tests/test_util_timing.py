@@ -47,6 +47,31 @@ class TestStopwatch:
         watch.stop()
         assert not watch.running
 
+    def test_reset_while_running_raises(self):
+        watch = Stopwatch()
+        watch.start()
+        with pytest.raises(RuntimeError, match="running"):
+            watch.reset()
+        watch.stop()
+        watch.reset()  # fine once stopped
+        assert watch.elapsed == 0.0
+
+    def test_span_times_one_interval(self):
+        watch = Stopwatch()
+        with watch.span() as inner:
+            assert inner is watch
+            assert watch.running
+        assert not watch.running
+        assert watch.elapsed >= 0.0
+
+    def test_span_stops_on_exception(self):
+        watch = Stopwatch()
+        with pytest.raises(ValueError):
+            with watch.span():
+                raise ValueError("boom")
+        assert not watch.running
+        assert watch.elapsed >= 0.0
+
 
 class TestTimeCall:
     def test_returns_value(self):
